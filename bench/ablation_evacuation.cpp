@@ -1,0 +1,128 @@
+/// \file ablation_evacuation.cpp
+/// \brief Ablation A4: evacuation cost as a function of the parameters the
+///        paper leaves uninterpreted — the number of messages, the worm
+///        length (flits/message), and the buffers per port.
+///
+/// EvacThm guarantees every run terminates with A = T; this ablation
+/// quantifies HOW LONG evacuation takes across the parameter space, and
+/// confirms the (C-5) audit holds on every cell.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/hermes.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+#include "workload/traffic.hpp"
+
+namespace {
+
+void print_report() {
+  std::cout << "=== Ablation A4: evacuation cost sweeps (4x4 HERMES) ===\n\n";
+
+  {
+    genoc::Table table({"Messages", "Steps", "Flit moves", "Mean latency",
+                        "(C-5) violations"});
+    for (const std::size_t messages : {8u, 16u, 32u, 64u, 128u}) {
+      const genoc::HermesInstance hermes(4, 4, 2);
+      genoc::Rng rng(1);
+      const auto pairs =
+          genoc::uniform_random_traffic(hermes.mesh(), messages, rng);
+      genoc::SimulationOptions options;
+      options.flit_count = 4;
+      const genoc::SimulationReport r = genoc::simulate(hermes, pairs, options);
+      table.add_row({std::to_string(messages), std::to_string(r.run.steps),
+                     genoc::format_count(r.run.total_flit_moves),
+                     genoc::format_double(r.latency.mean, 1),
+                     std::to_string(r.run.measure_violations)});
+    }
+    std::cout << "Message-count sweep (4 flits, 2 buffers):\n"
+              << table.render() << "\n";
+  }
+  {
+    genoc::Table table({"Flits/message", "Steps", "Mean latency",
+                        "Throughput (flits/step)"});
+    for (const std::uint32_t flits : {1u, 2u, 4u, 8u, 16u}) {
+      const genoc::HermesInstance hermes(4, 4, 2);
+      genoc::Rng rng(2);
+      const auto pairs = genoc::uniform_random_traffic(hermes.mesh(), 32, rng);
+      genoc::SimulationOptions options;
+      options.flit_count = flits;
+      const genoc::SimulationReport r = genoc::simulate(hermes, pairs, options);
+      table.add_row({std::to_string(flits), std::to_string(r.run.steps),
+                     genoc::format_double(r.latency.mean, 1),
+                     genoc::format_double(r.throughput, 2)});
+    }
+    std::cout << "Worm-length sweep (32 messages, 2 buffers):\n"
+              << table.render() << "\n";
+  }
+  {
+    genoc::Table table({"Buffers/port", "Steps", "Mean latency",
+                        "Max latency"});
+    for (const std::size_t buffers : {1u, 2u, 4u, 8u}) {
+      const genoc::HermesInstance hermes(4, 4, buffers);
+      genoc::Rng rng(3);
+      const auto pairs = genoc::uniform_random_traffic(hermes.mesh(), 32, rng);
+      genoc::SimulationOptions options;
+      options.flit_count = 4;
+      const genoc::SimulationReport r = genoc::simulate(hermes, pairs, options);
+      table.add_row({std::to_string(buffers), std::to_string(r.run.steps),
+                     genoc::format_double(r.latency.mean, 1),
+                     genoc::format_double(r.latency.max, 1)});
+    }
+    std::cout << "Buffer-depth sweep (32 messages, 4 flits) — deeper\n"
+              << "buffers relieve head-of-line pressure:\n"
+              << table.render() << "\n";
+  }
+}
+
+void BM_Evacuation_Messages(benchmark::State& state) {
+  const auto messages = static_cast<std::size_t>(state.range(0));
+  const genoc::HermesInstance hermes(4, 4, 2);
+  genoc::Rng rng(1);
+  const auto pairs =
+      genoc::uniform_random_traffic(hermes.mesh(), messages, rng);
+  for (auto _ : state) {
+    genoc::Config config = hermes.make_config(pairs, 4);
+    benchmark::DoNotOptimize(hermes.run(config).steps);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(messages));
+}
+BENCHMARK(BM_Evacuation_Messages)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNSquared);
+
+void BM_Evacuation_Flits(benchmark::State& state) {
+  const auto flits = static_cast<std::uint32_t>(state.range(0));
+  const genoc::HermesInstance hermes(4, 4, 2);
+  genoc::Rng rng(2);
+  const auto pairs = genoc::uniform_random_traffic(hermes.mesh(), 32, rng);
+  for (auto _ : state) {
+    genoc::Config config = hermes.make_config(pairs, flits);
+    benchmark::DoNotOptimize(hermes.run(config).steps);
+  }
+}
+BENCHMARK(BM_Evacuation_Flits)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Evacuation_Buffers(benchmark::State& state) {
+  const auto buffers = static_cast<std::size_t>(state.range(0));
+  const genoc::HermesInstance hermes(4, 4, buffers);
+  genoc::Rng rng(3);
+  const auto pairs = genoc::uniform_random_traffic(hermes.mesh(), 32, rng);
+  for (auto _ : state) {
+    genoc::Config config = hermes.make_config(pairs, 4);
+    benchmark::DoNotOptimize(hermes.run(config).steps);
+  }
+}
+BENCHMARK(BM_Evacuation_Buffers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,131 @@
+/// \file ablation_routing.cpp
+/// \brief Ablation A5: the routing-function family under identical traffic
+///        — deterministic vs turn-model adaptive, across patterns.
+///
+/// All functions here are certified deadlock-free by (C-3) first; the
+/// sweep then compares evacuation steps and latency. Wormhole vs
+/// store-and-forward is included as the switching-policy dimension.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "deadlock/constraints.hpp"
+#include "routing/negative_first.hpp"
+#include "routing/north_last.hpp"
+#include "routing/odd_even.hpp"
+#include "routing/west_first.hpp"
+#include "routing/xy.hpp"
+#include "routing/yx.hpp"
+#include "sim/simulator.hpp"
+#include "switching/store_forward.hpp"
+#include "util/table.hpp"
+#include "workload/traffic.hpp"
+
+namespace {
+
+std::vector<std::unique_ptr<genoc::RoutingFunction>> make_family(
+    const genoc::Mesh2D& mesh) {
+  std::vector<std::unique_ptr<genoc::RoutingFunction>> family;
+  family.push_back(std::make_unique<genoc::XYRouting>(mesh));
+  family.push_back(std::make_unique<genoc::YXRouting>(mesh));
+  family.push_back(std::make_unique<genoc::WestFirstRouting>(mesh));
+  family.push_back(std::make_unique<genoc::NorthLastRouting>(mesh));
+  family.push_back(std::make_unique<genoc::NegativeFirstRouting>(mesh));
+  family.push_back(std::make_unique<genoc::OddEvenRouting>(mesh));
+  return family;
+}
+
+void print_report() {
+  std::cout << "=== Ablation A5: routing functions under identical traffic "
+               "(4x4, 4 flits, 2 buffers) ===\n\n";
+  const genoc::Mesh2D mesh(4, 4);
+  const auto family = make_family(mesh);
+
+  for (const genoc::TrafficPattern pattern :
+       {genoc::TrafficPattern::kUniformRandom,
+        genoc::TrafficPattern::kTranspose, genoc::TrafficPattern::kHotspot}) {
+    genoc::Table table({"Routing", "(C-3)", "Steps", "Mean lat", "P95 lat",
+                        "Max lat"});
+    for (const auto& routing : family) {
+      const genoc::PortDepGraph dep = genoc::build_dep_graph(*routing);
+      const bool safe = genoc::check_c3(dep).satisfied;
+      genoc::Rng rng(2010);
+      const auto pairs = genoc::generate_traffic(pattern, mesh, 48, rng);
+      genoc::SimulationOptions options;
+      options.flit_count = 4;
+      const genoc::SimulationReport r = genoc::simulate_routing(
+          mesh, *routing, pairs, 2, rng, options);
+      table.add_row({routing->name(), safe ? "acyclic" : "CYCLE",
+                     std::to_string(r.run.steps),
+                     genoc::format_double(r.latency.mean, 1),
+                     genoc::format_double(r.latency.p95, 1),
+                     genoc::format_double(r.latency.max, 1)});
+    }
+    std::cout << genoc::traffic_pattern_name(pattern) << ":\n"
+              << table.render() << "\n";
+  }
+
+  // Switching-policy dimension: wormhole vs store-and-forward.
+  {
+    genoc::Table table({"Switching", "Steps", "Flit moves", "Evacuated"});
+    const genoc::XYRouting xy(mesh);
+    genoc::Rng rng(5);
+    const auto pairs = genoc::uniform_random_traffic(mesh, 24, rng);
+    for (const bool wormhole : {true, false}) {
+      genoc::Config config(mesh, /*buffers_per_port=*/4);
+      genoc::TravelId id = 1;
+      for (const genoc::TrafficPair& pair : pairs) {
+        config.add_travel(genoc::make_travel(id++, xy, pair.source,
+                                             pair.dest, /*flit_count=*/4));
+      }
+      const genoc::IdentityInjection iid;
+      const genoc::WormholeSwitching wh;
+      const genoc::StoreForwardSwitching sf;
+      const genoc::FlitLevelMeasure mu;
+      const genoc::SwitchingPolicy& policy =
+          wormhole ? static_cast<const genoc::SwitchingPolicy&>(wh)
+                   : static_cast<const genoc::SwitchingPolicy&>(sf);
+      const genoc::GenocInterpreter interpreter(iid, policy, mu);
+      genoc::GenocOptions options;
+      options.max_steps = 100000;
+      const genoc::GenocRunResult run = interpreter.run(config, options);
+      table.add_row({wormhole ? "wormhole" : "store-and-forward",
+                     std::to_string(run.steps),
+                     genoc::format_count(run.total_flit_moves),
+                     run.evacuated ? "yes" : "NO"});
+    }
+    std::cout << "Switching policies (XY, 24 messages, 4 flits, 4 buffers) — "
+                 "wormhole pipelines, store-and-forward pays F steps per "
+                 "hop:\n"
+              << table.render() << "\n";
+  }
+}
+
+void BM_Routing(benchmark::State& state) {
+  const genoc::Mesh2D mesh(4, 4);
+  const auto family = make_family(mesh);
+  const auto& routing = family[static_cast<std::size_t>(state.range(0))];
+  genoc::Rng rng(2010);
+  const auto pairs = genoc::uniform_random_traffic(mesh, 48, rng);
+  genoc::SimulationOptions options;
+  options.flit_count = 4;
+  for (auto _ : state) {
+    genoc::Rng route_rng(7);
+    const genoc::SimulationReport r = genoc::simulate_routing(
+        mesh, *routing, pairs, 2, route_rng, options);
+    benchmark::DoNotOptimize(r.run.steps);
+  }
+  state.SetLabel(routing->name());
+}
+BENCHMARK(BM_Routing)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

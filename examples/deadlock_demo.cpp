@@ -1,0 +1,102 @@
+/// \file deadlock_demo.cpp
+/// \brief Theorem 1, live: find a cycle in a deadlock-prone routing
+///        function's dependency graph, BUILD the deadlock the cycle
+///        promises, watch Ω hold in the simulator, then recover the cycle
+///        back from the stuck configuration.
+///
+/// Usage: deadlock_demo [width] [height]
+///
+/// The positive side (XY is deadlock-free) is covered by verify_hermes;
+/// this demo exercises the negative side of the iff: unrestricted minimal
+/// adaptive routing has cyclic port dependencies, and every such cycle is
+/// realizable as a concrete wormhole deadlock.
+#include <cstdlib>
+#include <iostream>
+
+#include "deadlock/constraints.hpp"
+#include "deadlock/escape.hpp"
+#include "deadlock/impact.hpp"
+#include "deadlock/scc_checker.hpp"
+#include "deadlock/witness.hpp"
+#include "routing/fully_adaptive.hpp"
+#include "routing/xy.hpp"
+#include "sim/render.hpp"
+#include "switching/wormhole.hpp"
+
+int main(int argc, char** argv) {
+  const std::int32_t width = argc > 1 ? std::atoi(argv[1]) : 3;
+  const std::int32_t height = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  const genoc::Mesh2D mesh(width, height);
+  const genoc::FullyAdaptiveRouting adaptive(mesh);
+  std::cout << "Routing function: " << adaptive.name() << " on a " << width
+            << "x" << height << " mesh\n\n";
+
+  // 1. Static analysis: the dependency graph has cycles ((C-3) fails).
+  const genoc::PortDepGraph dep = genoc::build_dep_graph(adaptive);
+  std::optional<genoc::CycleWitness> cycle;
+  const genoc::ConstraintReport c3 = genoc::check_c3(dep, &cycle);
+  std::cout << "(C-3): " << c3.summary() << "\n";
+  const genoc::SccAnalysis scc = genoc::analyze_dependencies(dep, 4);
+  std::cout << "SCC analysis (Taktak-style): " << scc.summary() << "\n\n";
+  if (!cycle) {
+    std::cout << "No cycle found — nothing to demonstrate.\n";
+    return 1;
+  }
+
+  std::cout << "Witness cycle (" << cycle->size() << " ports):\n";
+  for (const std::size_t v : *cycle) {
+    std::cout << "  " << dep.label(v) << "\n";
+  }
+
+  // 2. Sufficiency: fill the cycle ports per the (C-2) witnesses.
+  genoc::DeadlockConstruction witness =
+      genoc::build_deadlock_from_cycle(adaptive, dep, *cycle, /*capacity=*/2);
+  std::cout << "\nConstructed " << witness.packets.size()
+            << " packets, one filling each cycle port:\n";
+  for (std::size_t i = 0; i < witness.packets.size(); ++i) {
+    const genoc::PacketSpec& p = witness.packets[i];
+    std::cout << "  packet " << p.id << " at " << to_string(p.route.front())
+              << " destined " << to_string(witness.destinations[i]) << " ("
+              << p.flit_count << " flits)\n";
+  }
+
+  // 3. Ω holds: no flit can move.
+  const genoc::WormholeSwitching wormhole;
+  const bool deadlocked = genoc::is_deadlock(wormhole, witness.state);
+  std::cout << "\nΩ(σ) = " << (deadlocked ? "true" : "false")
+            << " — the configuration is "
+            << (deadlocked ? "a deadlock, as Theorem 1 predicts."
+                           : "NOT a deadlock?!")
+            << "\n";
+  if (!deadlocked) {
+    return 1;
+  }
+
+  // 4. Necessity: recover a dependency cycle from the stuck state.
+  const genoc::DeadlockCycle recovered =
+      genoc::extract_cycle_from_deadlock(wormhole, witness.state);
+  std::cout << "\nCycle recovered from the deadlock ("
+            << recovered.ports.size() << " ports):\n";
+  for (std::size_t i = 0; i < recovered.ports.size(); ++i) {
+    std::cout << "  " << to_string(recovered.ports[i]) << " (held by packet "
+              << recovered.packets[i] << ")\n";
+  }
+  const bool in_graph = genoc::cycle_lies_in_dep_graph(dep, recovered.ports);
+  std::cout << "\nRecovered cycle lies in the dependency graph: "
+            << (in_graph ? "yes" : "NO") << "\n";
+
+  // 5. Impact: who is stuck, and how badly?
+  const genoc::DeadlockImpact impact =
+      genoc::analyze_deadlock_impact(wormhole, witness.state);
+  std::cout << "\nImpact: " << impact.summary() << "\n";
+  std::cout << "\nBuffer occupancy (y grows southward; '*' = full port):\n"
+            << genoc::render_occupancy(witness.state);
+
+  // 6. The cure (paper Sec. IX / Duato): one XY-routed escape lane per
+  //    port makes the SAME adaptive function provably deadlock-free.
+  const genoc::XYRouting xy(mesh);
+  const genoc::EscapeAnalysis cure = genoc::analyze_escape(adaptive, xy);
+  std::cout << "\nWith an XY escape lane: " << cure.summary() << "\n";
+  return in_graph && cure.deadlock_free ? 0 : 1;
+}

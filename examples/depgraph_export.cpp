@@ -1,0 +1,48 @@
+/// \file depgraph_export.cpp
+/// \brief Reproduce Fig. 3: build the port dependency graph of a mesh and
+///        emit it as Graphviz DOT (to stdout or a file), plus the flow
+///        decomposition of Fig. 4.
+///
+/// Usage: depgraph_export [width] [height] [dot-file]
+///
+/// Render with: dot -Tpdf fig3.dot -o fig3.pdf
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "deadlock/depgraph.hpp"
+#include "deadlock/flows.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::int32_t width = argc > 1 ? std::atoi(argv[1]) : 2;
+  const std::int32_t height = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  const genoc::Mesh2D mesh(width, height);
+  const genoc::PortDepGraph dep = genoc::build_exy_dep(mesh);
+
+  std::cout << "Port dependency graph Exy_dep of a " << width << "x" << height
+            << " mesh (paper Fig. 3 shows 2x2):\n"
+            << "  " << dep.graph.vertex_count() << " ports, "
+            << dep.graph.edge_count() << " dependency edges\n\n";
+
+  const genoc::FlowDecomposition flows = genoc::decompose_flows(dep);
+  std::cout << "Flow decomposition (paper Fig. 4):\n  " << flows.summary()
+            << "\n\n";
+  std::cout << "Flow certificate (closed-form rank strictly increasing "
+               "along every edge): "
+            << (genoc::verify_flow_certificate(dep) ? "VALID — (C-3) holds"
+                                                    : "INVALID")
+            << "\n";
+
+  const std::string dot = dep.to_dot("Exy_dep");
+  if (argc > 3) {
+    std::ofstream out(argv[3]);
+    out << dot;
+    std::cout << "\nDOT written to " << argv[3] << " (render with: dot -Tpdf "
+              << argv[3] << " -o fig3.pdf)\n";
+  } else {
+    std::cout << "\n" << dot;
+  }
+  return 0;
+}

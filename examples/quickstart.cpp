@@ -1,0 +1,54 @@
+/// \file quickstart.cpp
+/// \brief Quickstart: build a HERMES instance, prove it deadlock-free,
+///        simulate traffic, and watch every message evacuate.
+///
+/// Usage: quickstart [width] [height] [messages]
+///
+/// This is the 60-second tour of the library: the same Config/NetworkState
+/// model is first *verified* (the paper's proof obligations) and then
+/// *simulated* (the paper's executable specification) — "the same model is
+/// used for simulation and validation".
+#include <cstdlib>
+#include <iostream>
+
+#include "core/hermes.hpp"
+#include "core/theorems.hpp"
+#include "sim/simulator.hpp"
+#include "workload/traffic.hpp"
+
+int main(int argc, char** argv) {
+  const std::int32_t width = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::int32_t height = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::size_t messages =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 32;
+
+  std::cout << "GeNoC-CPP quickstart — HERMES " << width << "x" << height
+            << " mesh, wormhole switching, XY routing\n\n";
+
+  // 1. Build the instance (mesh + Rxy + Swh + Iid, paper Sec. V).
+  const genoc::HermesInstance hermes(width, height, /*buffers_per_port=*/2);
+  std::cout << "Topology: " << hermes.mesh().node_count() << " nodes, "
+            << hermes.mesh().port_count() << " ports, 2 buffers/port\n";
+
+  // 2. Discharge the Deadlock Theorem: (C-1), (C-2), (C-3).
+  const genoc::TheoremReport dead = hermes.verify_deadlock_free();
+  std::cout << "DeadThm: " << dead.summary() << "\n";
+
+  // 3. Generate traffic and run GeNoC2D with full auditing.
+  genoc::Rng rng(2010);
+  const auto pairs =
+      genoc::uniform_random_traffic(hermes.mesh(), messages, rng);
+  genoc::SimulationOptions options;
+  options.flit_count = 4;
+  const genoc::SimulationReport report = genoc::simulate(hermes, pairs, options);
+
+  // 4. Every message left the network (EvacThm), every arrival was
+  //    legitimate (CorrThm), and the measure decreased every step (C-5).
+  std::cout << "Simulation: " << report.summary() << "\n";
+  std::cout << "\nAll " << messages
+            << " messages evacuated; the run audited CorrThm, EvacThm and "
+               "(C-5) online.\n";
+  return report.run.evacuated && report.correctness_ok && report.evacuation_ok
+             ? 0
+             : 1;
+}

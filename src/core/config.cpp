@@ -1,0 +1,117 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+Config::Config(const Mesh2D& mesh, std::size_t buffers_per_port)
+    : state_(mesh, buffers_per_port) {}
+
+void Config::add_travel(Travel travel) {
+  PacketSpec spec;
+  spec.id = travel.id;
+  spec.route = travel.route;
+  spec.flit_count = travel.flit_count;
+  state_.register_packet(std::move(spec));  // validates route and id
+  travels_.push_back(std::move(travel));
+}
+
+void Config::add_staged_travel(Travel travel, std::size_t release_step) {
+  for (const Travel& t : travels_) {
+    GENOC_REQUIRE(t.id != travel.id,
+                  "duplicate travel id " + std::to_string(travel.id));
+  }
+  travels_.push_back(travel);
+  staged_.push_back(Staged{std::move(travel), release_step});
+}
+
+const Travel& Config::travel(TravelId id) const {
+  for (const Travel& t : travels_) {
+    if (t.id == id) {
+      return t;
+    }
+  }
+  GENOC_REQUIRE(false, "unknown travel id " + std::to_string(id));
+}
+
+std::vector<TravelId> Config::pending() const {
+  std::vector<TravelId> result;
+  for (const Travel& t : travels_) {
+    const bool in_state = state_.has_packet(t.id);
+    if (!in_state || !state_.packet_delivered(t.id)) {
+      result.push_back(t.id);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool Config::all_arrived() const {
+  if (!staged_.empty()) {
+    return false;
+  }
+  for (const Travel& t : travels_) {
+    if (!state_.has_packet(t.id) || !state_.packet_delivered(t.id)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Config::record_arrivals(const std::vector<TravelId>& ids) {
+  for (const TravelId id : ids) {
+    GENOC_REQUIRE(state_.packet_delivered(id),
+                  "recording arrival of undelivered travel " +
+                      std::to_string(id));
+    arrived_.push_back(Arrival{id, step_});
+  }
+}
+
+void Config::record_entries(const std::vector<TravelId>& ids) {
+  for (const TravelId id : ids) {
+    GENOC_REQUIRE(state_.has_packet(id) && state_.packet_in_network(id),
+                  "recording entry of a travel that is not in the network");
+    entered_.push_back(Arrival{id, step_});
+  }
+}
+
+std::vector<TravelId> Config::release_due_travels() {
+  std::vector<TravelId> released;
+  auto it = staged_.begin();
+  while (it != staged_.end()) {
+    if (it->release_step <= step_) {
+      PacketSpec spec;
+      spec.id = it->travel.id;
+      spec.route = it->travel.route;
+      spec.flit_count = it->travel.flit_count;
+      state_.register_packet(std::move(spec));
+      released.push_back(it->travel.id);
+      it = staged_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return released;
+}
+
+std::size_t Config::staged_remaining() const { return staged_.size(); }
+
+std::uint64_t Config::digest() const {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t h = state_.digest();
+  h = mix(h, travels_.size());
+  h = mix(h, staged_.size());
+  h = mix(h, arrived_.size());
+  for (const Arrival& a : arrived_) {
+    h = mix(h, (static_cast<std::uint64_t>(a.id) << 32) ^ a.step);
+  }
+  h = mix(h, step_);
+  return h;
+}
+
+}  // namespace genoc

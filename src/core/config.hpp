@@ -1,0 +1,114 @@
+/// \file config.hpp
+/// \brief Configurations σ = <T, ST, A> (paper Sec. III.B).
+///
+/// T is the list of travels sent across the network, ST the network state,
+/// and A the list of travels that have arrived. The interpreter (genoc.hpp)
+/// recursively applies the constituents to a configuration until T is empty
+/// or a deadlock is reached.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/travel.hpp"
+#include "switching/network_state.hpp"
+
+namespace genoc {
+
+/// A travel that reached its destination, with the step at which its tail
+/// flit left the network.
+struct Arrival {
+  TravelId id = 0;
+  std::size_t step = 0;
+};
+
+/// The configuration σ. Owns the travel list, the network state and the
+/// arrival log; constituents and the interpreter mutate it through the
+/// narrow API below.
+class Config {
+ public:
+  /// Creates a configuration over \p mesh with \p buffers_per_port 1-flit
+  /// buffers at every port (paper: "Each port has an arbitrary number of
+  /// 1-flit buffers").
+  Config(const Mesh2D& mesh, std::size_t buffers_per_port);
+
+  const Mesh2D& mesh() const { return state_.mesh(); }
+
+  /// Adds a travel to T and registers its packet with the network state
+  /// (flits start outside, i.e. queued at the source core). This models the
+  /// paper's "initial list — of arbitrary size — of messages that are
+  /// immediately injected": all travels are committed at step 0; their
+  /// flits physically enter as Local IN buffers free up.
+  void add_travel(Travel travel);
+
+  /// Adds a travel that only becomes visible to the network at
+  /// \p release_step (the staged-injection extension of Sec. IX). Released
+  /// by StagedInjection::inject().
+  void add_staged_travel(Travel travel, std::size_t release_step);
+
+  // ---- σ.T ------------------------------------------------------------
+
+  /// All travels ever added (the initial T of the evacuation theorem).
+  const std::vector<Travel>& travels() const { return travels_; }
+
+  const Travel& travel(TravelId id) const;
+
+  /// Travels not yet arrived (the current T), ascending ids. Staged travels
+  /// not yet released are included — they have been "sent" but not injected.
+  std::vector<TravelId> pending() const;
+
+  /// True iff every travel has arrived (T = ∅).
+  bool all_arrived() const;
+
+  // ---- σ.ST -----------------------------------------------------------
+
+  NetworkState& state() { return state_; }
+  const NetworkState& state() const { return state_; }
+
+  // ---- σ.A ------------------------------------------------------------
+
+  const std::vector<Arrival>& arrived() const { return arrived_; }
+
+  /// Entry log: the step at which each travel's header flit entered the
+  /// network (its Local IN port). Supports the injection-time-bound
+  /// analysis of the paper's Sec. IX.
+  const std::vector<Arrival>& entered() const { return entered_; }
+
+  // ---- Interpreter hooks ------------------------------------------------
+
+  /// Records arrivals reported by the switching policy at the current step.
+  void record_arrivals(const std::vector<TravelId>& ids);
+
+  /// Records network entries reported by the switching policy.
+  void record_entries(const std::vector<TravelId>& ids);
+
+  /// Current step number (number of switching steps applied so far).
+  std::size_t step() const { return step_; }
+  void advance_step() { ++step_; }
+
+  /// Staged travels due at or before the current step; releasing one
+  /// registers its packet. Used by StagedInjection.
+  std::vector<TravelId> release_due_travels();
+
+  /// Number of staged travels not yet released into the network state.
+  std::size_t staged_remaining() const;
+
+  /// Order-independent fingerprint of <T, ST, A> for the (C-4) identity
+  /// check.
+  std::uint64_t digest() const;
+
+ private:
+  struct Staged {
+    Travel travel;
+    std::size_t release_step = 0;
+  };
+
+  NetworkState state_;
+  std::vector<Travel> travels_;
+  std::vector<Staged> staged_;  // not yet released
+  std::vector<Arrival> arrived_;
+  std::vector<Arrival> entered_;
+  std::size_t step_ = 0;
+};
+
+}  // namespace genoc

@@ -1,0 +1,70 @@
+#include "core/genoc.hpp"
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+GenocRunResult GenocInterpreter::run(Config& config,
+                                     const GenocOptions& options) const {
+  GenocRunResult result;
+  result.initial_measure = measure_->value(config);
+
+  std::size_t max_steps = options.max_steps;
+  if (max_steps == 0) {
+    // When (C-5) holds each step strictly decreases the measure, so μ(σ0)
+    // steps suffice; staged travels may idle-wait before release, so add
+    // their release horizon via a generous constant factor.
+    max_steps = static_cast<std::size_t>(result.initial_measure) * 2 + 64;
+  }
+
+  if (options.keep_measure_trace) {
+    result.measure_trace.push_back(result.initial_measure);
+  }
+
+  std::uint64_t previous_measure = result.initial_measure;
+  while (!config.all_arrived()) {
+    injection_->inject(config);
+    // R : Σ -> Σ is the identity here: routes were pre-computed when the
+    // travels were built (GeNoC2D, paper Sec. V.5).
+    if (is_deadlock(*switching_, config.state())) {
+      result.deadlocked = true;
+      break;
+    }
+    const StepResult step = switching_->step(config.state());
+    config.record_entries(step.entered);
+    config.record_arrivals(step.delivered);
+    config.advance_step();
+    result.total_flit_moves += step.flits_moved;
+    ++result.steps;
+    if (options.observer) {
+      options.observer(config, step);
+    }
+
+    if (options.audit_measure) {
+      const std::uint64_t current = measure_->value(config);
+      // (C-5): σ.T ≠ ∅ ∧ ¬Ω(σ) ⟹ μ(S(R(σ))) < μ(σ). A step with zero
+      // movement while staged travels wait for release is not a (C-5)
+      // context (T was injected-empty); only audit steps that moved or
+      // should have moved.
+      if (step.flits_moved > 0 || config.staged_remaining() == 0) {
+        if (!(current < previous_measure)) {
+          ++result.measure_violations;
+        }
+      }
+      previous_measure = current;
+      if (options.keep_measure_trace) {
+        result.measure_trace.push_back(current);
+      }
+    }
+
+    GENOC_REQUIRE(result.steps <= max_steps,
+                  "GeNoC exceeded its termination bound — the instance "
+                  "violates constraint (C-5)");
+  }
+
+  result.evacuated = config.all_arrived();
+  result.final_measure = measure_->value(config);
+  return result;
+}
+
+}  // namespace genoc

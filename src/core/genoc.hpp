@@ -1,0 +1,84 @@
+/// \file genoc.hpp
+/// \brief The GeNoC interpreter (paper Sec. III.B):
+///
+///   GeNoC(σ) = σ                    iff σ.T = ∅
+///            | σ                    iff Ω(R(I(σ)))
+///            | GeNoC(S(R(I(σ))))    otherwise
+///
+/// The routing generalization R : Σ -> Σ is performed once up front (routes
+/// are pre-computed in the travels — the GeNoC2D optimization), so the loop
+/// body is I; Ω-test; S, exactly like the paper's GeNoC2D. The interpreter
+/// additionally audits constraint (C-5) at runtime: the termination measure
+/// must strictly decrease on every step that is not a deadlock; violations
+/// are counted (and fail the evacuation theorem checker).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/injection.hpp"
+#include "core/measure.hpp"
+#include "switching/policy.hpp"
+
+namespace genoc {
+
+/// Options for one interpreter run.
+struct GenocOptions {
+  /// Audit (C-5): record the measure each step and count non-decreases.
+  bool audit_measure = true;
+  /// Keep the full per-step measure trace in the result (costs memory on
+  /// long runs; the audit works without it).
+  bool keep_measure_trace = false;
+  /// Hard step bound; 0 = derive from the initial measure (μ(σ0) steps
+  /// suffice when (C-5) holds, plus slack for staged injection).
+  std::size_t max_steps = 0;
+  /// Called after every switching step with the post-step configuration
+  /// and what the step did (used by the trace recorder).
+  std::function<void(const Config&, const StepResult&)> observer;
+};
+
+/// Outcome of GeNoC(σ).
+struct GenocRunResult {
+  std::size_t steps = 0;
+  bool deadlocked = false;
+  /// True iff σ.T emptied — every travel arrived (the Evacuation Theorem's
+  /// conclusion for this run).
+  bool evacuated = false;
+  std::uint64_t initial_measure = 0;
+  std::uint64_t final_measure = 0;
+  std::size_t total_flit_moves = 0;
+  /// Steps on which the audited measure failed to strictly decrease
+  /// (must stay 0 — a non-zero value falsifies (C-5) for the instance).
+  std::size_t measure_violations = 0;
+  /// μ after every step, starting with μ(σ0) (only if keep_measure_trace).
+  std::vector<std::uint64_t> measure_trace;
+};
+
+/// The generic interpreter, parameterized by the three constituents
+/// (R is folded into the pre-computed travel routes).
+class GenocInterpreter {
+ public:
+  GenocInterpreter(const InjectionMethod& injection,
+                   const SwitchingPolicy& switching,
+                   const TerminationMeasure& measure)
+      : injection_(&injection), switching_(&switching), measure_(&measure) {}
+
+  /// Runs GeNoC to completion (evacuation or deadlock), mutating σ.
+  /// Throws ContractViolation if the step bound is exceeded — which cannot
+  /// happen while (C-5) holds and exists precisely to catch instances
+  /// violating it.
+  GenocRunResult run(Config& config, const GenocOptions& options = {}) const;
+
+  const InjectionMethod& injection() const { return *injection_; }
+  const SwitchingPolicy& switching() const { return *switching_; }
+  const TerminationMeasure& measure() const { return *measure_; }
+
+ private:
+  const InjectionMethod* injection_;
+  const SwitchingPolicy* switching_;
+  const TerminationMeasure* measure_;
+};
+
+}  // namespace genoc

@@ -1,0 +1,15 @@
+#include "core/injection.hpp"
+
+namespace genoc {
+
+void IdentityInjection::inject(Config& config) const {
+  // I(σ) = σ — deliberately nothing. The (C-4) checker verifies this by
+  // comparing configuration digests around the call.
+  (void)config;
+}
+
+void StagedInjection::inject(Config& config) const {
+  config.release_due_travels();
+}
+
+}  // namespace genoc

@@ -1,0 +1,44 @@
+/// \file injection.hpp
+/// \brief The injection constituent I : Σ -> Σ.
+///
+/// The paper assumes all messages are injected at time 0, so its injection
+/// method is the identity function Iid and constraint (C-4) is I(σ) = σ.
+/// The staged-injection extension implements the future-work direction of
+/// Sec. IX ("all messages are eventually injected"), releasing travels at
+/// their scheduled steps.
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+
+namespace genoc {
+
+/// Abstract injection method.
+class InjectionMethod {
+ public:
+  virtual ~InjectionMethod() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Decides which travels are ready for departure and injects them.
+  virtual void inject(Config& config) const = 0;
+};
+
+/// The paper's Iid: the identity function (constraint (C-4): I(σ) = σ).
+class IdentityInjection final : public InjectionMethod {
+ public:
+  std::string name() const override { return "Iid"; }
+  void inject(Config& config) const override;
+};
+
+/// Staged injection: travels added via Config::add_staged_travel become
+/// visible to the network at their release step. With no staged travels it
+/// degenerates to the identity.
+class StagedInjection final : public InjectionMethod {
+ public:
+  std::string name() const override { return "staged"; }
+  void inject(Config& config) const override;
+};
+
+}  // namespace genoc

@@ -1,0 +1,80 @@
+#include "core/injection_time.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+std::string InjectionBoundReport::summary() const {
+  std::ostringstream os;
+  os << "injection bound: generic μ(σ0) = " << generic_bound << " ("
+     << (all_within_generic_bound ? "all travels within it"
+                                  : "VIOLATED — policy broken")
+     << "), max entry step = " << max_entry_step
+     << ", local-estimate hit rate = " << local_estimate_hit_rate * 100.0
+     << "%";
+  return os.str();
+}
+
+InjectionBoundReport check_injection_bound(const Config& config,
+                                           const GenocRunResult& run) {
+  GENOC_REQUIRE(run.evacuated,
+                "injection-bound analysis requires an evacuated run");
+  InjectionBoundReport report;
+  report.generic_bound = run.initial_measure;
+  report.all_within_generic_bound = true;
+
+  // Entry step per travel.
+  std::vector<std::pair<TravelId, std::size_t>> entries;
+  for (const Arrival& e : config.entered()) {
+    entries.emplace_back(e.id, e.step);
+  }
+  GENOC_REQUIRE(entries.size() == config.travels().size(),
+                "every travel of an evacuated run must have entered");
+
+  auto entry_step_of = [&](TravelId id) {
+    for (const auto& [eid, step] : entries) {
+      if (eid == id) {
+        return step;
+      }
+    }
+    GENOC_REQUIRE(false, "missing entry record");
+  };
+
+  std::size_t local_hits = 0;
+  for (const Travel& t : config.travels()) {
+    InjectionTime record;
+    record.id = t.id;
+    record.entry_step = entry_step_of(t.id);
+    report.max_entry_step =
+        std::max(report.max_entry_step, record.entry_step);
+
+    // Local estimate: earlier travels sharing the source must clear the
+    // Local IN port; uncontended, each needs |route| + flits steps.
+    for (const Travel& other : config.travels()) {
+      if (other.id < t.id && other.source == t.source) {
+        record.local_estimate += other.route.size() + other.flit_count;
+      }
+    }
+    record.within_local_estimate =
+        record.entry_step <= record.local_estimate ||
+        record.local_estimate == 0;
+    if (record.within_local_estimate) {
+      ++local_hits;
+    }
+    if (record.entry_step > report.generic_bound) {
+      report.all_within_generic_bound = false;
+    }
+    report.per_travel.push_back(record);
+  }
+  report.local_estimate_hit_rate =
+      report.per_travel.empty()
+          ? 1.0
+          : static_cast<double>(local_hits) /
+                static_cast<double>(report.per_travel.size());
+  return report;
+}
+
+}  // namespace genoc

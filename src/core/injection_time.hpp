@@ -1,0 +1,58 @@
+/// \file injection_time.hpp
+/// \brief Injection-time bounds — the paper's Sec. IX program: "We are
+///        working on the proof that all messages are eventually injected.
+///        This proof entails a generic bound on the injection time of each
+///        message … Deadlock-freedom is necessary."
+///
+/// Two bounds are computed per travel:
+///   - the GENERIC bound μ(σ0): while a travel waits outside, the network
+///     is never in deadlock, so every step strictly decreases the flit
+///     measure; the header must therefore enter within μ(σ0) steps. This
+///     bound is sound for every instance that satisfies (C-5), which is
+///     exactly the paper's point that deadlock-freedom is necessary.
+///   - a LOCAL estimate: the travel enters once the earlier travels sharing
+///     its Local IN port have cleared it; absent cross-traffic that takes
+///     at most Σ (|route| + flits) over those predecessors. Reported for
+///     comparison; congestion can exceed it, the generic bound cannot be
+///     exceeded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/genoc.hpp"
+
+namespace genoc {
+
+/// Per-travel injection-time record.
+struct InjectionTime {
+  TravelId id = 0;
+  std::size_t entry_step = 0;
+  std::uint64_t local_estimate = 0;
+  bool within_local_estimate = false;
+};
+
+/// Result of the analysis over a finished run.
+struct InjectionBoundReport {
+  /// The generic bound μ(σ0) (see file comment).
+  std::uint64_t generic_bound = 0;
+  /// True iff every travel entered within the generic bound. Guaranteed
+  /// for (C-5)-satisfying instances; a failure indicates a broken policy.
+  bool all_within_generic_bound = false;
+  /// Fraction of travels that also met their (non-guaranteed) local
+  /// estimate.
+  double local_estimate_hit_rate = 0.0;
+  std::size_t max_entry_step = 0;
+  std::vector<InjectionTime> per_travel;
+
+  std::string summary() const;
+};
+
+/// Analyzes the entry log of a finished (evacuated) run.
+/// Requires: the run evacuated and every travel has an entry record.
+InjectionBoundReport check_injection_bound(const Config& config,
+                                           const GenocRunResult& run);
+
+}  // namespace genoc

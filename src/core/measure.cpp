@@ -1,0 +1,42 @@
+#include "core/measure.hpp"
+
+#include "switching/flit.hpp"
+
+namespace genoc {
+
+std::uint64_t RouteLengthMeasure::value(const Config& config) const {
+  const NetworkState& state = config.state();
+  std::uint64_t total = 0;
+  for (const Travel& t : config.travels()) {
+    if (!state.has_packet(t.id)) {
+      // Staged and unreleased: its whole route is still ahead of it.
+      total += t.route.size();
+      continue;
+    }
+    if (state.packet_delivered(t.id)) {
+      continue;
+    }
+    const std::int32_t pos = state.flit_pos(t.id, 0);
+    if (pos == kFlitOutside) {
+      total += t.route.size();
+    } else if (pos != kFlitDelivered) {
+      total += t.route.size() - 1 - static_cast<std::uint64_t>(pos);
+    }
+    // Header delivered but tail still draining: remaining route length 0;
+    // the flit-level measure keeps decreasing through that phase.
+  }
+  return total;
+}
+
+std::uint64_t FlitLevelMeasure::value(const Config& config) const {
+  std::uint64_t total = config.state().total_remaining_hops();
+  // Unreleased staged travels still owe their full journey.
+  for (const Travel& t : config.travels()) {
+    if (!config.state().has_packet(t.id)) {
+      total += static_cast<std::uint64_t>(t.route.size()) * t.flit_count;
+    }
+  }
+  return total;
+}
+
+}  // namespace genoc

@@ -1,0 +1,146 @@
+#include "core/theorems.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "deadlock/constraints.hpp"
+#include "routing/route.hpp"
+#include "util/stopwatch.hpp"
+
+namespace genoc {
+
+std::string TheoremReport::summary() const {
+  std::ostringstream os;
+  os << theorem << ": " << (holds ? "HOLDS" : "FAILS") << " (" << checks
+     << " checks, " << cpu_ms << " ms";
+  if (!failures.empty()) {
+    os << ", first failure: " << failures.front();
+  }
+  os << ")";
+  return os.str();
+}
+
+namespace {
+
+void record_failure(TheoremReport& report, const std::string& text) {
+  report.holds = false;
+  if (report.failures.size() < TheoremReport::kMaxFailures) {
+    report.failures.push_back(text);
+  }
+}
+
+}  // namespace
+
+TheoremReport check_correctness(const Config& config,
+                                const RoutingFunction& routing) {
+  Stopwatch timer;
+  TheoremReport report;
+  report.theorem = "CorrThm";
+  report.holds = true;
+
+  for (const Arrival& arrival : config.arrived()) {
+    ++report.checks;
+    // m was emitted at a valid source node, destined to d.
+    bool known = false;
+    for (const Travel& t : config.travels()) {
+      if (t.id == arrival.id) {
+        known = true;
+        if (t.route.empty() || t.route.front() != t.source) {
+          record_failure(report, "travel " + std::to_string(t.id) +
+                                     " route does not start at its source");
+        }
+        if (t.route.empty() || t.route.back() != t.dest) {
+          record_failure(report, "travel " + std::to_string(t.id) +
+                                     " route does not end at its destination");
+        }
+        if (t.source.name != PortName::kLocal ||
+            t.source.dir != Direction::kIn ||
+            !routing.mesh().exists(t.source)) {
+          record_failure(report, "travel " + std::to_string(t.id) +
+                                     " has an invalid source port");
+        }
+        // m followed a valid path to d.
+        if (!is_valid_route(routing, t.route, t.source, t.dest)) {
+          record_failure(report, "travel " + std::to_string(t.id) +
+                                     " followed a path not sanctioned by " +
+                                     routing.name());
+        }
+        if (!config.state().packet_delivered(t.id)) {
+          record_failure(report, "arrival logged for undelivered travel " +
+                                     std::to_string(t.id));
+        }
+        break;
+      }
+    }
+    if (!known) {
+      record_failure(report, "arrived id " + std::to_string(arrival.id) +
+                                 " was never emitted");
+    }
+  }
+  report.cpu_ms = timer.elapsed_ms();
+  return report;
+}
+
+TheoremReport check_deadlock_theorem(const RoutingFunction& routing,
+                                     const PortDepGraph& dep) {
+  Stopwatch timer;
+  TheoremReport report;
+  report.theorem = "DeadThm (" + routing.name() + ")";
+  report.holds = true;
+
+  const ConstraintReport c1 = check_c1(routing, dep);
+  const ConstraintReport c2 = check_c2(routing, dep);
+  const ConstraintReport c3 = check_c3(dep);
+  report.checks = c1.checks + c2.checks + c3.checks;
+  for (const ConstraintReport* c : {&c1, &c2, &c3}) {
+    if (!c->satisfied) {
+      record_failure(report, c->summary());
+    }
+  }
+  report.cpu_ms = timer.elapsed_ms();
+  return report;
+}
+
+TheoremReport check_evacuation(const Config& config,
+                               const GenocRunResult& run) {
+  Stopwatch timer;
+  TheoremReport report;
+  report.theorem = "EvacThm";
+  report.holds = true;
+
+  if (run.deadlocked) {
+    record_failure(report, "run ended in deadlock");
+  }
+  if (!run.evacuated) {
+    record_failure(report, "run did not empty σ.T");
+  }
+  if (run.measure_violations != 0) {
+    record_failure(report, std::to_string(run.measure_violations) +
+                               " steps violated (C-5)");
+  }
+  // GeNoC(σ).A = σ.T: same ids, each exactly once.
+  std::vector<TravelId> sent;
+  for (const Travel& t : config.travels()) {
+    sent.push_back(t.id);
+  }
+  std::vector<TravelId> arrived;
+  for (const Arrival& a : config.arrived()) {
+    arrived.push_back(a.id);
+  }
+  std::sort(sent.begin(), sent.end());
+  std::sort(arrived.begin(), arrived.end());
+  report.checks = sent.size() + arrived.size();
+  if (sent != arrived) {
+    record_failure(report,
+                   "arrival log does not equal the sent list (|T| = " +
+                       std::to_string(sent.size()) + ", |A| = " +
+                       std::to_string(arrived.size()) + ")");
+  }
+  if (run.evacuated && run.final_measure != 0) {
+    record_failure(report, "evacuated but final measure is non-zero");
+  }
+  report.cpu_ms = timer.elapsed_ms();
+  return report;
+}
+
+}  // namespace genoc

@@ -1,0 +1,36 @@
+#include "core/travel.hpp"
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+Travel make_travel(TravelId id, const RoutingFunction& routing,
+                   NodeCoord source_node, NodeCoord dest_node,
+                   std::uint32_t flit_count) {
+  const Mesh2D& mesh = routing.mesh();
+  Travel t;
+  t.id = id;
+  t.source = mesh.local_in(source_node.x, source_node.y);
+  t.dest = mesh.local_out(dest_node.x, dest_node.y);
+  t.flit_count = flit_count;
+  t.route = compute_route(routing, t.source, t.dest);
+  return t;
+}
+
+Travel make_travel_with_route(TravelId id, const RoutingFunction& routing,
+                              Route route, std::uint32_t flit_count) {
+  GENOC_REQUIRE(route.size() >= 2, "a route has at least two ports");
+  const Port from = route.front();
+  const Port to = route.back();
+  GENOC_REQUIRE(is_valid_route(routing, route, from, to),
+                "route is not valid for routing function " + routing.name());
+  Travel t;
+  t.id = id;
+  t.source = from;
+  t.dest = to;
+  t.route = std::move(route);
+  t.flit_count = flit_count;
+  return t;
+}
+
+}  // namespace genoc

@@ -1,0 +1,37 @@
+/// \file travel.hpp
+/// \brief Travels: the paper's <id, c, d> triples, extended with the
+///        pre-computed route t.r (paper Sec. V.5: "We extend travels to
+///        store a route as well").
+#pragma once
+
+#include "routing/route.hpp"
+#include "switching/flit.hpp"
+#include "topology/mesh.hpp"
+
+namespace genoc {
+
+/// One message to send across the network. The current location c of the
+/// paper's triple is not stored here — it lives in the network state (the
+/// header flit's port); Travel carries the immutable part.
+struct Travel {
+  TravelId id = 0;
+  Port source;                  ///< the Local IN port where the travel enters
+  Port dest;                    ///< the Local OUT port where it leaves
+  Route route;                  ///< t.r: pre-computed port sequence source..dest
+  std::uint32_t flit_count = 1; ///< worm length (header + data flits)
+};
+
+/// Builds a travel between two nodes with its route pre-computed by a
+/// deterministic routing function (the GeNoC2D optimization: "since
+/// xy-routing is deterministic, the routes can be pre-computed").
+Travel make_travel(TravelId id, const RoutingFunction& routing,
+                   NodeCoord source_node, NodeCoord dest_node,
+                   std::uint32_t flit_count);
+
+/// Builds a travel with an explicitly chosen route (used for adaptive
+/// functions, where a concrete route is selected from the route set, and
+/// for adversarial placements). The route must be valid for \p routing.
+Travel make_travel_with_route(TravelId id, const RoutingFunction& routing,
+                              Route route, std::uint32_t flit_count);
+
+}  // namespace genoc

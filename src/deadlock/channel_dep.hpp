@@ -1,0 +1,44 @@
+/// \file channel_dep.hpp
+/// \brief The Dally–Seitz channel dependency graph baseline (paper
+///        Sec. IV.A: "Dally and Seitz define their function at the level of
+///        processing nodes. We define our routing function at the level of
+///        ports.").
+///
+/// A channel is a unidirectional inter-switch link, i.e. exactly a cardinal
+/// OUT port of our mesh. There is a dependency c1 -> c2 when a packet that
+/// holds c1 can request c2 next: some reachable destination routes the
+/// packet from the in-port at c1's far end onto c2.
+///
+/// For the comparison ablation (A2 in DESIGN.md): the channel graph is the
+/// projection of the port graph onto OUT ports, so the two agree on
+/// acyclicity — the test suite verifies this for every routing function —
+/// while the port graph carries the finer buffer-level structure the
+/// paper's switching proofs need.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "routing/routing.hpp"
+#include "topology/mesh.hpp"
+
+namespace genoc {
+
+/// Dependency graph whose vertices are channels (cardinal OUT ports).
+struct ChannelDepGraph {
+  const Mesh2D* mesh = nullptr;
+  /// channels[v] is the OUT port of vertex v.
+  std::vector<Port> channels;
+  Digraph graph;
+
+  std::string label(std::size_t v) const { return to_string(channels[v]); }
+
+  /// Graphviz rendering.
+  std::string to_dot(const std::string& name) const;
+};
+
+/// Builds the Dally–Seitz channel dependency graph of \p routing.
+ChannelDepGraph build_channel_dep_graph(const RoutingFunction& routing);
+
+}  // namespace genoc

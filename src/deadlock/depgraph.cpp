@@ -1,0 +1,92 @@
+#include "deadlock/depgraph.hpp"
+
+#include "util/dot.hpp"
+#include "util/require.hpp"
+
+namespace genoc {
+
+std::string PortDepGraph::to_dot(const std::string& name) const {
+  GENOC_REQUIRE(mesh != nullptr, "uninitialized dependency graph");
+  DotOptions options;
+  options.graph_name = name;
+  return genoc::to_dot(
+      graph.vertex_count(), graph.edges(),
+      [this](std::size_t v) { return label(v); }, options);
+}
+
+PortDepGraph build_dep_graph(const RoutingFunction& routing) {
+  const Mesh2D& mesh = routing.mesh();
+  PortDepGraph result;
+  result.mesh = &mesh;
+  result.graph = Digraph(mesh.port_count());
+  for (const Port& p : mesh.ports()) {
+    for (const Port& d : mesh.destinations()) {
+      if (!routing.reachable(p, d)) {
+        continue;
+      }
+      for (const Port& q : routing.next_hops(p, d)) {
+        // Existence of every hop for reachable inputs is a (C-1) concern;
+        // the generic graph only ranges over real ports.
+        if (mesh.exists(q)) {
+          result.graph.add_edge(mesh.id(p), mesh.id(q));
+        }
+      }
+    }
+  }
+  result.graph.finalize();
+  return result;
+}
+
+std::vector<Port> next_outs_xy(const Mesh2D& mesh, const Port& p) {
+  GENOC_REQUIRE(p.dir == Direction::kIn,
+                "next_outs is defined on in-ports, got " + to_string(p));
+  std::vector<Port> outs;
+  auto add_if_exists = [&](PortName name) {
+    const Port candidate = trans(p, name, Direction::kOut);
+    if (mesh.exists(candidate)) {
+      outs.push_back(candidate);
+    }
+  };
+  // Paper Sec. V.6, verbatim case structure:
+  //   next_outs(p) = { trans(p, L,OUT) }
+  //                ∪ { trans(p, W,OUT) iff port(p) ∈ {E, L} }
+  //                ∪ { trans(p, E,OUT) iff port(p) ∈ {W, L} }
+  //                ∪ { trans(p, N,OUT) iff port(p) ≠ N }
+  //                ∪ { trans(p, S,OUT) iff port(p) ≠ S }
+  add_if_exists(PortName::kLocal);
+  if (p.name == PortName::kEast || p.name == PortName::kLocal) {
+    add_if_exists(PortName::kWest);
+  }
+  if (p.name == PortName::kWest || p.name == PortName::kLocal) {
+    add_if_exists(PortName::kEast);
+  }
+  if (p.name != PortName::kNorth) {
+    add_if_exists(PortName::kNorth);
+  }
+  if (p.name != PortName::kSouth) {
+    add_if_exists(PortName::kSouth);
+  }
+  return outs;
+}
+
+PortDepGraph build_exy_dep(const Mesh2D& mesh) {
+  PortDepGraph result;
+  result.mesh = &mesh;
+  result.graph = Digraph(mesh.port_count());
+  for (const Port& p : mesh.ports()) {
+    if (p.dir == Direction::kIn) {
+      for (const Port& q : next_outs_xy(mesh, p)) {
+        result.graph.add_edge(mesh.id(p), mesh.id(q));
+      }
+    } else if (p.name != PortName::kLocal) {
+      // Cardinal out-ports connect to the neighbour's in-port; the port
+      // exists, hence so does its neighbour.
+      result.graph.add_edge(mesh.id(p), mesh.id(mesh.next_in(p)));
+    }
+    // Local OUT ports deliver to the core: sinks of the dependency graph.
+  }
+  result.graph.finalize();
+  return result;
+}
+
+}  // namespace genoc

@@ -1,0 +1,55 @@
+/// \file depgraph.hpp
+/// \brief The port dependency graph (paper Sec. IV.A and V.6).
+///
+/// Vertices are the ports of the interconnection network; edges are the
+/// pairs of ports connected by the routing function. Theorem 1: a
+/// (deterministic) routing function is deadlock-free iff this graph is
+/// acyclic. The graph is built in two independent ways:
+///
+///  1. build_dep_graph(): the *generic* construction — enumerate every pair
+///     (p, d) with p R d and add an edge (p, q) for every q in R(p, d).
+///     This works for any routing function, including the adaptive
+///     extensions.
+///  2. build_exy_dep(): the paper's *closed-form* Exy_dep for XY routing
+///     (function next_outs, Sec. V.6), restricted to ports that exist.
+///
+/// Their equality on every mesh is the executable content of constraints
+/// (C-1) and (C-2) for HERMES, and the test suite checks it.
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "routing/routing.hpp"
+#include "topology/mesh.hpp"
+
+namespace genoc {
+
+/// A dependency graph whose vertex v is the port mesh.port(v).
+struct PortDepGraph {
+  const Mesh2D* mesh = nullptr;
+  Digraph graph;
+
+  /// Port of vertex \p v.
+  const Port& port_of(std::size_t v) const { return mesh->port(static_cast<PortId>(v)); }
+
+  /// Human-readable vertex label ("<x,y,P,D>").
+  std::string label(std::size_t v) const { return to_string(port_of(v)); }
+
+  /// Graphviz rendering (reproduces the paper's Fig. 3 for a 2x2 mesh).
+  std::string to_dot(const std::string& name) const;
+};
+
+/// Generic construction from the routing function and its reachability
+/// relation (works for deterministic and adaptive functions alike).
+PortDepGraph build_dep_graph(const RoutingFunction& routing);
+
+/// The paper's function next_outs(p): the set of out-ports an in-port p
+/// depends on under XY routing (Sec. V.6), filtered to existing ports.
+std::vector<Port> next_outs_xy(const Mesh2D& mesh, const Port& p);
+
+/// The paper's closed-form Exy_dep: in-ports connect to next_outs_xy,
+/// cardinal out-ports connect to next_in, Local OUT ports are sinks.
+PortDepGraph build_exy_dep(const Mesh2D& mesh);
+
+}  // namespace genoc

@@ -1,0 +1,60 @@
+/// \file escape.hpp
+/// \brief Escape-channel (Duato-style) deadlock-freedom analysis — the
+///        paper's Sec. IX future-work direction, executed at graph level.
+///
+/// The paper restricts Theorem 1 to deterministic routing and cites Duato
+/// [19] for adaptive routing. Duato's classic recipe: give every port an
+/// extra *escape* virtual lane routed by a deterministic deadlock-free
+/// function; a packet blocked in the adaptive lanes can always fall back to
+/// the escape lane. Deadlock-freedom then requires only that
+///
+///   (1) an escape hop is AVAILABLE from every state the adaptive function
+///       can reach (every adaptive-reachable (in-port, destination) pair
+///       has an escape next hop that exists in the mesh), and
+///   (2) the escape lane's own dependency graph — the closure of the escape
+///       function over all states reachable once a packet has escaped — is
+///       ACYCLIC.
+///
+/// This module builds that escape closure and checks both conditions. The
+/// decisive subtlety is that the escape function is applied from states the
+/// escape function itself would never create (e.g. a packet that travelled
+/// South under fully-adaptive routing and now needs to go East sits in a
+/// North IN port — an XY-impossible state): availability and acyclicity
+/// must therefore be evaluated over the ADAPTIVE reachability relation, not
+/// the escape function's own.
+#pragma once
+
+#include <string>
+
+#include "deadlock/depgraph.hpp"
+#include "graph/cycle.hpp"
+#include "routing/routing.hpp"
+
+namespace genoc {
+
+/// Outcome of the escape analysis.
+struct EscapeAnalysis {
+  /// (1): every adaptive-reachable in-port state has an escape hop.
+  bool escape_always_available = false;
+  /// Number of (in-port, destination) states checked for availability.
+  std::uint64_t states_checked = 0;
+  /// First state without an escape hop, if any ("<port> / <dest>").
+  std::string missing_escape;
+  /// (2): the escape-lane dependency graph (over the escape closure).
+  PortDepGraph escape_graph;
+  bool escape_graph_acyclic = false;
+  /// Verdict: (1) and (2) — the network is deadlock-free with one escape
+  /// lane per port, regardless of cycles in the adaptive lanes.
+  bool deadlock_free = false;
+
+  std::string summary() const;
+};
+
+/// Runs the analysis: \p adaptive is the (possibly cyclic) routing function
+/// packets normally use; \p escape is a deterministic function whose
+/// next-hop *formula* is total on in-ports (like the paper's Rxy case
+/// split). Both must live on the same mesh.
+EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
+                              const RoutingFunction& escape);
+
+}  // namespace genoc

@@ -1,0 +1,98 @@
+/// \file flows.hpp
+/// \brief The paper's "flows" argument for (C-3) on arbitrary-size meshes
+///        (Section VI.A, Fig. 4), made executable.
+///
+/// A flow is a sequence of ports which continually in- or decreases a
+/// coordinate:
+///   - the Northern flow consists of South-IN and North-OUT ports and
+///     continually decreases y;
+///   - the Southern flow (North-IN, South-OUT) increases y;
+///   - the Eastern flow (West-IN, East-OUT) increases x;
+///   - the Western flow (East-IN, West-OUT) decreases x.
+/// Local IN ports are pure sources, Local OUT ports pure sinks. Horizontal
+/// flows can escape only into vertical flows or a local sink; vertical
+/// flows only into a local sink — so no dependency path can return to its
+/// origin and the graph is acyclic.
+///
+/// The executable shadow of this argument is the closed-form rank
+/// xy_flow_rank(): a function of the port alone (and the mesh dimensions)
+/// that strictly increases along EVERY edge of Exy_dep, for every mesh size.
+/// Verifying the rank over the edges of a concrete graph is O(E) — this is
+/// the flow *certificate* for (C-3), stronger than a cycle search because
+/// the same formula works for all W x H.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "deadlock/depgraph.hpp"
+
+namespace genoc {
+
+/// The flow a port belongs to.
+enum class FlowClass : std::uint8_t {
+  kEastern,      ///< West-IN / East-OUT: x increases
+  kWestern,      ///< East-IN / West-OUT: x decreases
+  kNorthern,     ///< South-IN / North-OUT: y decreases
+  kSouthern,     ///< North-IN / South-OUT: y increases
+  kLocalSource,  ///< Local IN: dependency source only
+  kLocalSink,    ///< Local OUT: dependency sink only
+};
+
+const char* flow_class_name(FlowClass flow);
+
+/// Classifies a port into its flow (paper Fig. 4).
+FlowClass classify_flow(const Port& p);
+
+/// The closed-form topological rank implementing the flow argument:
+///   Local IN          -> 0
+///   Eastern flow      -> 2x (+1 for the OUT port)        in [1, 2W-1]
+///   Western flow      -> 2(W-1-x) (+1 for the OUT port)  in [1, 2W-1]
+///   Southern flow     -> V + 2y (+1)                     in [V, V+2H-1]
+///   Northern flow     -> V + 2(H-1-y) (+1)               in [V, V+2H-1]
+///   Local OUT         -> V + 2H + 1                      (maximum)
+/// with V = 2W + 1. Every edge of Exy_dep strictly increases this value.
+std::int64_t xy_flow_rank(const Mesh2D& mesh, const Port& p);
+
+/// Statistics of the flow decomposition of a dependency graph, used to
+/// reproduce the shape of Fig. 4.
+struct FlowDecomposition {
+  std::size_t ports_per_flow[6] = {};
+  /// Edges that stay within one (non-local) flow — the monotone chains.
+  std::size_t intra_flow_edges = 0;
+  /// Escapes from a horizontal flow into a vertical flow.
+  std::size_t horizontal_to_vertical = 0;
+  /// Escapes into a Local OUT sink.
+  std::size_t into_local_sink = 0;
+  /// Edges out of Local IN sources.
+  std::size_t out_of_local_source = 0;
+  /// Edges that violate the flow discipline (must be 0 for Exy_dep;
+  /// non-zero for cyclic routing functions).
+  std::size_t violating_edges = 0;
+
+  std::string summary() const;
+};
+
+/// Decomposes the edges of \p dep along the flow classification.
+FlowDecomposition decompose_flows(const PortDepGraph& dep);
+
+/// The mirror rank for YX routing (vertical flows first, then horizontal,
+/// then the Local sink): strictly increases along every edge of YX's
+/// dependency graph, for every mesh size. Demonstrates that the flow
+/// argument — like the whole GeNoC method — is generic in the instance.
+std::int64_t yx_flow_rank(const Mesh2D& mesh, const Port& p);
+
+/// A closed-form port rank: any function of the port and mesh dimensions.
+using FlowRank = std::int64_t (*)(const Mesh2D&, const Port&);
+
+/// The flow certificate: verifies that xy_flow_rank strictly increases
+/// along every edge of \p dep (O(E)). Returns true iff it does — which
+/// proves (C-3) without any graph search. For Exy_dep this holds on every
+/// mesh; for cyclic graphs it necessarily fails.
+bool verify_flow_certificate(const PortDepGraph& dep);
+
+/// Same check with an arbitrary closed-form rank (e.g. yx_flow_rank for
+/// the YX instance).
+bool verify_flow_certificate(const PortDepGraph& dep, FlowRank rank);
+
+}  // namespace genoc

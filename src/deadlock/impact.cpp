@@ -1,0 +1,41 @@
+#include "deadlock/impact.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "deadlock/witness.hpp"
+#include "util/require.hpp"
+
+namespace genoc {
+
+std::string DeadlockImpact::summary() const {
+  std::ostringstream os;
+  os << cycle_packets.size() << " packets in the cyclic wait, "
+     << blocked_behind.size() << " blocked behind it, " << never_entered.size()
+     << " never entered (cycle of " << cycle_ports.size() << " ports)";
+  return os.str();
+}
+
+DeadlockImpact analyze_deadlock_impact(const SwitchingPolicy& policy,
+                                       const NetworkState& state) {
+  DeadlockImpact impact;
+  const DeadlockCycle cycle = extract_cycle_from_deadlock(policy, state);
+  impact.cycle_ports = cycle.ports;
+
+  std::unordered_set<TravelId> in_cycle(cycle.packets.begin(),
+                                        cycle.packets.end());
+  for (const TravelId id : state.undelivered_ids()) {
+    if (in_cycle.contains(id)) {
+      impact.cycle_packets.push_back(id);
+    } else if (state.packet_in_network(id)) {
+      impact.blocked_behind.push_back(id);
+    } else {
+      impact.never_entered.push_back(id);
+    }
+  }
+  std::sort(impact.cycle_packets.begin(), impact.cycle_packets.end());
+  return impact;
+}
+
+}  // namespace genoc

@@ -1,0 +1,38 @@
+/// \file impact.hpp
+/// \brief Deadlock impact analysis: which packets are IN the cyclic wait
+///        (the core of the Theorem-1 necessity argument) and which are
+///        merely stuck behind it.
+///
+/// Useful as a diagnostic on top of extract_cycle_from_deadlock(): in a
+/// real design flow the cycle packets identify the routing bug, while the
+/// blocked-behind count quantifies the blast radius.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "switching/network_state.hpp"
+#include "switching/policy.hpp"
+#include "topology/port.hpp"
+
+namespace genoc {
+
+/// Classification of every undelivered packet in a deadlocked state.
+struct DeadlockImpact {
+  /// Packets occupying a port of the recovered dependency cycle.
+  std::vector<TravelId> cycle_packets;
+  /// In-network packets transitively waiting on the cycle.
+  std::vector<TravelId> blocked_behind;
+  /// Packets that never entered the network (stuck at their source).
+  std::vector<TravelId> never_entered;
+  /// The cycle the classification is based on.
+  std::vector<Port> cycle_ports;
+
+  std::string summary() const;
+};
+
+/// Analyzes a deadlocked state (requires is_deadlock(policy, state)).
+DeadlockImpact analyze_deadlock_impact(const SwitchingPolicy& policy,
+                                       const NetworkState& state);
+
+}  // namespace genoc

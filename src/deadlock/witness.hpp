@@ -1,0 +1,79 @@
+/// \file witness.hpp
+/// \brief Executable witness constructions for both directions of
+///        Theorem 1 ("R is deadlock-free iff there is no cycle in its port
+///        dependency graph", paper Sec. IV.A).
+///
+/// Sufficiency (cycle ⟹ deadlock): "Each port of the cycle is filled with
+/// messages with these destinations … the configuration is in deadlock."
+/// build_deadlock_from_cycle() performs exactly that construction on the
+/// concrete network state; callers then assert Ω with is_deadlock().
+///
+/// Necessity (deadlock ⟹ cycle): "The witness for P is the set of
+/// unavailable ports in the deadlock configuration … From P we construct a
+/// graph … any such graph contains at least one cycle."
+/// extract_cycle_from_deadlock() walks the blocked-by relation of a
+/// deadlocked state and returns the cycle it must contain.
+#pragma once
+
+#include <vector>
+
+#include "deadlock/depgraph.hpp"
+#include "graph/cycle.hpp"
+#include "routing/routing.hpp"
+#include "switching/network_state.hpp"
+#include "switching/policy.hpp"
+
+namespace genoc {
+
+/// The deadlock configuration built from a dependency-graph cycle.
+struct DeadlockConstruction {
+  NetworkState state;
+  /// One packet per cycle port, in cycle order; packet i fills cycle port i
+  /// and its next hop is cycle port i+1 (mod n).
+  std::vector<PacketSpec> packets;
+  /// The witness destination chosen for each packet (via (C-2)).
+  std::vector<Port> destinations;
+};
+
+/// Builds the Theorem-1 sufficiency witness: for every port p_i of
+/// \p cycle (vertex ids of \p dep), finds a destination d_i with
+/// p_{i+1} ∈ R(p_i, d_i) (constraint (C-2) guarantees one exists), computes
+/// a route from p_i to d_i crossing that edge, and fills all of p_i's
+/// buffers with a packet on that route. The resulting state satisfies the
+/// deadlock predicate Ω under wormhole switching.
+///
+/// \param routing   the routing function under test (deterministic or
+///                  adaptive).
+/// \param dep       its dependency graph (used for labels/validation).
+/// \param cycle     a valid cycle of dep.graph (see is_valid_cycle()).
+/// \param capacity  buffers per port in the constructed state.
+/// Throws ContractViolation if some edge has no witness destination — i.e.
+/// if (C-2) does not hold, in which case the cycle is not realizable.
+DeadlockConstruction build_deadlock_from_cycle(const RoutingFunction& routing,
+                                               const PortDepGraph& dep,
+                                               const CycleWitness& cycle,
+                                               std::size_t capacity);
+
+/// A cycle recovered from a deadlocked configuration.
+struct DeadlockCycle {
+  /// The ports of the cycle, in blocked-by order: port i's head flit waits
+  /// for a buffer of port i+1 (mod n).
+  std::vector<Port> ports;
+  /// The packet occupying each port of the cycle.
+  std::vector<TravelId> packets;
+};
+
+/// Builds the Theorem-1 necessity witness: from a configuration that is in
+/// deadlock under \p policy, extracts a cycle of mutually blocked ports by
+/// following each blocked head flit to the port it waits for. Requires
+/// is_deadlock(policy, state).
+DeadlockCycle extract_cycle_from_deadlock(const SwitchingPolicy& policy,
+                                          const NetworkState& state);
+
+/// True iff every consecutive pair of \p ports (cyclically) is an edge of
+/// \p dep — i.e. the recovered deadlock cycle is a dependency-graph cycle,
+/// which is what makes the necessity proof go through (constraint (C-1)).
+bool cycle_lies_in_dep_graph(const PortDepGraph& dep,
+                             const std::vector<Port>& ports);
+
+}  // namespace genoc

@@ -1,0 +1,107 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+Digraph::Digraph(std::size_t vertex_count) : vertex_count_(vertex_count) {}
+
+std::size_t Digraph::edge_count() const {
+  return finalized_ ? targets_.size() : build_edges_.size();
+}
+
+void Digraph::add_edge(std::size_t from, std::size_t to) {
+  GENOC_REQUIRE(!finalized_, "cannot add edges to a finalized Digraph");
+  GENOC_REQUIRE(from < vertex_count_ && to < vertex_count_,
+                "edge endpoint out of range");
+  build_edges_.emplace_back(static_cast<std::uint32_t>(from),
+                            static_cast<std::uint32_t>(to));
+}
+
+void Digraph::finalize() {
+  if (finalized_) {
+    return;
+  }
+  std::sort(build_edges_.begin(), build_edges_.end());
+  build_edges_.erase(std::unique(build_edges_.begin(), build_edges_.end()),
+                     build_edges_.end());
+
+  offsets_.assign(vertex_count_ + 1, 0);
+  for (const auto& [from, to] : build_edges_) {
+    (void)to;
+    ++offsets_[from + 1];
+  }
+  for (std::size_t v = 0; v < vertex_count_; ++v) {
+    offsets_[v + 1] += offsets_[v];
+  }
+  targets_.resize(build_edges_.size());
+  // build_edges_ is sorted by (from, to), so targets can be copied in order.
+  for (std::size_t i = 0; i < build_edges_.size(); ++i) {
+    targets_[i] = build_edges_[i].second;
+  }
+  build_edges_.clear();
+  build_edges_.shrink_to_fit();
+  finalized_ = true;
+}
+
+std::span<const std::uint32_t> Digraph::out(std::size_t v) const {
+  GENOC_REQUIRE(finalized_, "Digraph::out requires a finalized graph");
+  GENOC_REQUIRE(v < vertex_count_, "vertex out of range");
+  return {targets_.data() + offsets_[v],
+          static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+}
+
+std::size_t Digraph::out_degree(std::size_t v) const { return out(v).size(); }
+
+bool Digraph::has_edge(std::size_t from, std::size_t to) const {
+  const auto succ = out(from);
+  return std::binary_search(succ.begin(), succ.end(),
+                            static_cast<std::uint32_t>(to));
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Digraph::edges() const {
+  GENOC_REQUIRE(finalized_, "Digraph::edges requires a finalized graph");
+  std::vector<std::pair<std::size_t, std::size_t>> result;
+  result.reserve(targets_.size());
+  for (std::size_t v = 0; v < vertex_count_; ++v) {
+    for (std::uint32_t w : out(v)) {
+      result.emplace_back(v, w);
+    }
+  }
+  return result;
+}
+
+Digraph Digraph::reversed() const {
+  GENOC_REQUIRE(finalized_, "Digraph::reversed requires a finalized graph");
+  Digraph rev(vertex_count_);
+  for (std::size_t v = 0; v < vertex_count_; ++v) {
+    for (std::uint32_t w : out(v)) {
+      rev.add_edge(w, v);
+    }
+  }
+  rev.finalize();
+  return rev;
+}
+
+Digraph Digraph::induced(const std::vector<bool>& keep) const {
+  GENOC_REQUIRE(finalized_, "Digraph::induced requires a finalized graph");
+  GENOC_REQUIRE(keep.size() == vertex_count_,
+                "keep mask size must equal vertex count");
+  Digraph sub(vertex_count_);
+  for (std::size_t v = 0; v < vertex_count_; ++v) {
+    if (!keep[v]) {
+      continue;
+    }
+    for (std::uint32_t w : out(v)) {
+      if (keep[w]) {
+        sub.add_edge(v, w);
+      }
+    }
+  }
+  sub.finalize();
+  return sub;
+}
+
+}  // namespace genoc

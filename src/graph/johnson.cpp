@@ -1,0 +1,118 @@
+#include "graph/johnson.hpp"
+
+#include <algorithm>
+
+#include "graph/tarjan.hpp"
+#include "util/require.hpp"
+
+namespace genoc {
+
+namespace {
+
+/// Recursive core of Johnson's algorithm restricted to the subgraph induced
+/// by vertices >= start within one SCC. Kept as an explicit class to hold the
+/// blocked sets and output limit.
+class JohnsonState {
+ public:
+  JohnsonState(const Digraph& graph, std::size_t max_cycles)
+      : graph_(graph),
+        max_cycles_(max_cycles),
+        blocked_(graph.vertex_count(), false),
+        block_map_(graph.vertex_count()) {}
+
+  std::vector<CycleWitness> run() {
+    const std::size_t n = graph_.vertex_count();
+    for (std::size_t start = 0; start < n && cycles_.size() < max_cycles_;
+         ++start) {
+      start_ = start;
+      std::fill(blocked_.begin(), blocked_.end(), false);
+      for (auto& set : block_map_) {
+        set.clear();
+      }
+      circuit(start);
+    }
+    return std::move(cycles_);
+  }
+
+ private:
+  bool circuit(std::size_t v) {
+    if (cycles_.size() >= max_cycles_) {
+      return true;  // saturate: pretend we found something to unwind quickly
+    }
+    bool found = false;
+    path_.push_back(v);
+    blocked_[v] = true;
+    for (std::uint32_t w : graph_.out(v)) {
+      if (w < start_) {
+        continue;  // only consider the subgraph induced by ids >= start_
+      }
+      if (w == start_) {
+        cycles_.push_back(path_);
+        found = true;
+        if (cycles_.size() >= max_cycles_) {
+          break;
+        }
+      } else if (!blocked_[w]) {
+        if (circuit(w)) {
+          found = true;
+          if (cycles_.size() >= max_cycles_) {
+            break;
+          }
+        }
+      }
+    }
+    if (found) {
+      unblock(v);
+    } else {
+      for (std::uint32_t w : graph_.out(v)) {
+        if (w < start_) {
+          continue;
+        }
+        auto& lst = block_map_[w];
+        if (std::find(lst.begin(), lst.end(), v) == lst.end()) {
+          lst.push_back(v);
+        }
+      }
+    }
+    path_.pop_back();
+    return found;
+  }
+
+  void unblock(std::size_t v) {
+    blocked_[v] = false;
+    auto pending = std::move(block_map_[v]);
+    block_map_[v].clear();
+    for (std::size_t w : pending) {
+      if (blocked_[w]) {
+        unblock(w);
+      }
+    }
+  }
+
+  const Digraph& graph_;
+  std::size_t max_cycles_;
+  std::size_t start_ = 0;
+  std::vector<bool> blocked_;
+  std::vector<std::vector<std::size_t>> block_map_;
+  std::vector<std::size_t> path_;
+  std::vector<CycleWitness> cycles_;
+};
+
+}  // namespace
+
+std::vector<CycleWitness> enumerate_cycles(const Digraph& graph,
+                                           std::size_t max_cycles) {
+  GENOC_REQUIRE(graph.finalized(),
+                "enumerate_cycles requires a finalized graph");
+  if (max_cycles == 0) {
+    return {};
+  }
+  JohnsonState state(graph, max_cycles);
+  return state.run();
+}
+
+std::size_t count_cycles(const Digraph& graph, std::size_t max_cycles) {
+  return enumerate_cycles(graph, max_cycles).size();
+}
+
+}  // namespace genoc

@@ -1,0 +1,28 @@
+/// \file johnson.hpp
+/// \brief Bounded enumeration of simple cycles (Johnson's algorithm).
+///
+/// Theorem 1's sufficiency direction turns *each* dependency-graph cycle into
+/// a distinct deadlock configuration. Enumerating several cycles (rather than
+/// finding just one) lets tests and the adaptive-routing ablation construct
+/// multiple independent deadlock witnesses and report how many distinct
+/// cyclic dependencies a routing function exhibits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/digraph.hpp"
+
+namespace genoc {
+
+/// Enumerates simple cycles of \p graph with Johnson's algorithm, stopping
+/// after \p max_cycles cycles (the enumeration can be exponential in full).
+/// Each returned cycle satisfies is_valid_cycle(). Deterministic order.
+std::vector<CycleWitness> enumerate_cycles(const Digraph& graph,
+                                           std::size_t max_cycles);
+
+/// Counts simple cycles up to \p max_cycles (saturating).
+std::size_t count_cycles(const Digraph& graph, std::size_t max_cycles);
+
+}  // namespace genoc

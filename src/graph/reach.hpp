@@ -1,0 +1,23 @@
+/// \file reach.hpp
+/// \brief Reachability queries on directed graphs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace genoc {
+
+/// Vertices reachable from \p source (including source itself), as a mask.
+std::vector<bool> reachable_from(const Digraph& graph, std::size_t source);
+
+/// True iff \p target is reachable from \p source (BFS, O(V + E)).
+bool is_reachable(const Digraph& graph, std::size_t source, std::size_t target);
+
+/// A shortest path (by hop count) from source to target, empty if none.
+/// The returned sequence starts with source and ends with target.
+std::vector<std::size_t> shortest_path(const Digraph& graph,
+                                       std::size_t source, std::size_t target);
+
+}  // namespace genoc

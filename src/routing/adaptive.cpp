@@ -1,0 +1,19 @@
+#include "routing/adaptive.hpp"
+
+namespace genoc {
+
+std::vector<Port> AdaptiveRouting::next_hops(const Port& current,
+                                             const Port& dest) const {
+  if (current.dir == Direction::kOut) {
+    if (current.name == PortName::kLocal) {
+      return {};
+    }
+    return {mesh().next_in(current)};
+  }
+  if (at_destination_node(current, dest)) {
+    return {trans(current, PortName::kLocal, Direction::kOut)};
+  }
+  return out_choices(current, dest);
+}
+
+}  // namespace genoc

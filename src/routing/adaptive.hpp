@@ -1,0 +1,47 @@
+/// \file adaptive.hpp
+/// \brief Base class for adaptive (multi-choice) routing functions.
+///
+/// The paper restricts its deadlock condition to deterministic routing and
+/// names adaptive routing as future work (Section IX: "The main tasks will
+/// be to define a different dependency graph and formally check the
+/// condition"). This module implements that extension: adaptive functions
+/// return hop *sets*, their dependency graphs are built by the same generic
+/// enumeration, and acyclicity (or the SCC-based Taktak check, Sec. VIII) is
+/// applied to the result.
+///
+/// All adaptive functions here are *minimal*: every choice strictly reduces
+/// the Manhattan distance to the destination, so the positional (memoryless)
+/// formulation below coincides with the history-aware turn-model definitions
+/// on all reachable states — the turn already taken is implied by which
+/// coordinates still differ.
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace genoc {
+
+/// Adaptive routing base: OUT ports forward deterministically along the link
+/// (next_in), Local OUT ports terminate, and the per-switch choice happens at
+/// IN ports via out_choices().
+class AdaptiveRouting : public RoutingFunction {
+ public:
+  explicit AdaptiveRouting(const Mesh2D& mesh) : RoutingFunction(mesh) {}
+
+  bool is_deterministic() const override { return false; }
+
+  std::vector<Port> next_hops(const Port& current,
+                              const Port& dest) const final;
+
+ protected:
+  /// The set of OUT ports (within current's node) the message may take,
+  /// given that it sits in IN port \p current with destination \p dest.
+  virtual std::vector<Port> out_choices(const Port& current,
+                                        const Port& dest) const = 0;
+
+  /// Helper: true iff current's node is the destination node.
+  static bool at_destination_node(const Port& current, const Port& dest) {
+    return current.x == dest.x && current.y == dest.y;
+  }
+};
+
+}  // namespace genoc

@@ -1,0 +1,23 @@
+#include "routing/fully_adaptive.hpp"
+
+namespace genoc {
+
+std::vector<Port> FullyAdaptiveRouting::out_choices(const Port& current,
+                                                    const Port& dest) const {
+  std::vector<Port> choices;
+  if (dest.x > current.x) {
+    choices.push_back(trans(current, PortName::kEast, Direction::kOut));
+  }
+  if (dest.x < current.x) {
+    choices.push_back(trans(current, PortName::kWest, Direction::kOut));
+  }
+  if (dest.y < current.y) {
+    choices.push_back(trans(current, PortName::kNorth, Direction::kOut));
+  }
+  if (dest.y > current.y) {
+    choices.push_back(trans(current, PortName::kSouth, Direction::kOut));
+  }
+  return choices;
+}
+
+}  // namespace genoc

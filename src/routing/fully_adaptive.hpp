@@ -1,0 +1,28 @@
+/// \file fully_adaptive.hpp
+/// \brief Unrestricted minimal fully-adaptive routing — the deliberately
+///        deadlock-PRONE baseline.
+///
+/// Every productive direction is allowed at every switch. Its port
+/// dependency graph contains cycles on any mesh with a 2x2 sub-block, so
+/// Theorem 1's sufficiency direction applies: from any such cycle the
+/// witness builder constructs a concrete deadlock configuration, which the
+/// simulator confirms (Ω holds). This closes the loop on the paper's
+/// "deadlock-free iff acyclic" equivalence from the negative side.
+#pragma once
+
+#include "routing/adaptive.hpp"
+
+namespace genoc {
+
+class FullyAdaptiveRouting final : public AdaptiveRouting {
+ public:
+  explicit FullyAdaptiveRouting(const Mesh2D& mesh) : AdaptiveRouting(mesh) {}
+
+  std::string name() const override { return "Fully-Adaptive"; }
+
+ protected:
+  std::vector<Port> out_choices(const Port& current,
+                                const Port& dest) const override;
+};
+
+}  // namespace genoc

@@ -1,0 +1,27 @@
+#include "routing/negative_first.hpp"
+
+namespace genoc {
+
+std::vector<Port> NegativeFirstRouting::out_choices(const Port& current,
+                                                    const Port& dest) const {
+  std::vector<Port> negative;
+  if (dest.x < current.x) {
+    negative.push_back(trans(current, PortName::kWest, Direction::kOut));
+  }
+  if (dest.y < current.y) {
+    negative.push_back(trans(current, PortName::kNorth, Direction::kOut));
+  }
+  if (!negative.empty()) {
+    return negative;
+  }
+  std::vector<Port> positive;
+  if (dest.x > current.x) {
+    positive.push_back(trans(current, PortName::kEast, Direction::kOut));
+  }
+  if (dest.y > current.y) {
+    positive.push_back(trans(current, PortName::kSouth, Direction::kOut));
+  }
+  return positive;
+}
+
+}  // namespace genoc

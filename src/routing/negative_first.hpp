@@ -1,0 +1,26 @@
+/// \file negative_first.hpp
+/// \brief Negative-First turn-model routing (Glass & Ni), minimal variant.
+///
+/// All hops in the negative directions (West = -x and, in the paper's
+/// convention, North = -y) are taken first, adaptively interleaved; then the
+/// non-negative directions (East, South) are taken, again adaptively. The
+/// prohibited turns are the two from a non-negative into a negative
+/// direction.
+#pragma once
+
+#include "routing/adaptive.hpp"
+
+namespace genoc {
+
+class NegativeFirstRouting final : public AdaptiveRouting {
+ public:
+  explicit NegativeFirstRouting(const Mesh2D& mesh) : AdaptiveRouting(mesh) {}
+
+  std::string name() const override { return "Negative-First"; }
+
+ protected:
+  std::vector<Port> out_choices(const Port& current,
+                                const Port& dest) const override;
+};
+
+}  // namespace genoc

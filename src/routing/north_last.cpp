@@ -1,0 +1,25 @@
+#include "routing/north_last.hpp"
+
+namespace genoc {
+
+std::vector<Port> NorthLastRouting::out_choices(const Port& current,
+                                                const Port& dest) const {
+  std::vector<Port> choices;
+  if (dest.x > current.x) {
+    choices.push_back(trans(current, PortName::kEast, Direction::kOut));
+  }
+  if (dest.x < current.x) {
+    choices.push_back(trans(current, PortName::kWest, Direction::kOut));
+  }
+  if (dest.y > current.y) {
+    choices.push_back(trans(current, PortName::kSouth, Direction::kOut));
+  }
+  if (!choices.empty()) {
+    return choices;
+  }
+  // Only the northbound hop remains (dest.y < current.y, same column): the
+  // "last" phase. Minimality guarantees we never need to leave it.
+  return {trans(current, PortName::kNorth, Direction::kOut)};
+}
+
+}  // namespace genoc

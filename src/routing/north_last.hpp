@@ -1,0 +1,25 @@
+/// \file north_last.hpp
+/// \brief North-Last turn-model routing (Glass & Ni), minimal variant.
+///
+/// With the paper's coordinate convention (North decreases y), a message may
+/// move North only once no other productive direction remains; after the
+/// first northbound hop the column is already correct, so it continues North
+/// to the destination. The prohibited turns are the two turns out of North.
+#pragma once
+
+#include "routing/adaptive.hpp"
+
+namespace genoc {
+
+class NorthLastRouting final : public AdaptiveRouting {
+ public:
+  explicit NorthLastRouting(const Mesh2D& mesh) : AdaptiveRouting(mesh) {}
+
+  std::string name() const override { return "North-Last"; }
+
+ protected:
+  std::vector<Port> out_choices(const Port& current,
+                                const Port& dest) const override;
+};
+
+}  // namespace genoc

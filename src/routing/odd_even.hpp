@@ -1,0 +1,27 @@
+/// \file odd_even.hpp
+/// \brief Odd-Even turn-model routing (Chiu), minimal variant.
+///
+/// Unlike West-First/North-Last, Odd-Even prohibits no direction globally;
+/// instead turn legality depends on column parity: an East->North/East->South
+/// turn may only be taken in an odd column (or when one column away from the
+/// destination), and a North->West/South->West turn only in an even column.
+/// This distributes adaptivity more evenly across the mesh while remaining
+/// deadlock-free.
+#pragma once
+
+#include "routing/adaptive.hpp"
+
+namespace genoc {
+
+class OddEvenRouting final : public AdaptiveRouting {
+ public:
+  explicit OddEvenRouting(const Mesh2D& mesh) : AdaptiveRouting(mesh) {}
+
+  std::string name() const override { return "Odd-Even"; }
+
+ protected:
+  std::vector<Port> out_choices(const Port& current,
+                                const Port& dest) const override;
+};
+
+}  // namespace genoc

@@ -1,0 +1,113 @@
+#include "routing/route.hpp"
+
+#include <cstdlib>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+namespace {
+
+/// Upper bound on route length used to detect non-terminating routing
+/// functions: no simple port path can exceed the port count.
+std::size_t route_length_bound(const Mesh2D& mesh) {
+  return mesh.port_count() + 1;
+}
+
+}  // namespace
+
+Route compute_route(const RoutingFunction& routing, const Port& from,
+                    const Port& to) {
+  GENOC_REQUIRE(routing.is_deterministic(),
+                "compute_route requires a deterministic routing function; "
+                "use enumerate_routes for adaptive ones");
+  GENOC_REQUIRE(routing.reachable(from, to),
+                "compute_route requires reachable endpoints: " +
+                    to_string(from) + " R " + to_string(to));
+  const std::size_t bound = route_length_bound(routing.mesh());
+  Route route{from};
+  Port current = from;
+  while (current != to) {
+    const std::vector<Port> hops = routing.next_hops(current, to);
+    GENOC_REQUIRE(hops.size() == 1,
+                  "deterministic routing returned " +
+                      std::to_string(hops.size()) + " hops at " +
+                      to_string(current));
+    current = hops.front();
+    route.push_back(current);
+    GENOC_REQUIRE(route.size() <= bound,
+                  "routing function does not terminate (route exceeds port "
+                  "count) — toward " + to_string(to));
+  }
+  return route;
+}
+
+std::vector<Route> enumerate_routes(const RoutingFunction& routing,
+                                    const Port& from, const Port& to,
+                                    std::size_t max_routes) {
+  GENOC_REQUIRE(routing.reachable(from, to),
+                "enumerate_routes requires reachable endpoints");
+  std::vector<Route> routes;
+  if (max_routes == 0) {
+    return routes;
+  }
+  const std::size_t bound = route_length_bound(routing.mesh());
+  Route prefix{from};
+
+  // Depth-first over the hop choices; minimal routing functions cannot
+  // revisit ports, so no visited set is needed, but the length bound guards
+  // against broken instances.
+  auto dfs = [&](auto&& self, const Port& current) -> bool {
+    if (current == to) {
+      routes.push_back(prefix);
+      return routes.size() >= max_routes;
+    }
+    if (prefix.size() >= bound) {
+      GENOC_REQUIRE(false, "routing function does not terminate (route "
+                           "exceeds port count)");
+    }
+    for (const Port& hop : routing.next_hops(current, to)) {
+      prefix.push_back(hop);
+      const bool saturated = self(self, hop);
+      prefix.pop_back();
+      if (saturated) {
+        return true;
+      }
+    }
+    return false;
+  };
+  dfs(dfs, from);
+  return routes;
+}
+
+bool is_valid_route(const RoutingFunction& routing, const Route& route,
+                    const Port& from, const Port& to) {
+  if (route.empty() || route.front() != from || route.back() != to) {
+    return false;
+  }
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    const std::vector<Port> hops = routing.next_hops(route[i], to);
+    bool found = false;
+    for (const Port& hop : hops) {
+      if (hop == route[i + 1]) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t manhattan_distance(const Port& a, const Port& b) {
+  return static_cast<std::size_t>(std::abs(a.x - b.x)) +
+         static_cast<std::size_t>(std::abs(a.y - b.y));
+}
+
+std::size_t minimal_route_length(const Port& src, const Port& dst) {
+  return 2 + 2 * manhattan_distance(src, dst);
+}
+
+}  // namespace genoc

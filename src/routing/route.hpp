@@ -1,0 +1,53 @@
+/// \file route.hpp
+/// \brief Route computation: the generalization R : Σ -> Σ of the paper.
+///
+/// The paper generalizes the per-switch routing function to compute, for
+/// each travel, the complete route from its current location to its
+/// destination; GeNoC2D then pre-computes all routes because XY routing is
+/// deterministic ("for any configurations σ and σ', Rxy(σ) = Rxy(σ')").
+/// For adaptive functions this module enumerates the route *set* instead,
+/// which the witness builder and the adversarial workloads pick from.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace genoc {
+
+/// A route is the full port sequence a travel follows, from its current
+/// port (usually a Local IN port) to the destination Local OUT port,
+/// inclusive on both ends. Consecutive ports are connected by R.
+using Route = std::vector<Port>;
+
+/// Computes the unique route of a deterministic routing function from
+/// \p from to \p to. Preconditions: routing.is_deterministic(), the
+/// endpoints are reachable (routing.reachable(from, to)).
+/// Throws ContractViolation if the function fails to terminate within the
+/// theoretical bound (a routing bug), so broken instances are caught loudly.
+Route compute_route(const RoutingFunction& routing, const Port& from,
+                    const Port& to);
+
+/// Enumerates up to \p max_routes distinct routes of a (possibly adaptive)
+/// routing function from \p from to \p to, in deterministic DFS order.
+/// For deterministic functions the result has exactly one element.
+std::vector<Route> enumerate_routes(const RoutingFunction& routing,
+                                    const Port& from, const Port& to,
+                                    std::size_t max_routes);
+
+/// True iff \p route is non-empty, ends at \p to, starts at \p from, and
+/// every step route[i+1] is in R(route[i], to). This is the path-validity
+/// predicate of the paper's Correctness Theorem.
+bool is_valid_route(const RoutingFunction& routing, const Route& route,
+                    const Port& from, const Port& to);
+
+/// Manhattan distance between the nodes of two ports.
+std::size_t manhattan_distance(const Port& a, const Port& b);
+
+/// Number of ports on a minimal route between the given Local ports:
+/// 2 + 2 * manhattan (each hop crosses an OUT and an IN port, plus the two
+/// Local endpoints).
+std::size_t minimal_route_length(const Port& src, const Port& dst);
+
+}  // namespace genoc

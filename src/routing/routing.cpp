@@ -1,0 +1,64 @@
+#include "routing/routing.hpp"
+
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+bool RoutingFunction::valid_endpoints(const Port& s, const Port& d) const {
+  return mesh_->exists(s) && d.name == PortName::kLocal &&
+         d.dir == Direction::kOut && mesh_->exists(d);
+}
+
+bool RoutingFunction::closure_reachable(const Port& s, const Port& d) const {
+  if (!valid_endpoints(s, d)) {
+    return false;
+  }
+  build_closure();
+  const auto dest_index = static_cast<std::size_t>(d.y) *
+                              static_cast<std::size_t>(mesh_->width()) +
+                          static_cast<std::size_t>(d.x);
+  return closure_[dest_index][mesh_->id(s)];
+}
+
+void RoutingFunction::build_closure() const {
+  if (closure_built_) {
+    return;
+  }
+  closure_.assign(mesh_->node_count(),
+                  std::vector<bool>(mesh_->port_count(), false));
+  for (const Port& dest : mesh_->destinations()) {
+    const auto dest_index = static_cast<std::size_t>(dest.y) *
+                                static_cast<std::size_t>(mesh_->width()) +
+                            static_cast<std::size_t>(dest.x);
+    auto& seen = closure_[dest_index];
+    std::queue<Port> frontier;
+    // Messages enter the network at Local IN ports; every port a route can
+    // visit from there (under this destination) is reachable-consistent.
+    for (const Port& source : mesh_->sources()) {
+      seen[mesh_->id(source)] = true;
+      frontier.push(source);
+    }
+    while (!frontier.empty()) {
+      const Port p = frontier.front();
+      frontier.pop();
+      for (const Port& hop : next_hops(p, dest)) {
+        // A routing function may only produce existing ports for reachable
+        // inputs; a violation here is a (C-1)-detectable bug, and the
+        // closure simply does not propagate through it.
+        if (!mesh_->exists(hop)) {
+          continue;
+        }
+        const PortId hop_id = mesh_->id(hop);
+        if (!seen[hop_id]) {
+          seen[hop_id] = true;
+          frontier.push(hop);
+        }
+      }
+    }
+  }
+  closure_built_ = true;
+}
+
+}  // namespace genoc

@@ -1,0 +1,54 @@
+#include "routing/torus_xy.hpp"
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+TorusXYRouting::TorusXYRouting(const Mesh2D& mesh) : RoutingFunction(mesh) {
+  GENOC_REQUIRE(mesh.wraps_x() || mesh.wraps_y(),
+                "TorusXYRouting needs a wrapped dimension; use XYRouting on "
+                "plain meshes");
+}
+
+std::int32_t TorusXYRouting::shortest_delta(std::int32_t from,
+                                            std::int32_t to,
+                                            std::int32_t extent, bool wrap) {
+  if (!wrap) {
+    return to - from;
+  }
+  std::int32_t forward = (to - from) % extent;
+  if (forward < 0) {
+    forward += extent;
+  }
+  // forward in [0, extent); take the shorter way, ties forward (positive).
+  return forward <= extent / 2 ? forward : forward - extent;
+}
+
+std::vector<Port> TorusXYRouting::next_hops(const Port& current,
+                                            const Port& dest) const {
+  if (current.dir == Direction::kOut) {
+    if (current.name == PortName::kLocal) {
+      return {};
+    }
+    return {mesh().next_in(current)};
+  }
+  const std::int32_t dx = shortest_delta(current.x, dest.x, mesh().width(),
+                                         mesh().wraps_x());
+  const std::int32_t dy = shortest_delta(current.y, dest.y, mesh().height(),
+                                         mesh().wraps_y());
+  if (dx < 0) {
+    return {trans(current, PortName::kWest, Direction::kOut)};
+  }
+  if (dx > 0) {
+    return {trans(current, PortName::kEast, Direction::kOut)};
+  }
+  if (dy < 0) {
+    return {trans(current, PortName::kNorth, Direction::kOut)};
+  }
+  if (dy > 0) {
+    return {trans(current, PortName::kSouth, Direction::kOut)};
+  }
+  return {trans(current, PortName::kLocal, Direction::kOut)};
+}
+
+}  // namespace genoc

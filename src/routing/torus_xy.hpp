@@ -1,0 +1,38 @@
+/// \file torus_xy.hpp
+/// \brief Dimension-order routing on a torus: XY with shortest-way wrap.
+///
+/// On wrapped dimensions the packet takes the shorter ring direction (ties
+/// break East/South, keeping the function deterministic). This is the
+/// textbook example of a TOPOLOGY-induced deadlock: even though the routing
+/// is dimension-ordered, the wrap links close each ring's dependency cycle,
+/// so (C-3) fails and Theorem 1's sufficiency direction yields concrete
+/// wormhole deadlocks. The classic fixes are dateline virtual channels or —
+/// in this library's terms — an escape lane routed by plain (non-wrapping)
+/// mesh XY, which analyze_escape() proves sufficient.
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace genoc {
+
+class TorusXYRouting final : public RoutingFunction {
+ public:
+  /// Requires the mesh to wrap in at least one dimension (otherwise this
+  /// is exactly XYRouting — use that instead).
+  explicit TorusXYRouting(const Mesh2D& mesh);
+
+  std::string name() const override { return "Torus-XY"; }
+  bool is_deterministic() const override { return true; }
+
+  std::vector<Port> next_hops(const Port& current,
+                              const Port& dest) const override;
+
+ private:
+  /// Signed shortest displacement from \p from to \p to along a dimension
+  /// of size \p extent (wrapping): result in (-extent/2, extent/2], ties
+  /// toward the positive direction.
+  static std::int32_t shortest_delta(std::int32_t from, std::int32_t to,
+                                     std::int32_t extent, bool wrap);
+};
+
+}  // namespace genoc

@@ -1,0 +1,25 @@
+#include "routing/west_first.hpp"
+
+namespace genoc {
+
+std::vector<Port> WestFirstRouting::out_choices(const Port& current,
+                                                const Port& dest) const {
+  // Phase 1: any pending westbound hop must be taken before anything else.
+  if (dest.x < current.x) {
+    return {trans(current, PortName::kWest, Direction::kOut)};
+  }
+  // Phase 2: fully adaptive among the productive non-West directions.
+  std::vector<Port> choices;
+  if (dest.x > current.x) {
+    choices.push_back(trans(current, PortName::kEast, Direction::kOut));
+  }
+  if (dest.y < current.y) {
+    choices.push_back(trans(current, PortName::kNorth, Direction::kOut));
+  }
+  if (dest.y > current.y) {
+    choices.push_back(trans(current, PortName::kSouth, Direction::kOut));
+  }
+  return choices;
+}
+
+}  // namespace genoc

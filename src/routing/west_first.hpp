@@ -1,0 +1,26 @@
+/// \file west_first.hpp
+/// \brief West-First turn-model routing (Glass & Ni), minimal variant.
+///
+/// All westbound hops happen first (deterministically); once the message is
+/// at or east of its destination column it routes fully adaptively among the
+/// remaining productive directions. The prohibited turns are exactly the two
+/// turns into West, which breaks all dependency cycles — the port dependency
+/// graph stays acyclic, as the test suite verifies.
+#pragma once
+
+#include "routing/adaptive.hpp"
+
+namespace genoc {
+
+class WestFirstRouting final : public AdaptiveRouting {
+ public:
+  explicit WestFirstRouting(const Mesh2D& mesh) : AdaptiveRouting(mesh) {}
+
+  std::string name() const override { return "West-First"; }
+
+ protected:
+  std::vector<Port> out_choices(const Port& current,
+                                const Port& dest) const override;
+};
+
+}  // namespace genoc

@@ -1,0 +1,50 @@
+#include "routing/xy.hpp"
+
+namespace genoc {
+
+std::vector<Port> XYRouting::next_hops(const Port& current,
+                                       const Port& dest) const {
+  if (current.dir == Direction::kOut) {
+    if (current.name == PortName::kLocal) {
+      return {};  // delivered: Local OUT ports hand the message to the core
+    }
+    return {mesh().next_in(current)};
+  }
+  if (dest.x < current.x) {
+    return {trans(current, PortName::kWest, Direction::kOut)};
+  }
+  if (dest.x > current.x) {
+    return {trans(current, PortName::kEast, Direction::kOut)};
+  }
+  if (dest.y < current.y) {
+    return {trans(current, PortName::kNorth, Direction::kOut)};
+  }
+  if (dest.y > current.y) {
+    return {trans(current, PortName::kSouth, Direction::kOut)};
+  }
+  return {trans(current, PortName::kLocal, Direction::kOut)};
+}
+
+bool XYRouting::reachable(const Port& s, const Port& d) const {
+  if (!valid_endpoints(s, d)) {
+    return false;
+  }
+  switch (s.name) {
+    case PortName::kLocal:
+      return s.dir == Direction::kIn ? true : s == d;
+    case PortName::kWest:
+      return s.dir == Direction::kIn ? d.x >= s.x : d.x <= s.x - 1;
+    case PortName::kEast:
+      return s.dir == Direction::kIn ? d.x <= s.x : d.x >= s.x + 1;
+    case PortName::kNorth:
+      // N,IN receives southbound traffic; N,OUT sends northbound (y - 1).
+      return d.x == s.x &&
+             (s.dir == Direction::kIn ? d.y >= s.y : d.y <= s.y - 1);
+    case PortName::kSouth:
+      return d.x == s.x &&
+             (s.dir == Direction::kIn ? d.y <= s.y : d.y >= s.y + 1);
+  }
+  return false;
+}
+
+}  // namespace genoc

@@ -1,0 +1,47 @@
+/// \file xy.hpp
+/// \brief The paper's XY routing function Rxy (Section V.3) with its
+///        closed-form reachability relation.
+///
+/// Packets are routed first along the x-axis to the correct column, then
+/// along the y-axis to the correct node (HERMES' deterministic minimal
+/// policy). At port level:
+///
+///   Rxy(p, d) = next_in(p)      if dir(p) = OUT
+///             | trans(p, W,OUT) if x(d) < x(p)
+///             | trans(p, E,OUT) if x(d) > x(p)
+///             | trans(p, N,OUT) if y(d) < y(p)
+///             | trans(p, S,OUT) if y(d) > y(p)
+///             | trans(p, L,OUT) otherwise
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace genoc {
+
+class XYRouting final : public RoutingFunction {
+ public:
+  explicit XYRouting(const Mesh2D& mesh) : RoutingFunction(mesh) {}
+
+  std::string name() const override { return "XY"; }
+  bool is_deterministic() const override { return true; }
+
+  std::vector<Port> next_hops(const Port& current,
+                              const Port& dest) const override;
+
+  /// Closed-form s R d for XY routing: d is an existing Local OUT port and
+  /// s's port class is consistent with XY history (horizontal phase first,
+  /// then vertical):
+  ///   - L,IN: any destination;
+  ///   - L,OUT: only d == s (the message has arrived);
+  ///   - W,IN (travelling east):  x(d) >= x(s);
+  ///   - E,IN (travelling west):  x(d) <= x(s);
+  ///   - N,IN (travelling south): x(d) = x(s) and y(d) >= y(s);
+  ///   - S,IN (travelling north): x(d) = x(s) and y(d) <= y(s);
+  ///   - E,OUT: x(d) >= x(s)+1;   W,OUT: x(d) <= x(s)-1;
+  ///   - N,OUT: x(d) = x(s) and y(d) <= y(s)-1;
+  ///   - S,OUT: x(d) = x(s) and y(d) >= y(s)+1.
+  /// Cross-validated against closure_reachable() in the test suite.
+  bool reachable(const Port& s, const Port& d) const override;
+};
+
+}  // namespace genoc

@@ -1,0 +1,50 @@
+#include "routing/yx.hpp"
+
+namespace genoc {
+
+std::vector<Port> YXRouting::next_hops(const Port& current,
+                                       const Port& dest) const {
+  if (current.dir == Direction::kOut) {
+    if (current.name == PortName::kLocal) {
+      return {};
+    }
+    return {mesh().next_in(current)};
+  }
+  if (dest.y < current.y) {
+    return {trans(current, PortName::kNorth, Direction::kOut)};
+  }
+  if (dest.y > current.y) {
+    return {trans(current, PortName::kSouth, Direction::kOut)};
+  }
+  if (dest.x < current.x) {
+    return {trans(current, PortName::kWest, Direction::kOut)};
+  }
+  if (dest.x > current.x) {
+    return {trans(current, PortName::kEast, Direction::kOut)};
+  }
+  return {trans(current, PortName::kLocal, Direction::kOut)};
+}
+
+bool YXRouting::reachable(const Port& s, const Port& d) const {
+  if (!valid_endpoints(s, d)) {
+    return false;
+  }
+  switch (s.name) {
+    case PortName::kLocal:
+      return s.dir == Direction::kIn ? true : s == d;
+    case PortName::kNorth:
+      // N,IN holds southbound traffic (y increases toward destination).
+      return s.dir == Direction::kIn ? d.y >= s.y : d.y <= s.y - 1;
+    case PortName::kSouth:
+      return s.dir == Direction::kIn ? d.y <= s.y : d.y >= s.y + 1;
+    case PortName::kWest:
+      return d.y == s.y &&
+             (s.dir == Direction::kIn ? d.x >= s.x : d.x <= s.x - 1);
+    case PortName::kEast:
+      return d.y == s.y &&
+             (s.dir == Direction::kIn ? d.x <= s.x : d.x >= s.x + 1);
+  }
+  return false;
+}
+
+}  // namespace genoc

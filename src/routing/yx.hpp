@@ -1,0 +1,27 @@
+/// \file yx.hpp
+/// \brief YX routing: the mirror of the paper's Rxy (vertical phase first,
+///        then horizontal). Also deterministic, minimal, and deadlock-free;
+///        used by the routing-comparison ablation and as a second instance
+///        exercising the generic proof obligations.
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace genoc {
+
+class YXRouting final : public RoutingFunction {
+ public:
+  explicit YXRouting(const Mesh2D& mesh) : RoutingFunction(mesh) {}
+
+  std::string name() const override { return "YX"; }
+  bool is_deterministic() const override { return true; }
+
+  std::vector<Port> next_hops(const Port& current,
+                              const Port& dest) const override;
+
+  /// Closed-form s R d, the exact mirror of XYRouting::reachable (vertical
+  /// ports are unconstrained in x-history, horizontal in-ports pin y).
+  bool reachable(const Port& s, const Port& d) const override;
+};
+
+}  // namespace genoc

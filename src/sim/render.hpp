@@ -1,0 +1,24 @@
+/// \file render.hpp
+/// \brief ASCII rendering of a network state: per-node buffer occupancy on
+///        the mesh grid, for examples and debugging.
+#pragma once
+
+#include <string>
+
+#include "switching/network_state.hpp"
+
+namespace genoc {
+
+/// Renders the mesh as a grid; each node shows the number of flits
+/// currently buffered in its ports (0 prints as '.') and a '*' marker when
+/// some port of the node is full. Example 3x2 output:
+///
+///   .    3*   .
+///   2    .    1
+std::string render_occupancy(const NetworkState& state);
+
+/// Renders one packet's worm: its route with markers for flit positions
+/// ('H' header, 'o' body, '.' not yet reached / already left).
+std::string render_packet(const NetworkState& state, TravelId id);
+
+}  // namespace genoc

@@ -1,0 +1,101 @@
+#include "sim/simulator.hpp"
+
+#include <sstream>
+
+#include "core/theorems.hpp"
+#include "util/require.hpp"
+
+namespace genoc {
+
+std::string SimulationReport::summary() const {
+  std::ostringstream os;
+  os << messages << " messages (" << total_flits << " flits) in " << run.steps
+     << " steps; " << (run.deadlocked ? "DEADLOCKED" : "evacuated")
+     << "; latency " << latency.to_string() << "; throughput " << throughput
+     << " flits/step; CorrThm " << (correctness_ok ? "ok" : "FAIL")
+     << ", EvacThm " << (evacuation_ok ? "ok" : "FAIL");
+  return os.str();
+}
+
+namespace {
+
+SimulationReport finish_report(const Config& config,
+                               const RoutingFunction& routing,
+                               GenocRunResult run,
+                               const SimulationOptions& options) {
+  SimulationReport report;
+  report.messages = config.travels().size();
+  for (const Travel& t : config.travels()) {
+    report.total_flits += t.flit_count;
+  }
+  std::vector<double> latencies;
+  latencies.reserve(config.arrived().size());
+  for (const Arrival& a : config.arrived()) {
+    latencies.push_back(static_cast<double>(a.step) + 1.0);
+  }
+  report.latency = summarize(std::move(latencies));
+  report.throughput =
+      run.steps == 0 ? 0.0
+                     : static_cast<double>(report.total_flits) /
+                           static_cast<double>(run.steps);
+  if (options.audit_theorems) {
+    report.correctness_ok = check_correctness(config, routing).holds;
+    report.evacuation_ok = check_evacuation(config, run).holds;
+  }
+  report.run = std::move(run);
+  return report;
+}
+
+}  // namespace
+
+SimulationReport simulate(const HermesInstance& hermes,
+                          const std::vector<TrafficPair>& pairs,
+                          const SimulationOptions& options) {
+  Config config = hermes.make_config(pairs, options.flit_count);
+  GenocRunResult run = hermes.run(config, options.genoc);
+  return finish_report(config, hermes.routing(), std::move(run), options);
+}
+
+Route sample_route(const RoutingFunction& routing, const Port& from,
+                   const Port& to, Rng& rng) {
+  GENOC_REQUIRE(routing.reachable(from, to),
+                "sample_route requires reachable endpoints");
+  const std::size_t bound = routing.mesh().port_count() + 1;
+  Route route{from};
+  Port current = from;
+  while (current != to) {
+    const std::vector<Port> hops = routing.next_hops(current, to);
+    GENOC_REQUIRE(!hops.empty(),
+                  "routing dead-ends at " + to_string(current));
+    current = hops.size() == 1 ? hops.front() : rng.pick(hops);
+    route.push_back(current);
+    GENOC_REQUIRE(route.size() <= bound,
+                  "routing does not terminate while sampling a route");
+  }
+  return route;
+}
+
+SimulationReport simulate_routing(const Mesh2D& mesh,
+                                  const RoutingFunction& routing,
+                                  const std::vector<TrafficPair>& pairs,
+                                  std::size_t buffers_per_port, Rng& rng,
+                                  const SimulationOptions& options) {
+  Config config(mesh, buffers_per_port);
+  TravelId next_id = 1;
+  for (const TrafficPair& pair : pairs) {
+    const Port from = mesh.local_in(pair.source.x, pair.source.y);
+    const Port to = mesh.local_out(pair.dest.x, pair.dest.y);
+    Route route = sample_route(routing, from, to, rng);
+    config.add_travel(make_travel_with_route(next_id++, routing,
+                                             std::move(route),
+                                             options.flit_count));
+  }
+  const IdentityInjection injection;
+  const WormholeSwitching switching;
+  const FlitLevelMeasure measure;
+  const GenocInterpreter interpreter(injection, switching, measure);
+  GenocRunResult run = interpreter.run(config, options.genoc);
+  return finish_report(config, routing, std::move(run), options);
+}
+
+}  // namespace genoc

@@ -1,0 +1,66 @@
+/// \file simulator.hpp
+/// \brief The simulation driver: runs GeNoC2D configurations end to end with
+///        full auditing and produces latency/throughput reports.
+///
+/// "Thanks to the implementation … instances of GeNoC can efficiently be
+/// simulated on concrete data. The same model is used for simulation and
+/// validation." (paper Sec. I). This driver is that simulation face: it runs
+/// the identical Config/NetworkState structures the checkers verify and
+/// audits CorrThm, EvacThm and (C-5) on every run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hermes.hpp"
+#include "sim/stats.hpp"
+#include "util/rng.hpp"
+
+namespace genoc {
+
+/// Options for one simulation.
+struct SimulationOptions {
+  std::uint32_t flit_count = 4;
+  GenocOptions genoc;  ///< audit_measure defaults to on
+  /// Run the CorrThm/EvacThm audits after the run (tiny cost; recommended).
+  bool audit_theorems = true;
+};
+
+/// Outcome of one simulation.
+struct SimulationReport {
+  GenocRunResult run;
+  std::size_t messages = 0;
+  std::size_t total_flits = 0;
+  /// Per-message latency in steps (injection is at step 0, so latency =
+  /// arrival step + 1).
+  SummaryStats latency;
+  /// Delivered flits per step over the whole run.
+  double throughput = 0.0;
+  bool correctness_ok = false;
+  bool evacuation_ok = false;
+
+  std::string summary() const;
+};
+
+/// Simulates the HERMES instance on the given traffic.
+SimulationReport simulate(const HermesInstance& hermes,
+                          const std::vector<TrafficPair>& pairs,
+                          const SimulationOptions& options = {});
+
+/// Samples one concrete route of a (possibly adaptive) routing function by
+/// walking next_hops and picking uniformly at random among the choices.
+/// Deterministic functions yield their unique route.
+Route sample_route(const RoutingFunction& routing, const Port& from,
+                   const Port& to, Rng& rng);
+
+/// Simulates an arbitrary routing function (including the adaptive
+/// extensions) over \p mesh: adaptive choices are fixed per travel by
+/// sampling routes with \p rng, then the wormhole policy runs as usual.
+/// Used by the routing-comparison ablation.
+SimulationReport simulate_routing(const Mesh2D& mesh,
+                                  const RoutingFunction& routing,
+                                  const std::vector<TrafficPair>& pairs,
+                                  std::size_t buffers_per_port, Rng& rng,
+                                  const SimulationOptions& options = {});
+
+}  // namespace genoc

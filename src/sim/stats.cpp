@@ -1,0 +1,40 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace genoc {
+
+std::string SummaryStats::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " min=" << min << " mean=" << mean << " p50=" << p50
+     << " p95=" << p95 << " p99=" << p99 << " max=" << max;
+  return os.str();
+}
+
+SummaryStats summarize(std::vector<double> sample) {
+  SummaryStats stats;
+  if (sample.empty()) {
+    return stats;
+  }
+  std::sort(sample.begin(), sample.end());
+  stats.count = sample.size();
+  stats.min = sample.front();
+  stats.max = sample.back();
+  stats.mean = std::accumulate(sample.begin(), sample.end(), 0.0) /
+               static_cast<double>(sample.size());
+  auto percentile = [&](double p) {
+    const double idx = p * static_cast<double>(sample.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+  };
+  stats.p50 = percentile(0.50);
+  stats.p95 = percentile(0.95);
+  stats.p99 = percentile(0.99);
+  return stats;
+}
+
+}  // namespace genoc

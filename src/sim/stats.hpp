@@ -1,0 +1,27 @@
+/// \file stats.hpp
+/// \brief Summary statistics for simulation reports (latency, throughput).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace genoc {
+
+/// Order statistics of a sample.
+struct SummaryStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Computes summary statistics; an empty sample yields all-zero stats.
+SummaryStats summarize(std::vector<double> sample);
+
+}  // namespace genoc

@@ -1,0 +1,53 @@
+#include "sim/trace.hpp"
+
+#include "util/csv.hpp"
+
+namespace genoc {
+
+std::function<void(const Config&, const StepResult&)>
+TraceRecorder::observer() {
+  return [this](const Config& config, const StepResult& step) {
+    TraceRow row;
+    // The observer fires after advance_step(), so step() is 1-based here.
+    row.step = config.step();
+    row.flits_moved = step.flits_moved;
+    row.packets_entered = step.entered.size();
+    row.packets_delivered = step.delivered.size();
+    row.flits_in_flight = config.state().flits_in_flight();
+    row.pending_travels = config.pending().size();
+    row.measure = measure_->value(config);
+    rows_.push_back(row);
+  };
+}
+
+std::string TraceRecorder::to_csv() const {
+  CsvWriter csv({"step", "flits_moved", "packets_entered",
+                 "packets_delivered", "flits_in_flight", "pending_travels",
+                 "measure"});
+  for (const TraceRow& row : rows_) {
+    csv.add_row({std::to_string(row.step), std::to_string(row.flits_moved),
+                 std::to_string(row.packets_entered),
+                 std::to_string(row.packets_delivered),
+                 std::to_string(row.flits_in_flight),
+                 std::to_string(row.pending_travels),
+                 std::to_string(row.measure)});
+  }
+  return csv.render();
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  CsvWriter csv({"step", "flits_moved", "packets_entered",
+                 "packets_delivered", "flits_in_flight", "pending_travels",
+                 "measure"});
+  for (const TraceRow& row : rows_) {
+    csv.add_row({std::to_string(row.step), std::to_string(row.flits_moved),
+                 std::to_string(row.packets_entered),
+                 std::to_string(row.packets_delivered),
+                 std::to_string(row.flits_in_flight),
+                 std::to_string(row.pending_travels),
+                 std::to_string(row.measure)});
+  }
+  csv.write_file(path);
+}
+
+}  // namespace genoc

@@ -1,0 +1,53 @@
+/// \file trace.hpp
+/// \brief Per-step run traces: what every switching step did, exportable to
+///        CSV for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/genoc.hpp"
+#include "core/measure.hpp"
+#include "switching/policy.hpp"
+
+namespace genoc {
+
+/// One row per switching step.
+struct TraceRow {
+  std::size_t step = 0;
+  std::size_t flits_moved = 0;
+  std::size_t packets_entered = 0;
+  std::size_t packets_delivered = 0;
+  std::size_t flits_in_flight = 0;   ///< buffered flits after the step
+  std::size_t pending_travels = 0;   ///< |T| after the step
+  std::uint64_t measure = 0;         ///< μ(σ) after the step
+};
+
+/// Collects TraceRows from interpreter runs via GenocOptions::observer.
+class TraceRecorder {
+ public:
+  /// \param measure the measure to log each step (usually the instance's).
+  explicit TraceRecorder(const TerminationMeasure& measure)
+      : measure_(&measure) {}
+
+  /// Returns the observer callback to plug into GenocOptions.
+  std::function<void(const Config&, const StepResult&)> observer();
+
+  const std::vector<TraceRow>& rows() const { return rows_; }
+  void clear() { rows_.clear(); }
+
+  /// Serializes the trace as CSV (step, moved, entered, delivered,
+  /// in_flight, pending, measure).
+  std::string to_csv() const;
+
+  /// Writes the CSV to \p path.
+  void write_csv(const std::string& path) const;
+
+ private:
+  const TerminationMeasure* measure_;
+  std::vector<TraceRow> rows_;
+};
+
+}  // namespace genoc

@@ -1,0 +1,34 @@
+/// \file flit.hpp
+/// \brief Flits: the wormhole switching unit (paper Sec. II).
+///
+/// HERMES uses wormhole switching: messages are decomposed into flits. The
+/// header flit carries the routing information (here: the pre-computed route,
+/// held by the packet), and the data flits follow in a pipelined fashion.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace genoc {
+
+/// Identifier of a travel/packet. Unique within a configuration.
+using TravelId = std::uint32_t;
+
+/// A reference to one flit: which packet it belongs to and its index within
+/// the worm (0 = header, flit_count-1 = tail).
+struct FlitRef {
+  TravelId travel = 0;
+  std::uint32_t index = 0;
+
+  friend auto operator<=>(const FlitRef&, const FlitRef&) = default;
+};
+
+/// Position sentinel: the flit has not yet entered the network (it waits at
+/// the source core behind the Local IN port).
+inline constexpr std::int32_t kFlitOutside = -1;
+
+/// Position sentinel: the flit has been consumed at the destination Local
+/// OUT port and left the network.
+inline constexpr std::int32_t kFlitDelivered = -2;
+
+}  // namespace genoc

@@ -1,0 +1,360 @@
+#include "switching/network_state.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+NetworkState::NetworkState(const Mesh2D& mesh, std::size_t default_capacity)
+    : mesh_(&mesh) {
+  GENOC_REQUIRE(default_capacity >= 1,
+                "ports need at least one buffer (paper Fig. 1b)");
+  capacity_.assign(mesh.port_count(), default_capacity);
+  buffers_.resize(mesh.port_count());
+}
+
+void NetworkState::set_capacity(const Port& port, std::size_t capacity) {
+  GENOC_REQUIRE(packets_.empty(),
+                "capacities must be set before packets are registered");
+  GENOC_REQUIRE(capacity >= 1, "ports need at least one buffer");
+  capacity_[mesh_->id(port)] = capacity;
+}
+
+std::size_t NetworkState::capacity(PortId pid) const {
+  GENOC_REQUIRE(pid < capacity_.size(), "port id out of range");
+  return capacity_[pid];
+}
+
+void NetworkState::check_route(const PacketSpec& spec) const {
+  GENOC_REQUIRE(spec.flit_count >= 1, "a packet has at least one flit");
+  GENOC_REQUIRE(spec.route.size() >= 2,
+                "a route has at least two ports (entry and Local OUT)");
+  for (const Port& p : spec.route) {
+    GENOC_REQUIRE(mesh_->exists(p),
+                  "route visits non-existent port " + to_string(p));
+  }
+  const Port& last = spec.route.back();
+  GENOC_REQUIRE(
+      last.name == PortName::kLocal && last.dir == Direction::kOut,
+      "routes must end at a Local OUT port, got " + to_string(last));
+  for (std::size_t i = 0; i + 1 < spec.route.size(); ++i) {
+    GENOC_REQUIRE(spec.route[i] != spec.route[i + 1],
+                  "route repeats a port consecutively");
+  }
+  GENOC_REQUIRE(!packets_.contains(spec.id),
+                "duplicate travel id " + std::to_string(spec.id));
+}
+
+void NetworkState::register_packet(PacketSpec spec) {
+  check_route(spec);
+  PacketData pd;
+  pd.pos.assign(spec.flit_count, kFlitOutside);
+  pd.spec = std::move(spec);
+  const TravelId id = pd.spec.id;
+  ids_.push_back(id);
+  packets_.emplace(id, std::move(pd));
+}
+
+void NetworkState::place_packet(PacketSpec spec) {
+  check_route(spec);
+  const PortId entry = mesh_->id(spec.route.front());
+  GENOC_REQUIRE(buffers_[entry].empty() ||
+                    buffers_[entry].front().travel == spec.id,
+                "witness placement into a port owned by another packet");
+  GENOC_REQUIRE(buffers_[entry].size() + spec.flit_count <= capacity_[entry],
+                "witness placement exceeds buffer capacity of " +
+                    to_string(spec.route.front()));
+  PacketData pd;
+  pd.pos.assign(spec.flit_count, 0);
+  for (std::uint32_t k = 0; k < spec.flit_count; ++k) {
+    buffers_[entry].push_back(FlitRef{spec.id, k});
+  }
+  pd.spec = std::move(spec);
+  const TravelId id = pd.spec.id;
+  ids_.push_back(id);
+  packets_.emplace(id, std::move(pd));
+}
+
+bool NetworkState::has_packet(TravelId id) const {
+  return packets_.contains(id);
+}
+
+const PacketSpec& NetworkState::packet(TravelId id) const {
+  return data(id).spec;
+}
+
+const NetworkState::PacketData& NetworkState::data(TravelId id) const {
+  const auto it = packets_.find(id);
+  GENOC_REQUIRE(it != packets_.end(),
+                "unknown travel id " + std::to_string(id));
+  return it->second;
+}
+
+NetworkState::PacketData& NetworkState::data(TravelId id) {
+  const auto it = packets_.find(id);
+  GENOC_REQUIRE(it != packets_.end(),
+                "unknown travel id " + std::to_string(id));
+  return it->second;
+}
+
+std::int32_t NetworkState::flit_pos(TravelId id, std::uint32_t k) const {
+  const PacketData& pd = data(id);
+  GENOC_REQUIRE(k < pd.pos.size(), "flit index out of range");
+  return pd.pos[k];
+}
+
+bool NetworkState::packet_delivered(TravelId id) const {
+  const PacketData& pd = data(id);
+  return pd.delivered == pd.spec.flit_count;
+}
+
+bool NetworkState::packet_in_network(TravelId id) const {
+  const PacketData& pd = data(id);
+  for (const std::int32_t p : pd.pos) {
+    if (p >= 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Port> NetworkState::header_port(TravelId id) const {
+  const PacketData& pd = data(id);
+  if (pd.pos[0] < 0) {
+    return std::nullopt;
+  }
+  return pd.spec.route[static_cast<std::size_t>(pd.pos[0])];
+}
+
+std::size_t NetworkState::undelivered_count() const {
+  std::size_t n = 0;
+  for (const TravelId id : ids_) {
+    if (!packet_delivered(id)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<TravelId> NetworkState::undelivered_ids() const {
+  std::vector<TravelId> result;
+  for (const TravelId id : ids_) {
+    if (!packet_delivered(id)) {
+      result.push_back(id);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::size_t NetworkState::occupancy(PortId pid) const {
+  GENOC_REQUIRE(pid < buffers_.size(), "port id out of range");
+  return buffers_[pid].size();
+}
+
+bool NetworkState::port_full(PortId pid) const {
+  return occupancy(pid) >= capacity(pid);
+}
+
+std::optional<TravelId> NetworkState::port_owner(PortId pid) const {
+  GENOC_REQUIRE(pid < buffers_.size(), "port id out of range");
+  if (buffers_[pid].empty()) {
+    return std::nullopt;
+  }
+  return buffers_[pid].front().travel;
+}
+
+const std::deque<FlitRef>& NetworkState::buffer(PortId pid) const {
+  GENOC_REQUIRE(pid < buffers_.size(), "port id out of range");
+  return buffers_[pid];
+}
+
+std::size_t NetworkState::flits_in_flight() const {
+  std::size_t n = 0;
+  for (const auto& fifo : buffers_) {
+    n += fifo.size();
+  }
+  return n;
+}
+
+bool NetworkState::port_accepts(PortId pid, TravelId id) const {
+  if (buffers_[pid].size() >= capacity_[pid]) {
+    return false;
+  }
+  // "a port can only accept flits of at most one packet" (paper Sec. V.4).
+  return buffers_[pid].empty() || buffers_[pid].front().travel == id;
+}
+
+bool NetworkState::can_flit_move(TravelId id, std::uint32_t k) const {
+  const PacketData& pd = data(id);
+  GENOC_REQUIRE(k < pd.pos.size(), "flit index out of range");
+  const std::int32_t pos = pd.pos[k];
+  if (pos == kFlitDelivered) {
+    return false;
+  }
+  const auto route_len = static_cast<std::int32_t>(pd.spec.route.size());
+  std::int32_t target_idx = 0;
+  if (pos == kFlitOutside) {
+    // Entry: flits enter in worm order.
+    if (k > 0 && pd.pos[k - 1] == kFlitOutside) {
+      return false;
+    }
+    target_idx = 0;
+  } else {
+    // In-network: only the FIFO head of its port may leave it.
+    const PortId here = mesh_->id(pd.spec.route[static_cast<std::size_t>(pos)]);
+    const auto& fifo = buffers_[here];
+    GENOC_ASSERT(!fifo.empty(), "position table points at an empty port");
+    if (fifo.front() != FlitRef{id, k}) {
+      return false;
+    }
+    target_idx = pos + 1;
+  }
+  GENOC_ASSERT(target_idx < route_len, "flit already at route end");
+  if (target_idx == route_len - 1) {
+    return true;  // destination Local OUT: consumption is guaranteed
+  }
+  const PortId target =
+      mesh_->id(pd.spec.route[static_cast<std::size_t>(target_idx)]);
+  return port_accepts(target, id);
+}
+
+bool NetworkState::move_flit(TravelId id, std::uint32_t k) {
+  GENOC_REQUIRE(can_flit_move(id, k),
+                "move_flit requires can_flit_move (travel " +
+                    std::to_string(id) + ", flit " + std::to_string(k) + ")");
+  PacketData& pd = data(id);
+  const std::int32_t pos = pd.pos[k];
+  const auto route_len = static_cast<std::int32_t>(pd.spec.route.size());
+  if (pos >= 0) {
+    const PortId here = mesh_->id(pd.spec.route[static_cast<std::size_t>(pos)]);
+    buffers_[here].pop_front();
+  }
+  const std::int32_t target_idx = (pos == kFlitOutside) ? 0 : pos + 1;
+  if (target_idx == route_len - 1) {
+    pd.pos[k] = kFlitDelivered;
+    ++pd.delivered;
+    return true;
+  }
+  const PortId target =
+      mesh_->id(pd.spec.route[static_cast<std::size_t>(target_idx)]);
+  buffers_[target].push_back(FlitRef{id, k});
+  pd.pos[k] = target_idx;
+  return false;
+}
+
+std::uint64_t NetworkState::total_remaining_hops() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, pd] : packets_) {
+    (void)id;
+    const auto route_len = static_cast<std::uint64_t>(pd.spec.route.size());
+    for (const std::int32_t pos : pd.pos) {
+      if (pos == kFlitDelivered) {
+        continue;
+      }
+      if (pos == kFlitOutside) {
+        total += route_len;  // entry move + (route_len - 1) hops
+      } else {
+        total += route_len - 1 - static_cast<std::uint64_t>(pos);
+      }
+    }
+  }
+  return total;
+}
+
+std::uint64_t NetworkState::digest() const {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t h = 0xD1B54A32D192ED03ULL;
+  h = mix(h, capacity_.size());
+  for (PortId pid = 0; pid < buffers_.size(); ++pid) {
+    h = mix(h, capacity_[pid]);
+    for (const FlitRef& f : buffers_[pid]) {
+      h = mix(h, (static_cast<std::uint64_t>(f.travel) << 32) | f.index);
+    }
+    h = mix(h, 0xA5A5A5A5ULL);  // port boundary marker
+  }
+  // Packets in id order so the digest is independent of map iteration.
+  std::vector<TravelId> ids = ids_;
+  std::sort(ids.begin(), ids.end());
+  for (const TravelId id : ids) {
+    const PacketData& pd = packets_.at(id);
+    h = mix(h, id);
+    h = mix(h, pd.spec.flit_count);
+    for (const std::int32_t pos : pd.pos) {
+      h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(pos)));
+    }
+  }
+  return h;
+}
+
+void NetworkState::validate() const {
+  // Port-side invariants.
+  for (PortId pid = 0; pid < buffers_.size(); ++pid) {
+    const auto& fifo = buffers_[pid];
+    GENOC_ASSERT(fifo.size() <= capacity_[pid],
+                 "buffer overflow at " + to_string(mesh_->port(pid)));
+    for (std::size_t i = 0; i < fifo.size(); ++i) {
+      GENOC_ASSERT(fifo[i].travel == fifo.front().travel,
+                   "port " + to_string(mesh_->port(pid)) +
+                       " holds flits of two packets");
+      if (i > 0) {
+        GENOC_ASSERT(fifo[i].index == fifo[i - 1].index + 1,
+                     "non-contiguous flit order in port " +
+                         to_string(mesh_->port(pid)));
+      }
+      const auto it = packets_.find(fifo[i].travel);
+      GENOC_ASSERT(it != packets_.end(), "port holds flit of unknown packet");
+      const PacketData& pd = it->second;
+      GENOC_ASSERT(fifo[i].index < pd.spec.flit_count,
+                   "port holds out-of-range flit index");
+      const std::int32_t pos = pd.pos[fifo[i].index];
+      GENOC_ASSERT(pos >= 0 && pd.spec.route[static_cast<std::size_t>(pos)] ==
+                                   mesh_->port(pid),
+                   "flit position table disagrees with port content");
+    }
+  }
+  // Packet-side invariants.
+  for (const auto& [id, pd] : packets_) {
+    GENOC_ASSERT(pd.pos.size() == pd.spec.flit_count,
+                 "position table size mismatch");
+    std::uint32_t delivered = 0;
+    for (std::size_t k = 0; k < pd.pos.size(); ++k) {
+      const std::int32_t pos = pd.pos[k];
+      if (pos == kFlitDelivered) {
+        ++delivered;
+      }
+      if (k > 0) {
+        // The worm never reorders: flit k is never ahead of flit k-1.
+        const std::int32_t prev = pd.pos[k - 1];
+        const auto effective = [&](std::int32_t p) {
+          if (p == kFlitDelivered) {
+            return static_cast<std::int32_t>(pd.spec.route.size());
+          }
+          return p;  // kFlitOutside == -1 orders naturally below 0
+        };
+        GENOC_ASSERT(effective(prev) >= effective(pos),
+                     "worm order violated for travel " + std::to_string(id));
+      }
+      if (pos >= 0) {
+        const PortId here =
+            mesh_->id(pd.spec.route[static_cast<std::size_t>(pos)]);
+        bool found = false;
+        for (const FlitRef& f : buffers_[here]) {
+          if (f == FlitRef{id, static_cast<std::uint32_t>(k)}) {
+            found = true;
+            break;
+          }
+        }
+        GENOC_ASSERT(found, "flit position table points at a port that does "
+                            "not hold the flit");
+      }
+    }
+    GENOC_ASSERT(delivered == pd.delivered, "delivered count out of sync");
+  }
+}
+
+}  // namespace genoc

@@ -1,0 +1,164 @@
+/// \file network_state.hpp
+/// \brief The network state ST of a configuration: every port with its
+///        1-flit buffers (paper Sec. III.B), plus the flit positions of all
+///        packets.
+///
+/// Model summary (matching the paper's HERMES abstraction, Fig. 1b):
+///  - Each existing port has a FIFO of 1-flit buffers (capacity >= 1,
+///    configurable per port; the paper leaves the number uninterpreted).
+///  - A port only holds flits of at most one packet at a time; it is
+///    released when the packet's last flit leaves it.
+///  - A packet (worm) follows a fixed pre-computed route (port sequence).
+///    Flit positions are indices into that route; kFlitOutside means the
+///    flit still waits at the source core, kFlitDelivered that it left the
+///    network through the destination's Local OUT port.
+///  - Consumption is guaranteed: a flit moving into the final route port
+///    (the destination Local OUT) is delivered immediately and occupies no
+///    buffer. This reflects the Local OUT port's role of "removing messages
+///    from the network" and is the standard assumption that makes
+///    destination nodes sinks of the dependency graph.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/route.hpp"
+#include "switching/flit.hpp"
+#include "topology/mesh.hpp"
+
+namespace genoc {
+
+/// Immutable description of one packet: its id, its full route (from the
+/// port where it starts — normally the source's Local IN — to the
+/// destination's Local OUT), and how many flits it carries.
+struct PacketSpec {
+  TravelId id = 0;
+  Route route;
+  std::uint32_t flit_count = 1;
+};
+
+/// The mutable network state ST. Owns packet progress and port buffers;
+/// switching policies mutate it exclusively through move_flit().
+class NetworkState {
+ public:
+  /// Creates an empty state over \p mesh where every port has
+  /// \p default_capacity buffers. Requires default_capacity >= 1.
+  NetworkState(const Mesh2D& mesh, std::size_t default_capacity);
+
+  const Mesh2D& mesh() const { return *mesh_; }
+
+  /// Overrides the buffer count of one existing port. Only allowed while no
+  /// packet is registered (capacities are part of the network, not of a run).
+  void set_capacity(const Port& port, std::size_t capacity);
+
+  std::size_t capacity(PortId pid) const;
+
+  /// Registers a packet whose flits all start outside the network (the
+  /// normal case: it will enter through route.front(), its Local IN port).
+  /// Requires: unique id, flit_count >= 1, a structurally valid route (all
+  /// ports exist, length >= 2, last port is a Local OUT).
+  void register_packet(PacketSpec spec);
+
+  /// Registers a packet and places all its flits directly into
+  /// route.front()'s buffers — the deadlock-witness construction of
+  /// Theorem 1 (each port of the cycle is "filled with messages").
+  /// Requires additionally: flit_count <= free space of route.front(), and
+  /// route.front() currently holds no other packet's flits.
+  void place_packet(PacketSpec spec);
+
+  // ---- Packet queries -----------------------------------------------------
+
+  std::size_t packet_count() const { return packets_.size(); }
+  const std::vector<TravelId>& packet_ids() const { return ids_; }
+  bool has_packet(TravelId id) const;
+  const PacketSpec& packet(TravelId id) const;
+
+  /// Route index of flit \p k of packet \p id (or kFlitOutside /
+  /// kFlitDelivered).
+  std::int32_t flit_pos(TravelId id, std::uint32_t k) const;
+
+  /// True iff all flits of the packet have been delivered.
+  bool packet_delivered(TravelId id) const;
+
+  /// True iff at least one flit of the packet is inside the network.
+  bool packet_in_network(TravelId id) const;
+
+  /// The port currently holding the header flit, if it is in the network.
+  std::optional<Port> header_port(TravelId id) const;
+
+  /// Number of packets not yet fully delivered.
+  std::size_t undelivered_count() const;
+
+  /// Ids of packets not yet fully delivered, ascending.
+  std::vector<TravelId> undelivered_ids() const;
+
+  // ---- Port queries -------------------------------------------------------
+
+  std::size_t occupancy(PortId pid) const;
+  bool port_full(PortId pid) const;
+
+  /// The packet currently occupying the port, if any.
+  std::optional<TravelId> port_owner(PortId pid) const;
+
+  /// The FIFO content of a port, front first.
+  const std::deque<FlitRef>& buffer(PortId pid) const;
+
+  /// Total number of flits currently buffered in the network.
+  std::size_t flits_in_flight() const;
+
+  // ---- Movement (used by switching policies) ------------------------------
+
+  /// True iff flit \p k of packet \p id can advance one hop right now:
+  ///  - not delivered;
+  ///  - if outside: it is the next flit to enter (predecessor already in),
+  ///    and the entry port accepts it;
+  ///  - if inside: it is at the head of its port's FIFO and the next route
+  ///    port accepts it (free buffer + single-packet ownership), or the next
+  ///    route port is the final Local OUT (guaranteed consumption).
+  bool can_flit_move(TravelId id, std::uint32_t k) const;
+
+  /// Advances flit \p k of packet \p id by one hop. Requires
+  /// can_flit_move(id, k). Returns true iff the move delivered the flit.
+  bool move_flit(TravelId id, std::uint32_t k);
+
+  /// Total remaining hop count over all flits: the flit-granular
+  /// termination measure (strictly decreased by every move_flit()).
+  std::uint64_t total_remaining_hops() const;
+
+  /// Checks every structural invariant of the state (FIFO/positions
+  /// consistency, single-packet ports, capacity bounds, worm ordering).
+  /// Throws ContractViolation on the first violation. Used by the failure-
+  /// injection tests and after witness construction.
+  void validate() const;
+
+  /// Order-independent fingerprint of the whole state (flit positions,
+  /// buffer contents, capacities). Equal states have equal digests; used by
+  /// the (C-4) checker to verify that identity injection leaves the
+  /// configuration untouched.
+  std::uint64_t digest() const;
+
+ private:
+  struct PacketData {
+    PacketSpec spec;
+    std::vector<std::int32_t> pos;  // per flit
+    std::uint32_t delivered = 0;    // count of delivered flits
+  };
+
+  const PacketData& data(TravelId id) const;
+  PacketData& data(TravelId id);
+  void check_route(const PacketSpec& spec) const;
+
+  /// True iff port \p pid can accept a flit of packet \p id now.
+  bool port_accepts(PortId pid, TravelId id) const;
+
+  const Mesh2D* mesh_;
+  std::vector<std::size_t> capacity_;        // per port id
+  std::vector<std::deque<FlitRef>> buffers_;  // per port id
+  std::vector<TravelId> ids_;                 // registration order
+  std::unordered_map<TravelId, PacketData> packets_;
+};
+
+}  // namespace genoc

@@ -1,0 +1,9 @@
+#include "switching/policy.hpp"
+
+namespace genoc {
+
+bool is_deadlock(const SwitchingPolicy& policy, const NetworkState& state) {
+  return state.undelivered_count() > 0 && !policy.can_any_move(state);
+}
+
+}  // namespace genoc

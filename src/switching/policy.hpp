@@ -1,0 +1,50 @@
+/// \file policy.hpp
+/// \brief The generic switching-policy constituent S : Σ -> Σ.
+///
+/// A switching policy computes the configuration after one switching step:
+/// "each message that can make progression has advanced by at most one hop"
+/// (paper Sec. III.B). A configuration is a deadlock (Ω) iff no message can
+/// make progression; that predicate lives here because it is defined in
+/// terms of the policy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "switching/network_state.hpp"
+
+namespace genoc {
+
+/// What happened during one application of S.
+struct StepResult {
+  std::size_t flits_moved = 0;
+  /// Packets whose header entered the network this step.
+  std::vector<TravelId> entered;
+  /// Packets fully delivered this step (tail consumed at destination).
+  std::vector<TravelId> delivered;
+
+  bool anything_moved() const { return flits_moved > 0; }
+};
+
+/// Abstract switching policy. Implementations are deterministic: equal
+/// states produce equal successor states (mirroring the ACL2 functions).
+class SwitchingPolicy {
+ public:
+  virtual ~SwitchingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Applies one switching step, mutating \p state in place.
+  virtual StepResult step(NetworkState& state) const = 0;
+
+  /// True iff at least one flit could move in \p state. step() moves at
+  /// least one flit iff this returns true (the test suite checks this
+  /// equivalence), so Ω can be evaluated without mutating the state.
+  virtual bool can_any_move(const NetworkState& state) const = 0;
+};
+
+/// The deadlock predicate Ω(σ): there are undelivered messages and none of
+/// them can make progression under \p policy.
+bool is_deadlock(const SwitchingPolicy& policy, const NetworkState& state);
+
+}  // namespace genoc

@@ -1,0 +1,110 @@
+#include "switching/store_forward.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+namespace {
+
+/// Transfer state of a store-and-forward packet: which flit (if any) may
+/// move this step. A link transmits one flit per step, so a hop costs
+/// flit_count steps; a new hop only begins once the whole packet has
+/// accumulated at one port AND the next port can hold all of it.
+struct SfMove {
+  bool movable = false;
+  std::uint32_t flit = 0;
+};
+
+SfMove next_move(const NetworkState& state, TravelId id) {
+  if (state.packet_delivered(id)) {
+    return {};
+  }
+  const PacketSpec& spec = state.packet(id);
+  // Partition the undelivered flits by position; store-and-forward keeps
+  // them within two adjacent positions (back group still at the previous
+  // port, front group already across).
+  std::int32_t back = std::numeric_limits<std::int32_t>::max();
+  std::int32_t front = std::numeric_limits<std::int32_t>::min();
+  std::uint32_t back_flit = 0;
+  for (std::uint32_t k = 0; k < spec.flit_count; ++k) {
+    const std::int32_t pos = state.flit_pos(id, k);
+    if (pos == kFlitDelivered) {
+      continue;
+    }
+    if (pos < back) {
+      back = pos;
+      back_flit = k;
+    }
+    front = std::max(front, pos);
+    if (pos == back && k < back_flit) {
+      back_flit = k;
+    }
+  }
+  GENOC_ASSERT(front - back <= 1, "store-and-forward packet torn apart");
+
+  const Mesh2D& mesh = state.mesh();
+  const auto route_len = static_cast<std::int32_t>(spec.route.size());
+  if (front != back) {
+    // Transfer in progress: the next flit of the back group crosses. The
+    // target was reserved when the transfer started, so it always fits.
+    return {true, back_flit};
+  }
+  // Whole packet at one position: may a new hop begin?
+  const std::int32_t target_idx = back + 1;
+  GENOC_ASSERT(target_idx < route_len, "undelivered packet at route end");
+  if (target_idx == route_len - 1) {
+    return {true, back_flit};  // consumption at the destination Local OUT
+  }
+  const PortId target =
+      mesh.id(spec.route[static_cast<std::size_t>(target_idx)]);
+  if (state.port_owner(target).has_value()) {
+    return {};  // the whole target buffer must be claimable
+  }
+  if (state.capacity(target) < spec.flit_count) {
+    return {};  // the packet will never fit: permanently blocked here
+  }
+  return {true, back_flit};
+}
+
+}  // namespace
+
+bool StoreForwardSwitching::packet_can_advance(const NetworkState& state,
+                                               TravelId id) const {
+  return next_move(state, id).movable;
+}
+
+StepResult StoreForwardSwitching::step(NetworkState& state) const {
+  StepResult result;
+  for (const TravelId id : state.packet_ids()) {
+    const SfMove move = next_move(state, id);
+    if (!move.movable) {
+      continue;
+    }
+    const bool was_outside = !state.packet_in_network(id);
+    GENOC_ASSERT(state.can_flit_move(id, move.flit),
+                 "store-and-forward move rejected by the state");
+    const bool delivered_flit = state.move_flit(id, move.flit);
+    ++result.flits_moved;
+    if (delivered_flit && move.flit == state.packet(id).flit_count - 1) {
+      result.delivered.push_back(id);
+    }
+    if (was_outside && state.packet_in_network(id)) {
+      result.entered.push_back(id);
+    }
+  }
+  return result;
+}
+
+bool StoreForwardSwitching::can_any_move(const NetworkState& state) const {
+  for (const TravelId id : state.packet_ids()) {
+    if (packet_can_advance(state, id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace genoc

@@ -1,0 +1,45 @@
+#include "switching/wormhole.hpp"
+
+namespace genoc {
+
+StepResult WormholeSwitching::step(NetworkState& state) const {
+  StepResult result;
+  for (const TravelId id : state.packet_ids()) {
+    if (state.packet_delivered(id)) {
+      continue;
+    }
+    const std::uint32_t flit_count = state.packet(id).flit_count;
+    const bool was_outside = !state.packet_in_network(id);
+    for (std::uint32_t k = 0; k < flit_count; ++k) {
+      if (!state.can_flit_move(id, k)) {
+        continue;
+      }
+      const bool delivered_flit = state.move_flit(id, k);
+      ++result.flits_moved;
+      if (delivered_flit && k == flit_count - 1) {
+        result.delivered.push_back(id);
+      }
+    }
+    if (was_outside && state.packet_in_network(id)) {
+      result.entered.push_back(id);
+    }
+  }
+  return result;
+}
+
+bool WormholeSwitching::can_any_move(const NetworkState& state) const {
+  for (const TravelId id : state.packet_ids()) {
+    if (state.packet_delivered(id)) {
+      continue;
+    }
+    const std::uint32_t flit_count = state.packet(id).flit_count;
+    for (std::uint32_t k = 0; k < flit_count; ++k) {
+      if (state.can_flit_move(id, k)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace genoc

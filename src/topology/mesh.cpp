@@ -1,0 +1,148 @@
+#include "topology/mesh.hpp"
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+namespace {
+constexpr std::size_t kSlotsPerNode = 10;  // 5 names x 2 directions
+
+/// A cardinal port exists iff the neighbour it would connect to is inside
+/// the mesh — or the dimension wraps (torus links keep boundary ports
+/// alive); Local ports always exist (Fig. 1b: edge switches of HERMES
+/// simply lack the off-mesh links).
+bool port_physically_exists(const Port& p, std::int32_t width,
+                            std::int32_t height, bool wrap_x, bool wrap_y) {
+  switch (p.name) {
+    case PortName::kEast:
+      return wrap_x || p.x + 1 < width;
+    case PortName::kWest:
+      return wrap_x || p.x > 0;
+    case PortName::kNorth:
+      return wrap_y || p.y > 0;  // North decreases y
+    case PortName::kSouth:
+      return wrap_y || p.y + 1 < height;
+    case PortName::kLocal:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Mesh2D::Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x,
+               bool wrap_y)
+    : width_(width), height_(height), wrap_x_(wrap_x), wrap_y_(wrap_y) {
+  GENOC_REQUIRE(width >= 1 && height >= 1, "mesh dimensions must be positive");
+  GENOC_REQUIRE(static_cast<std::int64_t>(width) * height >= 2,
+                "a mesh needs at least two nodes");
+  GENOC_REQUIRE(!wrap_x || width >= 2, "wrapping x needs at least 2 columns");
+  GENOC_REQUIRE(!wrap_y || height >= 2, "wrapping y needs at least 2 rows");
+  id_table_.assign(node_count() * kSlotsPerNode, -1);
+
+  // Enumerate ports node-major so ids are stable and human-predictable.
+  for (std::int32_t y = 0; y < height_; ++y) {
+    for (std::int32_t x = 0; x < width_; ++x) {
+      for (PortName name : {PortName::kEast, PortName::kWest, PortName::kNorth,
+                            PortName::kSouth, PortName::kLocal}) {
+        for (Direction direction : {Direction::kIn, Direction::kOut}) {
+          const Port p{x, y, name, direction};
+          if (!port_physically_exists(p, width_, height_, wrap_x_, wrap_y_)) {
+            continue;
+          }
+          id_table_[slot(p)] = static_cast<std::int32_t>(ports_.size());
+          ports_.push_back(p);
+        }
+      }
+    }
+  }
+}
+
+bool Mesh2D::contains_node(std::int32_t x, std::int32_t y) const {
+  return x >= 0 && x < width_ && y >= 0 && y < height_;
+}
+
+Port Mesh2D::next_in(const Port& p) const {
+  GENOC_REQUIRE(exists(p), "next_in of a non-existent port: " + to_string(p));
+  GENOC_REQUIRE(has_next_in(p),
+                "next_in requires a cardinal OUT port, got " + to_string(p));
+  Port q = genoc::next_in(p);
+  if (wrap_x_) {
+    q.x = (q.x + width_) % width_;
+  }
+  if (wrap_y_) {
+    q.y = (q.y + height_) % height_;
+  }
+  GENOC_ASSERT(exists(q), "wrapped link target does not exist");
+  return q;
+}
+
+bool Mesh2D::exists(const Port& p) const {
+  if (!contains_node(p.x, p.y)) {
+    return false;
+  }
+  return id_table_[slot(p)] >= 0;
+}
+
+PortId Mesh2D::id(const Port& p) const {
+  GENOC_REQUIRE(contains_node(p.x, p.y),
+                "port node outside mesh: " + to_string(p));
+  const std::int32_t pid = id_table_[slot(p)];
+  GENOC_REQUIRE(pid >= 0, "port does not exist in mesh: " + to_string(p));
+  return static_cast<PortId>(pid);
+}
+
+const Port& Mesh2D::port(PortId pid) const {
+  GENOC_REQUIRE(pid < ports_.size(), "port id out of range");
+  return ports_[pid];
+}
+
+std::vector<NodeCoord> Mesh2D::nodes() const {
+  std::vector<NodeCoord> result;
+  result.reserve(node_count());
+  for (std::int32_t y = 0; y < height_; ++y) {
+    for (std::int32_t x = 0; x < width_; ++x) {
+      result.push_back(NodeCoord{x, y});
+    }
+  }
+  return result;
+}
+
+Port Mesh2D::local_in(std::int32_t x, std::int32_t y) const {
+  GENOC_REQUIRE(contains_node(x, y), "node outside mesh");
+  return Port{x, y, PortName::kLocal, Direction::kIn};
+}
+
+Port Mesh2D::local_out(std::int32_t x, std::int32_t y) const {
+  GENOC_REQUIRE(contains_node(x, y), "node outside mesh");
+  return Port{x, y, PortName::kLocal, Direction::kOut};
+}
+
+std::vector<Port> Mesh2D::destinations() const {
+  std::vector<Port> result;
+  result.reserve(node_count());
+  for (const NodeCoord node : nodes()) {
+    result.push_back(local_out(node.x, node.y));
+  }
+  return result;
+}
+
+std::vector<Port> Mesh2D::sources() const {
+  std::vector<Port> result;
+  result.reserve(node_count());
+  for (const NodeCoord node : nodes()) {
+    result.push_back(local_in(node.x, node.y));
+  }
+  return result;
+}
+
+std::size_t Mesh2D::slot(const Port& p) const {
+  const auto node_index = static_cast<std::size_t>(p.y) *
+                              static_cast<std::size_t>(width_) +
+                          static_cast<std::size_t>(p.x);
+  const auto name_index = static_cast<std::size_t>(p.name);
+  const auto dir_index = static_cast<std::size_t>(p.dir);
+  return node_index * kSlotsPerNode + name_index * 2 + dir_index;
+}
+
+}  // namespace genoc

@@ -1,0 +1,110 @@
+/// \file mesh.hpp
+/// \brief The parametric HERMES 2D-mesh topology (paper Fig. 1).
+///
+/// Every node carries a switch with five bidirectional ports (E, W, N, S, L).
+/// Edge and corner switches omit the cardinal ports that would face off-mesh
+/// (a 2x2 mesh therefore has 6 ports per node rather than 10). Local ports
+/// always exist: L,IN injects messages, L,OUT removes them (Fig. 1b).
+///
+/// Mesh2D assigns every existing port a dense PortId so dependency graphs can
+/// be built over ports directly (the paper's key departure from Dally &
+/// Seitz, who work at channel level).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/port.hpp"
+
+namespace genoc {
+
+/// Dense index of an existing port within a Mesh2D.
+using PortId = std::uint32_t;
+
+/// Node coordinates within the mesh.
+struct NodeCoord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend auto operator<=>(const NodeCoord&, const NodeCoord&) = default;
+};
+
+/// A W x H HERMES mesh, optionally wrapped into a torus in either
+/// dimension. Immutable after construction.
+///
+/// With wrap enabled, boundary switches keep their outward ports and the
+/// links wrap around (e.g. on a wrap-x mesh, next_in(<W-1,y,E,OUT>) =
+/// <0,y,W,IN>). Wrap links create ring dependencies, which is exactly the
+/// classic topology-induced deadlock Theorem 1 detects — see
+/// routing/torus_xy.hpp and tests/test_torus.cpp.
+class Mesh2D {
+ public:
+  /// Builds a mesh with \p width columns and \p height rows. Requires
+  /// width >= 1, height >= 1 and at least 2 nodes in total (a 1x1 "mesh" has
+  /// no interconnect to specify). Wrapping a dimension requires at least 2
+  /// nodes along it.
+  Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x = false,
+         bool wrap_y = false);
+
+  std::int32_t width() const { return width_; }
+  std::int32_t height() const { return height_; }
+  bool wraps_x() const { return wrap_x_; }
+  bool wraps_y() const { return wrap_y_; }
+
+  /// Topology-aware counterpart of the free next_in(): follows the link an
+  /// OUT port drives, wrapping around torus dimensions. Requires
+  /// exists(p) and a cardinal OUT port.
+  Port next_in(const Port& p) const;
+  std::size_t node_count() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+
+  /// True iff (x, y) is a node of the mesh.
+  bool contains_node(std::int32_t x, std::int32_t y) const;
+
+  /// True iff the port physically exists: its node is in the mesh, and a
+  /// cardinal port additionally has a neighbour on that side. Local ports of
+  /// in-mesh nodes always exist.
+  bool exists(const Port& p) const;
+
+  /// Number of existing ports.
+  std::size_t port_count() const { return ports_.size(); }
+
+  /// Dense id of an existing port. Requires exists(p).
+  PortId id(const Port& p) const;
+
+  /// The port with dense id \p pid. Requires pid < port_count().
+  const Port& port(PortId pid) const;
+
+  /// All existing ports, ordered by id.
+  const std::vector<Port>& ports() const { return ports_; }
+
+  /// All node coordinates in row-major order.
+  std::vector<NodeCoord> nodes() const;
+
+  /// The local in-port (injection point) of node (x, y).
+  Port local_in(std::int32_t x, std::int32_t y) const;
+
+  /// The local out-port (ejection point) of node (x, y).
+  Port local_out(std::int32_t x, std::int32_t y) const;
+
+  /// All L,OUT ports — the legal destinations of travels.
+  std::vector<Port> destinations() const;
+
+  /// All L,IN ports — the legal sources of travels.
+  std::vector<Port> sources() const;
+
+ private:
+  /// Slot of p in the (node-major, name-major, dir-minor) lookup table,
+  /// defined for any port whose node is in the mesh.
+  std::size_t slot(const Port& p) const;
+
+  std::int32_t width_;
+  std::int32_t height_;
+  bool wrap_x_;
+  bool wrap_y_;
+  std::vector<Port> ports_;           // id -> port
+  std::vector<std::int32_t> id_table_;  // slot -> id, or -1 if non-existent
+};
+
+}  // namespace genoc

@@ -1,0 +1,75 @@
+#include "topology/port.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+char port_name_letter(PortName name) {
+  switch (name) {
+    case PortName::kEast:
+      return 'E';
+    case PortName::kWest:
+      return 'W';
+    case PortName::kNorth:
+      return 'N';
+    case PortName::kSouth:
+      return 'S';
+    case PortName::kLocal:
+      return 'L';
+  }
+  return '?';
+}
+
+const char* direction_name(Direction dir) {
+  return dir == Direction::kIn ? "IN" : "OUT";
+}
+
+PortName opposite(PortName name) {
+  switch (name) {
+    case PortName::kEast:
+      return PortName::kWest;
+    case PortName::kWest:
+      return PortName::kEast;
+    case PortName::kNorth:
+      return PortName::kSouth;
+    case PortName::kSouth:
+      return PortName::kNorth;
+    case PortName::kLocal:
+      break;
+  }
+  GENOC_REQUIRE(false, "opposite() requires a cardinal port name");
+}
+
+bool has_next_in(const Port& p) {
+  return p.dir == Direction::kOut && p.name != PortName::kLocal;
+}
+
+Port next_in(const Port& p) {
+  GENOC_REQUIRE(has_next_in(p),
+                "next_in requires a cardinal OUT port, got " + to_string(p));
+  switch (p.name) {
+    case PortName::kEast:
+      return Port{p.x + 1, p.y, PortName::kWest, Direction::kIn};
+    case PortName::kWest:
+      return Port{p.x - 1, p.y, PortName::kEast, Direction::kIn};
+    case PortName::kNorth:
+      // North decreases y (paper Sec. V: Rxy uses NO iff y(d) < y(p)).
+      return Port{p.x, p.y - 1, PortName::kSouth, Direction::kIn};
+    case PortName::kSouth:
+      return Port{p.x, p.y + 1, PortName::kNorth, Direction::kIn};
+    case PortName::kLocal:
+      break;
+  }
+  GENOC_REQUIRE(false, "unreachable");
+}
+
+std::string to_string(const Port& p) {
+  std::ostringstream os;
+  os << '<' << p.x << ',' << p.y << ',' << port_name_letter(p.name) << ','
+     << direction_name(p.dir) << '>';
+  return os.str();
+}
+
+}  // namespace genoc

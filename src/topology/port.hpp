@@ -1,0 +1,88 @@
+/// \file port.hpp
+/// \brief The paper's port model (Section V.1).
+///
+/// A port is the tuple <x, y, P, D>: the coordinates of its processing node,
+/// the port name P in {E, W, N, S, L} and the direction D in {IN, OUT}.
+/// Coordinate convention follows the paper exactly: East increases x, West
+/// decreases x, North DECREASES y, South INCREASES y; e.g.
+/// next_in(<0,0,E,OUT>) = <1,0,W,IN>.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace genoc {
+
+/// Port name P of the paper's tuple: four cardinal ports plus Local.
+enum class PortName : std::uint8_t { kEast = 0, kWest, kNorth, kSouth, kLocal };
+
+/// Port direction D: IN receives flits, OUT emits them.
+enum class Direction : std::uint8_t { kIn = 0, kOut };
+
+/// One-letter name used in rendered port labels ("E", "W", "N", "S", "L").
+char port_name_letter(PortName name);
+
+/// "IN" / "OUT".
+const char* direction_name(Direction dir);
+
+/// The opposite cardinal name (East<->West, North<->South). Requires a
+/// cardinal (non-Local) name.
+PortName opposite(PortName name);
+
+/// The paper's port tuple <x, y, P, D>. Plain value type (Core Guidelines
+/// C.1: use struct for data without invariants beyond field ranges).
+struct Port {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  PortName name = PortName::kLocal;
+  Direction dir = Direction::kIn;
+
+  friend auto operator<=>(const Port&, const Port&) = default;
+};
+
+/// Function dir(p) of the paper.
+inline Direction dir(const Port& p) { return p.dir; }
+
+/// Function port(p) of the paper.
+inline PortName port_name(const Port& p) { return p.name; }
+
+/// Functions x(p), y(p) of the paper.
+inline std::int32_t x_of(const Port& p) { return p.x; }
+inline std::int32_t y_of(const Port& p) { return p.y; }
+
+/// Function trans(p, PD): the port with name/direction PD in the same
+/// processing node as p (paper Sec. V.1).
+inline Port trans(const Port& p, PortName name, Direction direction) {
+  return Port{p.x, p.y, name, direction};
+}
+
+/// Function next_in(p): the in-port of the neighbouring node that out-port p
+/// connects to, e.g. next_in(<0,0,E,OUT>) = <1,0,W,IN>. Requires p to be a
+/// cardinal OUT port (Local out-ports connect to the IP core, not a switch).
+Port next_in(const Port& p);
+
+/// True if \p p is a cardinal OUT port, i.e. next_in(p) is defined.
+bool has_next_in(const Port& p);
+
+/// Renders a port as "<x,y,P,D>", mirroring the paper's notation.
+std::string to_string(const Port& p);
+
+}  // namespace genoc
+
+template <>
+struct std::hash<genoc::Port> {
+  std::size_t operator()(const genoc::Port& p) const noexcept {
+    // Pack the port into 64 bits, then mix (splitmix64 finalizer).
+    std::uint64_t v = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x))
+                       << 32) ^
+                      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.y))
+                       << 8) ^
+                      (static_cast<std::uint64_t>(p.name) << 4) ^
+                      static_cast<std::uint64_t>(p.dir);
+    v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    v = (v ^ (v >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(v ^ (v >> 31));
+  }
+};

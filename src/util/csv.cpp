@@ -1,0 +1,70 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+namespace {
+
+std::string quote_if_needed(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GENOC_REQUIRE(!headers_.empty(), "CSV needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  GENOC_REQUIRE(cells.size() == headers_.size(),
+                "CSV row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::render() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) {
+        os << ',';
+      }
+      os << quote_if_needed(row[i]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open CSV output file: " + path);
+  }
+  out << render();
+  if (!out) {
+    throw std::runtime_error("error while writing CSV file: " + path);
+  }
+}
+
+}  // namespace genoc

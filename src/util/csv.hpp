@@ -1,0 +1,30 @@
+/// \file csv.hpp
+/// \brief Minimal CSV writer for experiment outputs (one file per
+///        table/figure series, consumed by external plotting if desired).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace genoc {
+
+/// Accumulates rows and renders RFC-4180-style CSV (quoting only when
+/// needed). Used by the bench harness to persist series data.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the full document, header first.
+  std::string render() const;
+
+  /// Writes the document to \p path; throws std::runtime_error on I/O error.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace genoc

@@ -1,0 +1,49 @@
+#include "util/dot.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+namespace {
+
+/// Escapes the characters DOT treats specially inside double-quoted strings.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(std::size_t vertex_count,
+                   const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+                   const std::function<std::string(std::size_t)>& label,
+                   const DotOptions& options) {
+  GENOC_REQUIRE(static_cast<bool>(label), "a vertex label function is required");
+  std::ostringstream os;
+  os << "digraph \"" << escape(options.graph_name) << "\" {\n";
+  if (options.rankdir_lr) {
+    os << "  rankdir=LR;\n";
+  }
+  os << "  node [shape=" << options.node_shape << "];\n";
+  for (std::size_t v = 0; v < vertex_count; ++v) {
+    os << "  n" << v << " [label=\"" << escape(label(v)) << "\"];\n";
+  }
+  for (const auto& [from, to] : edges) {
+    GENOC_REQUIRE(from < vertex_count && to < vertex_count,
+                  "edge endpoint out of range");
+    os << "  n" << from << " -> n" << to << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace genoc

@@ -1,0 +1,31 @@
+/// \file dot.hpp
+/// \brief Graphviz DOT export for dependency graphs (used to reproduce the
+///        paper's Fig. 3, the port dependency graph of a 2x2 mesh).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace genoc {
+
+/// Options controlling DOT rendering.
+struct DotOptions {
+  std::string graph_name = "G";
+  bool rankdir_lr = false;          ///< Layout left-to-right instead of top-down.
+  std::string node_shape = "box";   ///< Graphviz shape for every node.
+};
+
+/// Serializes a directed graph to Graphviz DOT.
+///
+/// \param vertex_count number of vertices, labelled via \p label.
+/// \param edges        directed edge list (from, to); indices < vertex_count.
+/// \param label        maps a vertex index to its display label.
+/// \param options      cosmetic options.
+std::string to_dot(std::size_t vertex_count,
+                   const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+                   const std::function<std::string(std::size_t)>& label,
+                   const DotOptions& options = {});
+
+}  // namespace genoc

@@ -1,0 +1,19 @@
+#include "util/require.hpp"
+
+#include <sstream>
+
+namespace genoc::detail {
+
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "genoc " << kind << " violated: (" << expr << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace genoc::detail

@@ -1,0 +1,52 @@
+/// \file require.hpp
+/// \brief Contract-checking macros used across the GeNoC-CPP library.
+///
+/// Following the C++ Core Guidelines (I.5/I.7: state and check preconditions),
+/// public API entry points check their preconditions with GENOC_REQUIRE and
+/// internal invariants with GENOC_ASSERT. Violations throw
+/// genoc::ContractViolation carrying the failed expression and location, so
+/// that misuse is loud and testable rather than undefined behaviour.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace genoc {
+
+/// Exception thrown when a documented precondition or internal invariant of
+/// the library is violated. Tests assert on this type to verify that
+/// validation logic actually fires.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& msg);
+}  // namespace detail
+
+}  // namespace genoc
+
+/// Checks a precondition of a public API function. Always on (not tied to
+/// NDEBUG): the checkers in this library are correctness tools and must not
+/// silently accept malformed inputs in release builds.
+#define GENOC_REQUIRE(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::genoc::detail::contract_failure("precondition", #expr, __FILE__, \
+                                        __LINE__, (msg));                \
+    }                                                                    \
+  } while (false)
+
+/// Checks an internal invariant. Also always on; the cost is negligible
+/// compared to the graph and simulation work this library performs.
+#define GENOC_ASSERT(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::genoc::detail::contract_failure("invariant", #expr, __FILE__, \
+                                        __LINE__, (msg));              \
+    }                                                                  \
+  } while (false)

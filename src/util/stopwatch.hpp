@@ -1,0 +1,28 @@
+/// \file stopwatch.hpp
+/// \brief Wall-clock stopwatch used by the obligation harness to report the
+///        CPU column of the Table I reproduction.
+#pragma once
+
+#include <chrono>
+
+namespace genoc {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Restarts the stopwatch.
+  void reset();
+
+  /// Elapsed time since construction/reset in milliseconds.
+  double elapsed_ms() const;
+
+  /// Elapsed time in seconds.
+  double elapsed_s() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace genoc

@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GENOC_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GENOC_REQUIRE(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::size_t Table::row_count() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) {
+    if (!row.empty()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&](char fill) {
+    std::string s = "+";
+    for (std::size_t w : widths) {
+      s += std::string(w + 2, fill);
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  };
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      // Numbers (and numeric-looking cells) read better right-aligned.
+      const bool numeric =
+          !cell.empty() &&
+          cell.find_first_not_of("0123456789.,+-eE%x") == std::string::npos;
+      s += ' ';
+      if (numeric) {
+        s += std::string(widths[c] - cell.size(), ' ') + cell;
+      } else {
+        s += cell + std::string(widths[c] - cell.size(), ' ');
+      }
+      s += " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out = rule('-');
+  out += line(headers_);
+  out += rule('=');
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule('-') : line(row);
+  }
+  out += rule('-');
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out += ',';
+    }
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace genoc

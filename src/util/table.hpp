@@ -1,0 +1,49 @@
+/// \file table.hpp
+/// \brief ASCII table rendering used by benchmarks and examples to print
+///        paper-style tables (notably the Table I reproduction).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace genoc {
+
+/// A simple right-aligned-numbers, left-aligned-text ASCII table builder.
+///
+/// Usage:
+/// \code
+///   Table t({"File", "Lines", "Thms"});
+///   t.add_row({"Rxy", "1173", "97"});
+///   std::cout << t.render();
+/// \endcode
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  /// Number of data rows (separators excluded).
+  std::size_t row_count() const;
+
+  /// Renders the table with box-drawing borders.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  // A separator is encoded as an empty row vector.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string format_double(double value, int precision);
+
+/// Formats counts with thousands separators, e.g. 13261 -> "13,261".
+std::string format_count(std::uint64_t value);
+
+}  // namespace genoc

@@ -1,0 +1,93 @@
+/// \file traffic.hpp
+/// \brief Traffic-pattern generators: the travel lists fed to GeNoC2D.
+///
+/// The paper considers "an initial list — of arbitrary size — of messages".
+/// These generators produce the (source, destination) pair lists used by
+/// the evacuation experiments, the Table I obligation runs, and the
+/// routing-comparison ablations. All generators are deterministic given
+/// their Rng seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/mesh.hpp"
+#include "util/rng.hpp"
+
+namespace genoc {
+
+/// A (source node, destination node) pair — the unit of traffic generation.
+struct TrafficPair {
+  NodeCoord source;
+  NodeCoord dest;
+};
+
+/// \p count pairs with source and destination drawn uniformly; self-pairs
+/// (source == dest) allowed iff \p allow_self (they exercise the two-port
+/// Local IN -> Local OUT route).
+std::vector<TrafficPair> uniform_random_traffic(const Mesh2D& mesh,
+                                                std::size_t count, Rng& rng,
+                                                bool allow_self = false);
+
+/// Every node (x, y) sends one message to its transpose. On a W x H mesh the
+/// destination is (y mod W, x mod H); nodes mapping to themselves are
+/// skipped.
+std::vector<TrafficPair> transpose_traffic(const Mesh2D& mesh);
+
+/// Every node sends to the node whose row-major index has its bits
+/// reversed (within ceil(log2(node_count)) bits, wrapped into range);
+/// self-pairs are skipped.
+std::vector<TrafficPair> bit_reversal_traffic(const Mesh2D& mesh);
+
+/// \p count pairs; each destination is \p hotspot with probability
+/// \p hotspot_fraction, uniform otherwise. Models the congested-ejection
+/// scenario that stresses wormhole buffer chains.
+std::vector<TrafficPair> hotspot_traffic(const Mesh2D& mesh, std::size_t count,
+                                         NodeCoord hotspot,
+                                         double hotspot_fraction, Rng& rng);
+
+/// Every node except \p target sends one message to \p target.
+std::vector<TrafficPair> all_to_one_traffic(const Mesh2D& mesh,
+                                            NodeCoord target);
+
+/// \p source sends one message to every other node.
+std::vector<TrafficPair> one_to_all_traffic(const Mesh2D& mesh,
+                                            NodeCoord source);
+
+/// Every node sends to its east neighbour (wrapping around the row):
+/// maximal pressure on the horizontal flows.
+std::vector<TrafficPair> neighbor_traffic(const Mesh2D& mesh);
+
+/// A uniformly random permutation: every node sends to a distinct node
+/// (fixed points removed).
+std::vector<TrafficPair> permutation_traffic(const Mesh2D& mesh, Rng& rng);
+
+/// Boundary-ring traffic: the nodes on the mesh perimeter each send to the
+/// node \p stride positions further along the ring (clockwise). This is the
+/// classic pattern whose *channel* demands form a ring — harmless under XY
+/// (which breaks the ring), but it maximizes contention and is the natural
+/// stress input for the adaptive-routing ablation.
+std::vector<TrafficPair> ring_traffic(const Mesh2D& mesh, std::size_t stride);
+
+/// Named patterns for parameter sweeps.
+enum class TrafficPattern {
+  kUniformRandom,
+  kTranspose,
+  kBitReversal,
+  kHotspot,
+  kAllToOne,
+  kNeighbor,
+  kPermutation,
+  kRing,
+};
+
+const char* traffic_pattern_name(TrafficPattern pattern);
+
+/// Dispatches to the generator for \p pattern. \p count is used by the
+/// randomized patterns (uniform, hotspot); structured patterns derive their
+/// size from the mesh. Hotspot/all-to-one target the mesh centre.
+std::vector<TrafficPair> generate_traffic(TrafficPattern pattern,
+                                          const Mesh2D& mesh,
+                                          std::size_t count, Rng& rng);
+
+}  // namespace genoc

@@ -1,0 +1,100 @@
+// Tests for the Dally–Seitz channel dependency graph baseline and its
+// agreement with the port-level graph on acyclicity (ablation A2).
+#include <gtest/gtest.h>
+
+#include "deadlock/channel_dep.hpp"
+#include "deadlock/depgraph.hpp"
+#include "graph/cycle.hpp"
+#include "routing/fully_adaptive.hpp"
+#include "routing/west_first.hpp"
+#include "routing/xy.hpp"
+#include "routing/yx.hpp"
+
+namespace genoc {
+namespace {
+
+std::size_t expected_channel_count(std::int32_t w, std::int32_t h) {
+  // One channel per direction per link: 2 * (#horizontal + #vertical links).
+  return 2 * (static_cast<std::size_t>(w - 1) * h +
+              static_cast<std::size_t>(w) * (h - 1));
+}
+
+TEST(ChannelDep, VertexCensus) {
+  for (const auto& [w, h] : {std::pair{2, 2}, std::pair{3, 3}, std::pair{4, 2}}) {
+    const Mesh2D mesh(w, h);
+    const XYRouting xy(mesh);
+    const ChannelDepGraph cdg = build_channel_dep_graph(xy);
+    EXPECT_EQ(cdg.channels.size(), expected_channel_count(w, h));
+    EXPECT_EQ(cdg.graph.vertex_count(), cdg.channels.size());
+    for (const Port& c : cdg.channels) {
+      EXPECT_EQ(c.dir, Direction::kOut);
+      EXPECT_NE(c.name, PortName::kLocal);
+    }
+  }
+}
+
+TEST(ChannelDep, XYChannelGraphIsAcyclic) {
+  const Mesh2D mesh(4, 4);
+  const XYRouting xy(mesh);
+  const ChannelDepGraph cdg = build_channel_dep_graph(xy);
+  EXPECT_TRUE(is_acyclic(cdg.graph));
+  EXPECT_GT(cdg.graph.edge_count(), 0u);
+}
+
+TEST(ChannelDep, XYHasNoVerticalToHorizontalChannelEdges) {
+  const Mesh2D mesh(3, 3);
+  const XYRouting xy(mesh);
+  const ChannelDepGraph cdg = build_channel_dep_graph(xy);
+  auto vertical = [](const Port& c) {
+    return c.name == PortName::kNorth || c.name == PortName::kSouth;
+  };
+  for (const auto& [from, to] : cdg.graph.edges()) {
+    if (vertical(cdg.channels[from])) {
+      EXPECT_TRUE(vertical(cdg.channels[to]))
+          << cdg.label(from) << " -> " << cdg.label(to);
+    }
+  }
+}
+
+TEST(ChannelDep, AgreementWithPortGraphOnAcyclicity) {
+  // The channel graph is the out-port projection of the port graph, so both
+  // must agree on the deadlock verdict for every routing function.
+  for (const auto& [w, h] : {std::pair{2, 2}, std::pair{3, 3}, std::pair{4, 3}}) {
+    const Mesh2D mesh(w, h);
+    const XYRouting xy(mesh);
+    const YXRouting yx(mesh);
+    const WestFirstRouting wf(mesh);
+    const FullyAdaptiveRouting fa(mesh);
+    for (const RoutingFunction* routing :
+         std::initializer_list<const RoutingFunction*>{&xy, &yx, &wf, &fa}) {
+      const bool port_acyclic = is_acyclic(build_dep_graph(*routing).graph);
+      const bool channel_acyclic =
+          is_acyclic(build_channel_dep_graph(*routing).graph);
+      EXPECT_EQ(port_acyclic, channel_acyclic)
+          << routing->name() << " on " << w << "x" << h;
+    }
+  }
+}
+
+TEST(ChannelDep, PortGraphRefinesChannelGraph) {
+  // Granularity comparison (ablation A2): the port graph has strictly more
+  // vertices — it adds IN ports and the Local source/sink structure.
+  const Mesh2D mesh(4, 4);
+  const XYRouting xy(mesh);
+  const PortDepGraph port = build_exy_dep(mesh);
+  const ChannelDepGraph channel = build_channel_dep_graph(xy);
+  EXPECT_GT(port.graph.vertex_count(), channel.graph.vertex_count());
+  EXPECT_GT(port.graph.edge_count(), channel.graph.edge_count());
+}
+
+TEST(ChannelDep, DotRendering) {
+  const Mesh2D mesh(2, 2);
+  const XYRouting xy(mesh);
+  const ChannelDepGraph cdg = build_channel_dep_graph(xy);
+  const std::string dot = cdg.to_dot("cdg");
+  EXPECT_NE(dot.find("digraph \"cdg\""), std::string::npos);
+  EXPECT_NE(dot.find("OUT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace genoc

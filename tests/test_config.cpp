@@ -1,0 +1,119 @@
+// Tests for configurations σ = <T, ST, A> and travels.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "routing/xy.hpp"
+#include "util/require.hpp"
+
+namespace genoc {
+namespace {
+
+class ConfigTest : public ::testing::Test {
+ protected:
+  ConfigTest() : mesh_(3, 3), xy_(mesh_) {}
+
+  Travel travel(TravelId id, NodeCoord s, NodeCoord d,
+                std::uint32_t flits = 2) const {
+    return make_travel(id, xy_, s, d, flits);
+  }
+
+  Mesh2D mesh_;
+  XYRouting xy_;
+};
+
+TEST_F(ConfigTest, MakeTravelPrecomputesTheRoute) {
+  const Travel t = travel(7, {0, 0}, {2, 1}, 3);
+  EXPECT_EQ(t.id, 7u);
+  EXPECT_EQ(t.source, mesh_.local_in(0, 0));
+  EXPECT_EQ(t.dest, mesh_.local_out(2, 1));
+  EXPECT_EQ(t.flit_count, 3u);
+  EXPECT_EQ(t.route.size(), minimal_route_length(t.source, t.dest));
+  EXPECT_TRUE(is_valid_route(xy_, t.route, t.source, t.dest));
+}
+
+TEST_F(ConfigTest, MakeTravelWithRouteValidates) {
+  Route r = compute_route(xy_, mesh_.local_in(0, 0), mesh_.local_out(2, 0));
+  EXPECT_NO_THROW(make_travel_with_route(1, xy_, r, 2));
+  Route corrupted = r;
+  corrupted.erase(corrupted.begin() + 1);
+  EXPECT_THROW(make_travel_with_route(1, xy_, corrupted, 2),
+               ContractViolation);
+}
+
+TEST_F(ConfigTest, AddTravelRegistersPacket) {
+  Config config(mesh_, 2);
+  config.add_travel(travel(1, {0, 0}, {2, 2}));
+  config.add_travel(travel(2, {1, 1}, {0, 0}));
+  EXPECT_EQ(config.travels().size(), 2u);
+  EXPECT_TRUE(config.state().has_packet(1));
+  EXPECT_TRUE(config.state().has_packet(2));
+  EXPECT_EQ(config.pending(), (std::vector<TravelId>{1, 2}));
+  EXPECT_FALSE(config.all_arrived());
+  EXPECT_EQ(config.travel(2).source, mesh_.local_in(1, 1));
+  EXPECT_THROW(config.travel(9), ContractViolation);
+  EXPECT_THROW(config.add_travel(travel(1, {0, 1}, {1, 0})),
+               ContractViolation);  // duplicate id
+}
+
+TEST_F(ConfigTest, EmptyConfigIsTriviallyEvacuated) {
+  Config config(mesh_, 2);
+  EXPECT_TRUE(config.all_arrived());
+  EXPECT_TRUE(config.pending().empty());
+}
+
+TEST_F(ConfigTest, ArrivalRecording) {
+  Config config(mesh_, 2);
+  config.add_travel(travel(1, {0, 0}, {0, 0}, 1));
+  // Drive the packet to delivery manually.
+  config.state().move_flit(1, 0);
+  config.advance_step();
+  config.state().move_flit(1, 0);
+  ASSERT_TRUE(config.state().packet_delivered(1));
+  config.record_arrivals({1});
+  ASSERT_EQ(config.arrived().size(), 1u);
+  EXPECT_EQ(config.arrived()[0].id, 1u);
+  EXPECT_EQ(config.arrived()[0].step, 1u);
+  EXPECT_TRUE(config.all_arrived());
+  EXPECT_TRUE(config.pending().empty());
+}
+
+TEST_F(ConfigTest, RecordingUndeliveredArrivalThrows) {
+  Config config(mesh_, 2);
+  config.add_travel(travel(1, {0, 0}, {2, 2}));
+  EXPECT_THROW(config.record_arrivals({1}), ContractViolation);
+}
+
+TEST_F(ConfigTest, StagedTravelsStayOutOfTheStateUntilRelease) {
+  Config config(mesh_, 2);
+  config.add_staged_travel(travel(1, {0, 0}, {1, 1}), 3);
+  EXPECT_EQ(config.staged_remaining(), 1u);
+  EXPECT_FALSE(config.state().has_packet(1));
+  EXPECT_FALSE(config.all_arrived());
+  EXPECT_EQ(config.pending(), (std::vector<TravelId>{1}));
+  // Releases nothing before its step.
+  EXPECT_TRUE(config.release_due_travels().empty());
+  config.advance_step();
+  config.advance_step();
+  config.advance_step();
+  const auto released = config.release_due_travels();
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_TRUE(config.state().has_packet(1));
+  EXPECT_EQ(config.staged_remaining(), 0u);
+  EXPECT_THROW(config.add_staged_travel(travel(1, {0, 0}, {1, 1}), 9),
+               ContractViolation);  // duplicate id
+}
+
+TEST_F(ConfigTest, DigestReflectsEveryComponent) {
+  Config a(mesh_, 2);
+  Config b(mesh_, 2);
+  EXPECT_EQ(a.digest(), b.digest());
+  a.add_travel(travel(1, {0, 0}, {2, 2}));
+  EXPECT_NE(a.digest(), b.digest());
+  b.add_travel(travel(1, {0, 0}, {2, 2}));
+  EXPECT_EQ(a.digest(), b.digest());
+  a.advance_step();
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+}  // namespace
+}  // namespace genoc

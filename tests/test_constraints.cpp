@@ -1,0 +1,129 @@
+// Tests for the proof obligations (C-1), (C-2), (C-3) — positive discharge
+// for XY on mesh sweeps, and negative detection for mismatched/cyclic
+// instances.
+#include <gtest/gtest.h>
+
+#include "deadlock/constraints.hpp"
+#include "routing/fully_adaptive.hpp"
+#include "routing/xy.hpp"
+#include "routing/yx.hpp"
+
+namespace genoc {
+namespace {
+
+class ConstraintSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ConstraintSweep, XYDischargesAllThree) {
+  const auto [w, h] = GetParam();
+  const Mesh2D mesh(w, h);
+  const XYRouting xy(mesh);
+  const PortDepGraph dep = build_exy_dep(mesh);
+
+  const ConstraintReport c1 = check_c1(xy, dep);
+  EXPECT_TRUE(c1.satisfied) << c1.summary();
+  EXPECT_GT(c1.checks, 0u);
+
+  const ConstraintReport c2 = check_c2(xy, dep);
+  EXPECT_TRUE(c2.satisfied) << c2.summary();
+  // (C-2) examines every edge at least once.
+  EXPECT_GE(c2.checks, dep.graph.edge_count());
+
+  const ConstraintReport c2cf = check_c2_xy_closed_form(xy, dep);
+  EXPECT_TRUE(c2cf.satisfied) << c2cf.summary();
+  EXPECT_EQ(c2cf.checks, dep.graph.edge_count());
+
+  std::optional<CycleWitness> cycle;
+  const ConstraintReport c3 = check_c3(dep, &cycle);
+  EXPECT_TRUE(c3.satisfied) << c3.summary();
+  EXPECT_FALSE(cycle.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Meshes, ConstraintSweep,
+                         ::testing::Values(std::pair{1, 2}, std::pair{2, 2},
+                                           std::pair{3, 2}, std::pair{3, 3},
+                                           std::pair{4, 4}, std::pair{5, 5},
+                                           std::pair{8, 8}, std::pair{2, 7}));
+
+TEST(Constraints, C1CatchesRoutingGraphMismatch) {
+  // YX routing checked against the XY dependency graph: YX takes
+  // vertical-to-horizontal turns that Exy_dep forbids, so (C-1) must fail.
+  const Mesh2D mesh(3, 3);
+  const YXRouting yx(mesh);
+  const PortDepGraph xy_dep = build_exy_dep(mesh);
+  const ConstraintReport c1 = check_c1(yx, xy_dep);
+  EXPECT_FALSE(c1.satisfied);
+  EXPECT_FALSE(c1.violations.empty());
+}
+
+TEST(Constraints, C2CatchesOverApproximatedGraph) {
+  // Add a fabricated edge (an XY-illegal N-in -> E-out turn) to the
+  // dependency graph: (C-2) must report it unwitnessed.
+  const Mesh2D mesh(3, 3);
+  const XYRouting xy(mesh);
+  PortDepGraph dep;
+  dep.mesh = &mesh;
+  dep.graph = Digraph(mesh.port_count());
+  for (const auto& [from, to] : build_exy_dep(mesh).graph.edges()) {
+    dep.graph.add_edge(from, to);
+  }
+  dep.graph.add_edge(
+      mesh.id(Port{1, 1, PortName::kNorth, Direction::kIn}),
+      mesh.id(Port{1, 1, PortName::kEast, Direction::kOut}));
+  dep.graph.finalize();
+  const ConstraintReport c2 = check_c2(xy, dep);
+  EXPECT_FALSE(c2.satisfied);
+  ASSERT_FALSE(c2.violations.empty());
+  EXPECT_NE(c2.violations.front().find("N,IN"), std::string::npos);
+  // (C-1) still holds: the real edges are all present.
+  EXPECT_TRUE(check_c1(xy, dep).satisfied);
+}
+
+TEST(Constraints, C3FindsTheFullyAdaptiveCycle) {
+  const Mesh2D mesh(2, 2);
+  const FullyAdaptiveRouting adaptive(mesh);
+  const PortDepGraph dep = build_dep_graph(adaptive);
+  std::optional<CycleWitness> cycle;
+  const ConstraintReport c3 = check_c3(dep, &cycle);
+  EXPECT_FALSE(c3.satisfied);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_TRUE(is_valid_cycle(dep.graph, *cycle));
+  ASSERT_FALSE(c3.violations.empty());
+  EXPECT_NE(c3.violations.front().find("cycle"), std::string::npos);
+}
+
+TEST(Constraints, FullyAdaptiveStillSatisfiesC1AndC2) {
+  // The generic dependency graph is built FROM the routing function, so
+  // (C-1) and (C-2) hold even for deadlock-prone functions — only (C-3)
+  // distinguishes them. This is exactly the paper's structure.
+  const Mesh2D mesh(3, 2);
+  const FullyAdaptiveRouting adaptive(mesh);
+  const PortDepGraph dep = build_dep_graph(adaptive);
+  EXPECT_TRUE(check_c1(adaptive, dep).satisfied);
+  EXPECT_TRUE(check_c2(adaptive, dep).satisfied);
+}
+
+TEST(Constraints, XyEdgeWitnessMatchesPaperFindDest) {
+  const Mesh2D mesh(3, 3);
+  // Edge out-port -> in-port: witness is the in-port's node.
+  const Port e_out{0, 1, PortName::kEast, Direction::kOut};
+  const Port w_in{1, 1, PortName::kWest, Direction::kIn};
+  EXPECT_EQ(xy_edge_witness(mesh, e_out, w_in), mesh.local_out(1, 1));
+  // Edge in-port -> cardinal out-port: witness is just across the link.
+  const Port n_out{1, 1, PortName::kNorth, Direction::kOut};
+  EXPECT_EQ(xy_edge_witness(mesh, w_in, n_out), mesh.local_out(1, 0));
+  // Edge in-port -> Local OUT: the witness is that port itself.
+  EXPECT_EQ(xy_edge_witness(mesh, w_in, mesh.local_out(1, 1)),
+            mesh.local_out(1, 1));
+}
+
+TEST(Constraints, ReportSummariesAreInformative) {
+  const Mesh2D mesh(2, 2);
+  const XYRouting xy(mesh);
+  const PortDepGraph dep = build_exy_dep(mesh);
+  const ConstraintReport c1 = check_c1(xy, dep);
+  EXPECT_NE(c1.summary().find("(C-1)XY"), std::string::npos);
+  EXPECT_NE(c1.summary().find("DISCHARGED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace genoc

@@ -1,0 +1,113 @@
+// Tests for the CSR digraph substrate.
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+#include "util/require.hpp"
+
+namespace genoc {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g(0);
+  g.finalize();
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.edges().empty());
+}
+
+TEST(Digraph, BuildAndQuery) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.finalize();
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  const auto succ = g.out(0);
+  ASSERT_EQ(succ.size(), 2u);
+  EXPECT_EQ(succ[0], 1u);
+  EXPECT_EQ(succ[1], 2u);
+}
+
+TEST(Digraph, ParallelEdgesCoalesce) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, SelfLoopsKept) {
+  Digraph g(2);
+  g.add_edge(1, 1);
+  g.finalize();
+  EXPECT_TRUE(g.has_edge(1, 1));
+}
+
+TEST(Digraph, FinalizeIsIdempotent) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.finalize();
+  g.finalize();
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, ContractChecks) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), ContractViolation);
+  EXPECT_THROW(g.out(0), ContractViolation);  // not finalized yet
+  g.finalize();
+  EXPECT_THROW(g.add_edge(0, 1), ContractViolation);  // already finalized
+  EXPECT_THROW(g.out(5), ContractViolation);
+}
+
+TEST(Digraph, EdgesInCsrOrder) {
+  Digraph g(3);
+  g.add_edge(2, 0);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  g.finalize();
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  using Edge = std::pair<std::size_t, std::size_t>;
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 2}));
+  EXPECT_EQ(edges[2], (Edge{2, 0}));
+}
+
+TEST(Digraph, Reversed) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  const Digraph r = g.reversed();
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_TRUE(r.has_edge(2, 1));
+  EXPECT_FALSE(r.has_edge(0, 1));
+  EXPECT_EQ(r.edge_count(), 2u);
+}
+
+TEST(Digraph, InducedSubgraph) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.finalize();
+  const Digraph sub = g.induced({true, true, false, true});
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(3, 0));
+  EXPECT_FALSE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_edge(2, 3));
+  EXPECT_EQ(sub.edge_count(), 2u);
+  EXPECT_THROW(g.induced({true, true}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace genoc

@@ -1,0 +1,96 @@
+// Tests for bounded simple-cycle enumeration (witness sampling).
+#include <gtest/gtest.h>
+
+#include "graph/johnson.hpp"
+
+namespace genoc {
+namespace {
+
+Digraph ring(std::size_t n) {
+  Digraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(i, (i + 1) % n);
+  }
+  g.finalize();
+  return g;
+}
+
+TEST(Johnson, AcyclicGraphHasNoCycles) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.finalize();
+  EXPECT_TRUE(enumerate_cycles(g, 100).empty());
+  EXPECT_EQ(count_cycles(g, 100), 0u);
+}
+
+TEST(Johnson, RingHasExactlyOneCycle) {
+  const Digraph g = ring(6);
+  const auto cycles = enumerate_cycles(g, 100);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 6u);
+  EXPECT_TRUE(is_valid_cycle(g, cycles[0]));
+}
+
+TEST(Johnson, CompleteDigraphOnThreeVertices) {
+  // K3 with all 6 directed edges: three 2-cycles and two 3-cycles.
+  Digraph g(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) {
+        g.add_edge(i, j);
+      }
+    }
+  }
+  g.finalize();
+  const auto cycles = enumerate_cycles(g, 100);
+  EXPECT_EQ(cycles.size(), 5u);
+  for (const auto& cycle : cycles) {
+    EXPECT_TRUE(is_valid_cycle(g, cycle));
+  }
+}
+
+TEST(Johnson, SelfLoopCounts) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.finalize();
+  const auto cycles = enumerate_cycles(g, 10);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], CycleWitness{0});
+}
+
+TEST(Johnson, CapSaturates) {
+  // Two disjoint rings: cap at 1 returns exactly one cycle.
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(4, 5);
+  g.add_edge(5, 4);
+  g.finalize();
+  EXPECT_EQ(enumerate_cycles(g, 1).size(), 1u);
+  EXPECT_EQ(enumerate_cycles(g, 2).size(), 2u);
+  EXPECT_EQ(enumerate_cycles(g, 100).size(), 3u);
+  EXPECT_TRUE(enumerate_cycles(g, 0).empty());
+}
+
+TEST(Johnson, CyclesAreDistinct) {
+  // Figure-eight: two triangles sharing vertex 0.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 0);
+  g.finalize();
+  const auto cycles = enumerate_cycles(g, 10);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_NE(cycles[0], cycles[1]);
+}
+
+}  // namespace
+}  // namespace genoc

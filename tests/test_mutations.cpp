@@ -1,0 +1,205 @@
+// Mutation suite: deliberately broken variants of XY routing, each of which
+// must be caught by some piece of the verification machinery. This is the
+// "does the checker actually check anything" test — every mutant dies.
+#include <gtest/gtest.h>
+
+#include "deadlock/constraints.hpp"
+#include "deadlock/depgraph.hpp"
+#include "deadlock/flows.hpp"
+#include "routing/route.hpp"
+#include "routing/xy.hpp"
+#include "util/require.hpp"
+
+namespace genoc {
+namespace {
+
+/// Base for mutants: closure-based reachability (the semantic default), so
+/// reachability always matches whatever broken behaviour the mutant has —
+/// the *constraints* must do the catching, not a mismatched s R d.
+class MutantBase : public RoutingFunction {
+ public:
+  explicit MutantBase(const Mesh2D& mesh) : RoutingFunction(mesh) {}
+  bool is_deterministic() const override { return true; }
+};
+
+/// Mutant 1: vertical phase runs AWAY from the destination (sign flip).
+/// Routes toward a vertical destination never terminate (they walk off the
+/// mesh edge and stall).
+class SignFlipXY final : public MutantBase {
+ public:
+  using MutantBase::MutantBase;
+  std::string name() const override { return "XY-sign-flip"; }
+  std::vector<Port> next_hops(const Port& p, const Port& d) const override {
+    if (p.dir == Direction::kOut) {
+      return p.name == PortName::kLocal ? std::vector<Port>{}
+                                        : std::vector<Port>{next_in(p)};
+    }
+    if (d.x < p.x) {
+      return {trans(p, PortName::kWest, Direction::kOut)};
+    }
+    if (d.x > p.x) {
+      return {trans(p, PortName::kEast, Direction::kOut)};
+    }
+    if (d.y < p.y) {  // should go North; goes South
+      return {trans(p, PortName::kSouth, Direction::kOut)};
+    }
+    if (d.y > p.y) {
+      return {trans(p, PortName::kNorth, Direction::kOut)};
+    }
+    return {trans(p, PortName::kLocal, Direction::kOut)};
+  }
+};
+
+/// Mutant 2: allows a vertical-to-horizontal turn (YX-style) when the
+/// packet is already in a vertical port — the exact turn whose absence
+/// makes Exy_dep acyclic. Creates real dependency cycles.
+class TurnLeakXY final : public MutantBase {
+ public:
+  using MutantBase::MutantBase;
+  std::string name() const override { return "XY-turn-leak"; }
+  std::vector<Port> next_hops(const Port& p, const Port& d) const override {
+    if (p.dir == Direction::kOut) {
+      return p.name == PortName::kLocal ? std::vector<Port>{}
+                                        : std::vector<Port>{next_in(p)};
+    }
+    // Vertical in-ports may resume horizontal movement (illegal under XY).
+    if ((p.name == PortName::kNorth || p.name == PortName::kSouth)) {
+      if (d.x < p.x) {
+        return {trans(p, PortName::kWest, Direction::kOut)};
+      }
+      if (d.x > p.x) {
+        return {trans(p, PortName::kEast, Direction::kOut)};
+      }
+    }
+    XYRouting xy(mesh());
+    return xy.next_hops(p, d);
+  }
+  /// The leak is only exercised when a vertical port holds a packet with a
+  /// horizontal displacement, which honest XY routes never create — so we
+  /// claim (incorrectly, and the checkers must notice) the YX-ish
+  /// reachability that admits those states.
+  bool reachable(const Port& s, const Port& d) const override {
+    if (!mesh().exists(s) || d.name != PortName::kLocal ||
+        d.dir != Direction::kOut || !mesh().exists(d)) {
+      return false;
+    }
+    return true;  // grossly over-approximated on purpose
+  }
+};
+
+/// Mutant 3: a U-turn — the West OUT port sends back into the SAME node's
+/// West IN port is impossible at port level, so instead: East IN turns
+/// back East when the destination is east (a 180-degree turn through the
+/// switch). Dependency E,IN -> E,OUT closes cycles with the neighbour.
+class UTurnXY final : public MutantBase {
+ public:
+  using MutantBase::MutantBase;
+  std::string name() const override { return "XY-u-turn"; }
+  std::vector<Port> next_hops(const Port& p, const Port& d) const override {
+    XYRouting xy(mesh());
+    if (p.dir == Direction::kIn && p.name == PortName::kEast && d.x > p.x) {
+      return {trans(p, PortName::kEast, Direction::kOut)};
+    }
+    return xy.next_hops(p, d);
+  }
+  bool reachable(const Port& s, const Port& d) const override {
+    if (!mesh().exists(s) || d.name != PortName::kLocal ||
+        d.dir != Direction::kOut || !mesh().exists(d)) {
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Mutant 4: drops the Local delivery case — packets at their destination
+/// node are routed East forever (or stall at the boundary).
+class NoDeliveryXY final : public MutantBase {
+ public:
+  using MutantBase::MutantBase;
+  std::string name() const override { return "XY-no-delivery"; }
+  std::vector<Port> next_hops(const Port& p, const Port& d) const override {
+    XYRouting xy(mesh());
+    const auto hops = xy.next_hops(p, d);
+    if (hops.size() == 1 && hops[0].name == PortName::kLocal &&
+        hops[0].dir == Direction::kOut) {
+      return {trans(p, PortName::kEast, Direction::kOut)};
+    }
+    return hops;
+  }
+};
+
+TEST(Mutations, SignFlipIsCaughtByRouteTermination) {
+  const Mesh2D mesh(3, 3);
+  const SignFlipXY mutant(mesh);
+  // Routing away from the destination either walks off the mesh (caught by
+  // (C-1)'s existence check) or never terminates (caught by the route
+  // bound).
+  const ConstraintReport c1 =
+      check_c1(mutant, build_dep_graph(mutant));
+  const bool c1_caught = !c1.satisfied;
+  bool termination_caught = false;
+  try {
+    // A purely vertical journey exercises the flipped case. Use the
+    // closure-reachable pair (L-in is always reachable).
+    compute_route(mutant, mesh.local_in(1, 0), mesh.local_out(1, 2));
+  } catch (const ContractViolation&) {
+    termination_caught = true;
+  }
+  EXPECT_TRUE(c1_caught || termination_caught);
+}
+
+TEST(Mutations, TurnLeakIsCaughtByC3) {
+  const Mesh2D mesh(3, 3);
+  const TurnLeakXY mutant(mesh);
+  const PortDepGraph dep = build_dep_graph(mutant);
+  // Its own graph is cyclic: (C-3) fails...
+  std::optional<CycleWitness> cycle;
+  const ConstraintReport c3 = check_c3(dep, &cycle);
+  EXPECT_FALSE(c3.satisfied);
+  ASSERT_TRUE(cycle.has_value());
+  // ...and the flow certificate rejects it too.
+  EXPECT_FALSE(verify_flow_certificate(dep));
+  // And against the SPEC graph (Exy_dep), the leak is a (C-1) violation.
+  EXPECT_FALSE(check_c1(mutant, build_exy_dep(mesh)).satisfied);
+}
+
+TEST(Mutations, UTurnIsCaughtByC3AndC1) {
+  const Mesh2D mesh(3, 3);
+  const UTurnXY mutant(mesh);
+  const PortDepGraph dep = build_dep_graph(mutant);
+  EXPECT_FALSE(check_c3(dep).satisfied);
+  EXPECT_FALSE(check_c1(mutant, build_exy_dep(mesh)).satisfied);
+  EXPECT_FALSE(verify_flow_certificate(dep));
+}
+
+TEST(Mutations, NoDeliveryIsCaughtByTerminationOrC1) {
+  const Mesh2D mesh(3, 3);
+  const NoDeliveryXY mutant(mesh);
+  bool caught = false;
+  try {
+    const Route r =
+        compute_route(mutant, mesh.local_in(0, 1), mesh.local_out(2, 1));
+    caught = r.back() != mesh.local_out(2, 1);
+  } catch (const ContractViolation&) {
+    caught = true;  // non-termination or off-mesh hop
+  }
+  if (!caught) {
+    caught = !check_c1(mutant, build_exy_dep(mesh)).satisfied;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(Mutations, HonestXYSurvivesEverything) {
+  // Control: the real function passes every check the mutants fail.
+  const Mesh2D mesh(3, 3);
+  const XYRouting xy(mesh);
+  const PortDepGraph dep = build_dep_graph(xy);
+  EXPECT_TRUE(check_c1(xy, build_exy_dep(mesh)).satisfied);
+  EXPECT_TRUE(check_c3(dep).satisfied);
+  EXPECT_TRUE(verify_flow_certificate(dep));
+  EXPECT_NO_THROW(compute_route(xy, mesh.local_in(1, 0),
+                                mesh.local_out(1, 2)));
+}
+
+}  // namespace
+}  // namespace genoc

@@ -1,0 +1,94 @@
+// Tests for the Table I obligation harness: the full suite discharges on
+// HERMES instances and its rows mirror the paper's table.
+#include <gtest/gtest.h>
+
+#include "core/obligations.hpp"
+
+namespace genoc {
+namespace {
+
+TEST(Obligations, FullSuiteDischargesOn3x3) {
+  const HermesInstance hermes(3, 3, 2);
+  ObligationOptions options;
+  options.workloads = 3;
+  options.messages_per_workload = 12;
+  const ObligationSuite suite = run_hermes_obligations(hermes, options);
+  ASSERT_EQ(suite.rows.size(), 9u);
+  for (const ObligationRow& row : suite.rows) {
+    EXPECT_TRUE(row.satisfied) << row.label << ": " << row.note;
+    EXPECT_GT(row.checks, 0u) << row.label;
+  }
+  EXPECT_TRUE(suite.all_satisfied());
+}
+
+TEST(Obligations, RowLabelsMatchThePaperTable) {
+  const HermesInstance hermes(2, 2, 1);
+  ObligationOptions options;
+  options.workloads = 1;
+  options.messages_per_workload = 4;
+  const ObligationSuite suite = run_hermes_obligations(hermes, options);
+  const auto& paper = paper_table1();
+  ASSERT_EQ(paper.size(), suite.rows.size() + 1);  // + "Overall"
+  for (std::size_t i = 0; i < suite.rows.size(); ++i) {
+    EXPECT_EQ(suite.rows[i].label, paper[i].label);
+  }
+  EXPECT_EQ(paper.back().label, "Overall");
+  EXPECT_EQ(paper.back().lines, 13261);
+  EXPECT_EQ(paper.back().theorems, 1008);
+  EXPECT_EQ(paper.back().human_days, 20);
+}
+
+TEST(Obligations, OverallSumsTheColumns) {
+  const HermesInstance hermes(2, 2, 1);
+  ObligationOptions options;
+  options.workloads = 1;
+  options.messages_per_workload = 4;
+  const ObligationSuite suite = run_hermes_obligations(hermes, options);
+  const ObligationRow overall = suite.overall();
+  std::uint64_t checks = 0;
+  for (const ObligationRow& row : suite.rows) {
+    checks += row.checks;
+  }
+  EXPECT_EQ(overall.checks, checks);
+  EXPECT_TRUE(overall.satisfied);
+  EXPECT_EQ(overall.label, "Overall");
+}
+
+TEST(Obligations, C1AndC2DominateTheCheckCounts) {
+  // The paper notes (C-1)/(C-2) "basically consist of many case
+  // distinctions" — the shape preserved here: those rows perform the most
+  // elementary checks among the constraint rows.
+  const HermesInstance hermes(4, 4, 2);
+  ObligationOptions options;
+  options.workloads = 1;
+  options.messages_per_workload = 8;
+  const ObligationSuite suite = run_hermes_obligations(hermes, options);
+  auto row = [&](const std::string& label) -> const ObligationRow& {
+    for (const ObligationRow& r : suite.rows) {
+      if (r.label == label) {
+        return r;
+      }
+    }
+    ADD_FAILURE() << "missing row " << label;
+    static ObligationRow dummy;
+    return dummy;
+  };
+  // (C-2) is the heavyweight case-split row (51 CPU minutes in the paper,
+  // the largest constraint row) — it dominates both other constraints.
+  EXPECT_GT(row("(C-2)xy").checks, row("(C-3)xy").checks);
+  EXPECT_GT(row("(C-2)xy").checks, row("(C-1)xy").checks);
+}
+
+TEST(Obligations, SuiteScalesAcrossMeshSizes) {
+  for (const auto& [w, h] : {std::pair{2, 3}, std::pair{4, 2}}) {
+    const HermesInstance hermes(w, h, 2);
+    ObligationOptions options;
+    options.workloads = 1;
+    options.messages_per_workload = 6;
+    const ObligationSuite suite = run_hermes_obligations(hermes, options);
+    EXPECT_TRUE(suite.all_satisfied()) << w << "x" << h;
+  }
+}
+
+}  // namespace
+}  // namespace genoc

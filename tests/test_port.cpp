@@ -1,0 +1,97 @@
+// Tests for the paper's port model (Sec. V.1): the <x,y,P,D> tuple, trans,
+// next_in, and the coordinate convention (North decreases y).
+#include <gtest/gtest.h>
+
+#include "topology/port.hpp"
+#include "util/require.hpp"
+
+namespace genoc {
+namespace {
+
+TEST(Port, PaperNotationRoundTrip) {
+  const Port p{1, 0, PortName::kWest, Direction::kIn};
+  EXPECT_EQ(to_string(p), "<1,0,W,IN>");
+  EXPECT_EQ(x_of(p), 1);
+  EXPECT_EQ(y_of(p), 0);
+  EXPECT_EQ(port_name(p), PortName::kWest);
+  EXPECT_EQ(dir(p), Direction::kIn);
+}
+
+TEST(Port, TransStaysInNode) {
+  const Port p{3, 2, PortName::kEast, Direction::kIn};
+  const Port q = trans(p, PortName::kLocal, Direction::kOut);
+  EXPECT_EQ(q.x, 3);
+  EXPECT_EQ(q.y, 2);
+  EXPECT_EQ(q.name, PortName::kLocal);
+  EXPECT_EQ(q.dir, Direction::kOut);
+}
+
+TEST(Port, NextInMatchesPaperExample) {
+  // Paper Sec. V.1: next_in(<0,0,E,OUT>) = <1,0,W,IN>.
+  const Port p{0, 0, PortName::kEast, Direction::kOut};
+  const Port q = next_in(p);
+  EXPECT_EQ(q, (Port{1, 0, PortName::kWest, Direction::kIn}));
+}
+
+TEST(Port, NorthDecreasesY) {
+  const Port n{2, 3, PortName::kNorth, Direction::kOut};
+  EXPECT_EQ(next_in(n), (Port{2, 2, PortName::kSouth, Direction::kIn}));
+  const Port s{2, 3, PortName::kSouth, Direction::kOut};
+  EXPECT_EQ(next_in(s), (Port{2, 4, PortName::kNorth, Direction::kIn}));
+  const Port w{2, 3, PortName::kWest, Direction::kOut};
+  EXPECT_EQ(next_in(w), (Port{1, 3, PortName::kEast, Direction::kIn}));
+}
+
+TEST(Port, NextInRequiresCardinalOutPort) {
+  EXPECT_FALSE(has_next_in(Port{0, 0, PortName::kLocal, Direction::kOut}));
+  EXPECT_FALSE(has_next_in(Port{0, 0, PortName::kEast, Direction::kIn}));
+  EXPECT_TRUE(has_next_in(Port{0, 0, PortName::kEast, Direction::kOut}));
+  EXPECT_THROW(next_in(Port{0, 0, PortName::kLocal, Direction::kOut}),
+               ContractViolation);
+  EXPECT_THROW(next_in(Port{0, 0, PortName::kEast, Direction::kIn}),
+               ContractViolation);
+}
+
+TEST(Port, NextInIsInverseAcrossTheLink) {
+  // Crossing a link and crossing back via the opposite out-port returns to
+  // the mirror port of the origin.
+  for (const PortName name : {PortName::kEast, PortName::kWest,
+                              PortName::kNorth, PortName::kSouth}) {
+    const Port out{5, 5, name, Direction::kOut};
+    const Port far_in = next_in(out);
+    EXPECT_EQ(far_in.name, opposite(name));
+    const Port back = next_in(trans(far_in, far_in.name, Direction::kOut));
+    EXPECT_EQ(back, (Port{5, 5, name, Direction::kIn}));
+  }
+}
+
+TEST(Port, OppositeIsAnInvolutionOnCardinals) {
+  for (const PortName name : {PortName::kEast, PortName::kWest,
+                              PortName::kNorth, PortName::kSouth}) {
+    EXPECT_EQ(opposite(opposite(name)), name);
+    EXPECT_NE(opposite(name), name);
+  }
+  EXPECT_THROW(opposite(PortName::kLocal), ContractViolation);
+}
+
+TEST(Port, OrderingAndHashingAreConsistent) {
+  const Port a{0, 0, PortName::kEast, Direction::kIn};
+  const Port b{0, 0, PortName::kEast, Direction::kOut};
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+  const std::hash<Port> h;
+  EXPECT_EQ(h(a), h(Port{0, 0, PortName::kEast, Direction::kIn}));
+}
+
+TEST(Port, LetterNames) {
+  EXPECT_EQ(port_name_letter(PortName::kEast), 'E');
+  EXPECT_EQ(port_name_letter(PortName::kWest), 'W');
+  EXPECT_EQ(port_name_letter(PortName::kNorth), 'N');
+  EXPECT_EQ(port_name_letter(PortName::kSouth), 'S');
+  EXPECT_EQ(port_name_letter(PortName::kLocal), 'L');
+  EXPECT_STREQ(direction_name(Direction::kIn), "IN");
+  EXPECT_STREQ(direction_name(Direction::kOut), "OUT");
+}
+
+}  // namespace
+}  // namespace genoc

@@ -1,0 +1,102 @@
+// Tests for route computation: the R : Σ -> Σ generalization machinery.
+#include <gtest/gtest.h>
+
+#include "routing/fully_adaptive.hpp"
+#include "routing/route.hpp"
+#include "routing/xy.hpp"
+#include "util/require.hpp"
+
+namespace genoc {
+namespace {
+
+TEST(Route, ComputeRouteEndpoints) {
+  const Mesh2D mesh(3, 3);
+  const XYRouting xy(mesh);
+  const Port from = mesh.local_in(0, 2);
+  const Port to = mesh.local_out(2, 0);
+  const Route r = compute_route(xy, from, to);
+  EXPECT_EQ(r.front(), from);
+  EXPECT_EQ(r.back(), to);
+  EXPECT_EQ(r.size(), minimal_route_length(from, to));
+}
+
+TEST(Route, ComputeRouteFromMidNetworkPort) {
+  // Routes can start anywhere reachability allows (used by the witness
+  // builder): from an in-port mid-mesh.
+  const Mesh2D mesh(3, 3);
+  const XYRouting xy(mesh);
+  const Port from{1, 1, PortName::kWest, Direction::kIn};
+  const Port to = mesh.local_out(2, 2);
+  ASSERT_TRUE(xy.reachable(from, to));
+  const Route r = compute_route(xy, from, to);
+  EXPECT_EQ(r.front(), from);
+  EXPECT_EQ(r.back(), to);
+  EXPECT_TRUE(is_valid_route(xy, r, from, to));
+}
+
+TEST(Route, ComputeRouteRejectsUnreachablePairs) {
+  const Mesh2D mesh(3, 3);
+  const XYRouting xy(mesh);
+  const Port e_in{1, 1, PortName::kEast, Direction::kIn};
+  EXPECT_THROW(compute_route(xy, e_in, mesh.local_out(2, 1)),
+               ContractViolation);
+}
+
+TEST(Route, ComputeRouteRejectsAdaptiveFunctions) {
+  const Mesh2D mesh(3, 3);
+  const FullyAdaptiveRouting fa(mesh);
+  EXPECT_THROW(
+      compute_route(fa, mesh.local_in(0, 0), mesh.local_out(2, 2)),
+      ContractViolation);
+}
+
+TEST(Route, EnumerateRoutesDeterministicGivesOne) {
+  const Mesh2D mesh(3, 3);
+  const XYRouting xy(mesh);
+  const auto routes = enumerate_routes(xy, mesh.local_in(0, 0),
+                                       mesh.local_out(2, 2), 10);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0],
+            compute_route(xy, mesh.local_in(0, 0), mesh.local_out(2, 2)));
+}
+
+TEST(Route, EnumerateRoutesHonoursCap) {
+  const Mesh2D mesh(4, 4);
+  const FullyAdaptiveRouting fa(mesh);
+  const Port from = mesh.local_in(0, 0);
+  const Port to = mesh.local_out(3, 3);  // C(6,3) = 20 minimal node paths
+  EXPECT_EQ(enumerate_routes(fa, from, to, 1000).size(), 20u);
+  EXPECT_EQ(enumerate_routes(fa, from, to, 5).size(), 5u);
+  EXPECT_TRUE(enumerate_routes(fa, from, to, 0).empty());
+}
+
+TEST(Route, IsValidRouteRejectsCorruptedPaths) {
+  const Mesh2D mesh(3, 3);
+  const XYRouting xy(mesh);
+  const Port from = mesh.local_in(0, 0);
+  const Port to = mesh.local_out(2, 0);
+  Route r = compute_route(xy, from, to);
+  EXPECT_TRUE(is_valid_route(xy, r, from, to));
+  // Wrong start/end.
+  EXPECT_FALSE(is_valid_route(xy, r, mesh.local_in(1, 1), to));
+  EXPECT_FALSE(is_valid_route(xy, r, from, mesh.local_out(1, 1)));
+  // A skipped hop breaks the chain.
+  Route skipped = r;
+  skipped.erase(skipped.begin() + 1);
+  EXPECT_FALSE(is_valid_route(xy, skipped, from, to));
+  // Empty route.
+  EXPECT_FALSE(is_valid_route(xy, {}, from, to));
+}
+
+TEST(Route, ManhattanAndMinimalLength) {
+  const Port a{0, 0, PortName::kLocal, Direction::kIn};
+  const Port b{3, 2, PortName::kLocal, Direction::kOut};
+  EXPECT_EQ(manhattan_distance(a, b), 5u);
+  EXPECT_EQ(minimal_route_length(a, b), 12u);
+  EXPECT_EQ(minimal_route_length(a, Port{0, 0, PortName::kLocal,
+                                         Direction::kOut}),
+            2u);
+}
+
+}  // namespace
+}  // namespace genoc

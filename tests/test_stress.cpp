@@ -1,0 +1,93 @@
+// Stress and scale tests: larger meshes, heavier traffic, longer worms.
+// These exist to catch quadratic blowups and invariant violations that
+// only appear under load; runtimes are kept to a few seconds total.
+#include <gtest/gtest.h>
+
+#include "core/hermes.hpp"
+#include "core/injection_time.hpp"
+#include "core/theorems.hpp"
+#include "deadlock/constraints.hpp"
+#include "deadlock/flows.hpp"
+#include "routing/yx.hpp"
+#include "sim/simulator.hpp"
+
+namespace genoc {
+namespace {
+
+TEST(Stress, EightByEightHeavyUniformTraffic) {
+  const HermesInstance hermes(8, 8, 2);
+  Rng rng(1234);
+  const auto pairs = uniform_random_traffic(hermes.mesh(), 256, rng);
+  Config config = hermes.make_config(pairs, 8);
+  const GenocRunResult run = hermes.run(config);
+  EXPECT_TRUE(run.evacuated);
+  EXPECT_EQ(run.measure_violations, 0u);
+  EXPECT_TRUE(check_correctness(config, hermes.routing()).holds);
+  EXPECT_TRUE(check_evacuation(config, run).holds);
+  EXPECT_TRUE(check_injection_bound(config, run).all_within_generic_bound);
+  config.state().validate();
+}
+
+TEST(Stress, LongWormsOnTinyBuffers) {
+  // Worms far longer than any buffer chain: maximal pipelining pressure.
+  const HermesInstance hermes(4, 4, 1);
+  Rng rng(77);
+  const auto pairs = uniform_random_traffic(hermes.mesh(), 32, rng);
+  Config config = hermes.make_config(pairs, 64);
+  const GenocRunResult run = hermes.run(config);
+  EXPECT_TRUE(run.evacuated);
+  EXPECT_EQ(run.measure_violations, 0u);
+}
+
+TEST(Stress, ConstraintDischargeOnTwelveByTwelve) {
+  const Mesh2D mesh(12, 12);
+  const XYRouting xy(mesh);
+  const PortDepGraph dep = build_exy_dep(mesh);
+  EXPECT_TRUE(check_c1(xy, dep).satisfied);
+  EXPECT_TRUE(check_c3(dep).satisfied);
+  EXPECT_TRUE(verify_flow_certificate(dep));
+}
+
+TEST(Stress, FlowCertificateOnHugeMeshes) {
+  // The closed-form certificate is the cheap path to (C-3) at scale: a
+  // 64x64 mesh has ~40k ports and ~100k edges; certification is O(E).
+  for (const std::int32_t side : {32, 64}) {
+    const Mesh2D mesh(side, side);
+    const PortDepGraph dep = build_exy_dep(mesh);
+    EXPECT_TRUE(verify_flow_certificate(dep)) << side;
+    EXPECT_TRUE(verify_flow_certificate(build_dep_graph(YXRouting(mesh)),
+                                        &yx_flow_rank))
+        << side;
+  }
+}
+
+TEST(Stress, ManySmallRunsStayDeterministic) {
+  // The whole pipeline is deterministic: identical seeds, identical runs.
+  const HermesInstance hermes(5, 5, 2);
+  auto run_once = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    const auto pairs = uniform_random_traffic(hermes.mesh(), 40, rng);
+    Config config = hermes.make_config(pairs, 4);
+    const GenocRunResult run = hermes.run(config);
+    return std::make_tuple(run.steps, run.total_flit_moves, config.digest());
+  };
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    EXPECT_EQ(run_once(seed), run_once(seed)) << "seed " << seed;
+  }
+}
+
+TEST(Stress, ExtremeAspectRatios) {
+  for (const auto& [w, h] : {std::pair{16, 1}, std::pair{1, 16},
+                            std::pair{16, 2}, std::pair{2, 16}}) {
+    const HermesInstance hermes(w, h, 1);
+    EXPECT_TRUE(hermes.verify_deadlock_free().holds) << w << "x" << h;
+    Rng rng(5);
+    const auto pairs = uniform_random_traffic(hermes.mesh(), 24, rng);
+    Config config = hermes.make_config(pairs, 3);
+    const GenocRunResult run = hermes.run(config);
+    EXPECT_TRUE(run.evacuated) << w << "x" << h;
+  }
+}
+
+}  // namespace
+}  // namespace genoc

@@ -1,0 +1,105 @@
+// Tests for Tarjan SCC and the condensation (Taktak-style analysis core).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/cycle.hpp"
+#include "graph/tarjan.hpp"
+
+namespace genoc {
+namespace {
+
+TEST(Tarjan, SingletonComponentsInDag) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.finalize();
+  const SccResult scc = tarjan_scc(g);
+  EXPECT_EQ(scc.components.size(), 4u);
+  for (const auto& comp : scc.components) {
+    EXPECT_EQ(comp.size(), 1u);
+  }
+  EXPECT_FALSE(has_nontrivial_scc(g));
+}
+
+TEST(Tarjan, RingIsOneComponent) {
+  Digraph g(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);
+  }
+  g.finalize();
+  const SccResult scc = tarjan_scc(g);
+  EXPECT_EQ(scc.components.size(), 1u);
+  EXPECT_EQ(scc.components[0].size(), 5u);
+  EXPECT_TRUE(has_nontrivial_scc(g));
+}
+
+TEST(Tarjan, MixedComponents) {
+  // Two 2-cycles bridged by a path: {0,1}, {3,4} non-trivial; 2 trivial.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 3);
+  g.finalize();
+  const SccResult scc = tarjan_scc(g);
+  EXPECT_EQ(scc.components.size(), 3u);
+  std::vector<std::size_t> sizes;
+  for (const auto& comp : scc.components) {
+    sizes.push_back(comp.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2, 2}));
+  // Vertices of one 2-cycle share a component id.
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[3], scc.component[4]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+}
+
+TEST(Tarjan, SelfLoopIsNontrivial) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  g.finalize();
+  EXPECT_TRUE(has_nontrivial_scc(g));
+  const SccResult scc = tarjan_scc(g);
+  EXPECT_EQ(scc.components.size(), 2u);
+}
+
+TEST(Tarjan, CondensationIsAcyclicDag) {
+  // Build a graph with several interleaved cycles; its condensation must
+  // always be a DAG.
+  Digraph g(8);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);  // SCC {0,1,2}
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);  // SCC {3,4,5}
+  g.add_edge(5, 6);
+  g.add_edge(6, 7);
+  g.finalize();
+  const SccResult scc = tarjan_scc(g);
+  const Digraph dag = condensation(g, scc);
+  EXPECT_EQ(dag.vertex_count(), 4u);
+  EXPECT_TRUE(is_acyclic(dag));
+  // The bridge edges survive.
+  EXPECT_EQ(dag.edge_count(), 3u);
+}
+
+TEST(Tarjan, DeepChainDoesNotOverflow) {
+  constexpr std::size_t n = 200000;
+  Digraph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(i, i + 1);
+  }
+  g.finalize();
+  const SccResult scc = tarjan_scc(g);
+  EXPECT_EQ(scc.components.size(), n);
+}
+
+}  // namespace
+}  // namespace genoc

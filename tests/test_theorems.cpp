@@ -1,0 +1,110 @@
+// Tests for the three global theorem checkers: CorrThm, DeadThm, EvacThm.
+#include <gtest/gtest.h>
+
+#include "core/hermes.hpp"
+#include "core/theorems.hpp"
+#include "routing/fully_adaptive.hpp"
+#include "routing/yx.hpp"
+
+namespace genoc {
+namespace {
+
+TEST(Theorems, CorrectnessHoldsOnAnHonestRun) {
+  const HermesInstance hermes(3, 3, 2);
+  Config config = hermes.make_config(
+      {{NodeCoord{0, 0}, NodeCoord{2, 2}},
+       {NodeCoord{2, 0}, NodeCoord{0, 2}},
+       {NodeCoord{1, 1}, NodeCoord{1, 1}}},
+      3);
+  hermes.run(config);
+  const TheoremReport report = check_correctness(config, hermes.routing());
+  EXPECT_TRUE(report.holds) << report.summary();
+  EXPECT_EQ(report.checks, 3u);
+  EXPECT_NE(report.summary().find("CorrThm"), std::string::npos);
+}
+
+TEST(Theorems, CorrectnessFailsForRoutesOfAnotherFunction) {
+  // Travels routed by fully-adaptive choices that XY would never make:
+  // CorrThm's "followed a valid path" clause must fire when audited
+  // against XY.
+  const Mesh2D mesh(3, 3);
+  const FullyAdaptiveRouting fa(mesh);
+  const HermesInstance hermes(3, 3, 2);
+  Config config(mesh, 2);
+  // A route that goes South first, then East — valid for FA, illegal for XY.
+  Route route{mesh.local_in(0, 0),
+              Port{0, 0, PortName::kSouth, Direction::kOut},
+              Port{0, 1, PortName::kNorth, Direction::kIn},
+              Port{0, 1, PortName::kEast, Direction::kOut},
+              Port{1, 1, PortName::kWest, Direction::kIn},
+              mesh.local_out(1, 1)};
+  config.add_travel(make_travel_with_route(1, fa, route, 2));
+  const IdentityInjection iid;
+  const WormholeSwitching wh;
+  const FlitLevelMeasure mu;
+  const GenocInterpreter interpreter(iid, wh, mu);
+  interpreter.run(config);
+  EXPECT_TRUE(check_correctness(config, fa).holds);
+  const TheoremReport against_xy =
+      check_correctness(config, hermes.routing());
+  EXPECT_FALSE(against_xy.holds);
+  ASSERT_FALSE(against_xy.failures.empty());
+  EXPECT_NE(against_xy.failures.front().find("path"), std::string::npos);
+}
+
+TEST(Theorems, DeadThmHoldsForDeterministicDeadlockFreeFunctions) {
+  const Mesh2D mesh(4, 3);
+  const HermesInstance hermes(4, 3, 2);
+  const TheoremReport xy_report = hermes.verify_deadlock_free();
+  EXPECT_TRUE(xy_report.holds) << xy_report.summary();
+
+  const YXRouting yx(mesh);
+  const PortDepGraph yx_dep = build_dep_graph(yx);
+  EXPECT_TRUE(check_deadlock_theorem(yx, yx_dep).holds);
+}
+
+TEST(Theorems, DeadThmFailsForFullyAdaptive) {
+  const Mesh2D mesh(3, 3);
+  const FullyAdaptiveRouting fa(mesh);
+  const PortDepGraph dep = build_dep_graph(fa);
+  const TheoremReport report = check_deadlock_theorem(fa, dep);
+  EXPECT_FALSE(report.holds);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures.front().find("C-3"), std::string::npos);
+}
+
+TEST(Theorems, EvacThmHoldsOnFinishedRuns) {
+  const HermesInstance hermes(3, 3, 1);
+  Config config = hermes.make_config(
+      {{NodeCoord{0, 0}, NodeCoord{2, 1}}, {NodeCoord{2, 2}, NodeCoord{0, 0}}},
+      5);
+  const GenocRunResult run = hermes.run(config);
+  const TheoremReport report = check_evacuation(config, run);
+  EXPECT_TRUE(report.holds) << report.summary();
+}
+
+TEST(Theorems, EvacThmFailsOnAnUnfinishedRun) {
+  const HermesInstance hermes(3, 3, 1);
+  Config config = hermes.make_config(
+      {{NodeCoord{0, 0}, NodeCoord{2, 1}}}, 2);
+  GenocRunResult fake_run;  // zero steps, nothing arrived
+  fake_run.evacuated = false;
+  const TheoremReport report = check_evacuation(config, fake_run);
+  EXPECT_FALSE(report.holds);
+}
+
+TEST(Theorems, EvacThmFlagsMeasureViolations) {
+  const HermesInstance hermes(2, 2, 1);
+  Config config = hermes.make_config(
+      {{NodeCoord{0, 0}, NodeCoord{1, 1}}}, 1);
+  GenocRunResult run = hermes.run(config);
+  ASSERT_TRUE(run.evacuated);
+  run.measure_violations = 2;  // simulate a (C-5) breach
+  const TheoremReport report = check_evacuation(config, run);
+  EXPECT_FALSE(report.holds);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures.front().find("C-5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace genoc

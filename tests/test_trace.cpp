@@ -1,0 +1,73 @@
+// Tests for the per-step trace recorder.
+#include <gtest/gtest.h>
+
+#include "core/hermes.hpp"
+#include "sim/trace.hpp"
+
+namespace genoc {
+namespace {
+
+TEST(Trace, RecordsEveryStepConsistently) {
+  const HermesInstance hermes(3, 3, 2);
+  Config config = hermes.make_config(
+      {{NodeCoord{0, 0}, NodeCoord{2, 2}}, {NodeCoord{2, 0}, NodeCoord{0, 2}}},
+      3);
+  TraceRecorder recorder(hermes.measure());
+  GenocOptions options;
+  options.observer = recorder.observer();
+  const GenocRunResult run = hermes.run(config, options);
+  ASSERT_TRUE(run.evacuated);
+  ASSERT_EQ(recorder.rows().size(), run.steps);
+
+  std::size_t total_moves = 0;
+  std::size_t total_entered = 0;
+  std::size_t total_delivered = 0;
+  std::uint64_t previous_measure = run.initial_measure;
+  for (std::size_t i = 0; i < recorder.rows().size(); ++i) {
+    const TraceRow& row = recorder.rows()[i];
+    EXPECT_EQ(row.step, i + 1);
+    total_moves += row.flits_moved;
+    total_entered += row.packets_entered;
+    total_delivered += row.packets_delivered;
+    // The measure trace is strictly decreasing and each step's decrease
+    // equals its flit moves (each move is one hop).
+    EXPECT_EQ(previous_measure - row.measure, row.flits_moved);
+    previous_measure = row.measure;
+  }
+  EXPECT_EQ(total_moves, run.total_flit_moves);
+  EXPECT_EQ(total_entered, config.travels().size());
+  EXPECT_EQ(total_delivered, config.travels().size());
+  EXPECT_EQ(recorder.rows().back().measure, 0u);
+  EXPECT_EQ(recorder.rows().back().pending_travels, 0u);
+  EXPECT_EQ(recorder.rows().back().flits_in_flight, 0u);
+}
+
+TEST(Trace, CsvSerialization) {
+  const HermesInstance hermes(2, 2, 1);
+  Config config = hermes.make_config({{NodeCoord{0, 0}, NodeCoord{1, 1}}}, 2);
+  TraceRecorder recorder(hermes.measure());
+  GenocOptions options;
+  options.observer = recorder.observer();
+  hermes.run(config, options);
+  const std::string csv = recorder.to_csv();
+  EXPECT_NE(csv.find("step,flits_moved"), std::string::npos);
+  // Header + one line per step.
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, recorder.rows().size() + 1);
+}
+
+TEST(Trace, ClearResets) {
+  const HermesInstance hermes(2, 2, 1);
+  Config config = hermes.make_config({{NodeCoord{0, 0}, NodeCoord{1, 0}}}, 1);
+  TraceRecorder recorder(hermes.measure());
+  GenocOptions options;
+  options.observer = recorder.observer();
+  hermes.run(config, options);
+  EXPECT_FALSE(recorder.rows().empty());
+  recorder.clear();
+  EXPECT_TRUE(recorder.rows().empty());
+}
+
+}  // namespace
+}  // namespace genoc

@@ -1,0 +1,160 @@
+// Tests for the traffic generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/require.hpp"
+#include "workload/traffic.hpp"
+
+namespace genoc {
+namespace {
+
+void expect_pairs_in_mesh(const Mesh2D& mesh,
+                          const std::vector<TrafficPair>& pairs) {
+  for (const TrafficPair& p : pairs) {
+    EXPECT_TRUE(mesh.contains_node(p.source.x, p.source.y));
+    EXPECT_TRUE(mesh.contains_node(p.dest.x, p.dest.y));
+  }
+}
+
+TEST(Traffic, UniformRandomBasics) {
+  const Mesh2D mesh(4, 4);
+  Rng rng(1);
+  const auto pairs = uniform_random_traffic(mesh, 50, rng);
+  EXPECT_EQ(pairs.size(), 50u);
+  expect_pairs_in_mesh(mesh, pairs);
+  for (const TrafficPair& p : pairs) {
+    EXPECT_NE(p.source, p.dest);
+  }
+  // Deterministic given the seed.
+  Rng rng2(1);
+  const auto again = uniform_random_traffic(mesh, 50, rng2);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(pairs[i].source, again[i].source);
+    EXPECT_EQ(pairs[i].dest, again[i].dest);
+  }
+  // allow_self admits self-pairs eventually.
+  Rng rng3(3);
+  const auto with_self = uniform_random_traffic(mesh, 500, rng3, true);
+  bool any_self = false;
+  for (const TrafficPair& p : with_self) {
+    any_self |= (p.source == p.dest);
+  }
+  EXPECT_TRUE(any_self);
+}
+
+TEST(Traffic, TransposeMapsXYToYX) {
+  const Mesh2D mesh(4, 4);
+  const auto pairs = transpose_traffic(mesh);
+  // Diagonal nodes are skipped: 16 - 4 = 12 pairs on a square mesh.
+  EXPECT_EQ(pairs.size(), 12u);
+  for (const TrafficPair& p : pairs) {
+    EXPECT_EQ(p.dest.x, p.source.y);
+    EXPECT_EQ(p.dest.y, p.source.x);
+  }
+}
+
+TEST(Traffic, BitReversalIsAPermutationImage) {
+  const Mesh2D mesh(4, 4);  // 16 nodes, 4 bits
+  const auto pairs = bit_reversal_traffic(mesh);
+  expect_pairs_in_mesh(mesh, pairs);
+  for (const TrafficPair& p : pairs) {
+    EXPECT_NE(p.source, p.dest);
+  }
+  // Node (1,0) = index 1 = 0b0001 -> 0b1000 = index 8 = (0,2).
+  bool found = false;
+  for (const TrafficPair& p : pairs) {
+    if (p.source == NodeCoord{1, 0}) {
+      EXPECT_EQ(p.dest, (NodeCoord{0, 2}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Traffic, HotspotSkewsDestinations) {
+  const Mesh2D mesh(4, 4);
+  Rng rng(5);
+  const NodeCoord hotspot{1, 1};
+  const auto pairs = hotspot_traffic(mesh, 400, hotspot, 0.7, rng);
+  EXPECT_EQ(pairs.size(), 400u);
+  std::size_t to_hotspot = 0;
+  for (const TrafficPair& p : pairs) {
+    if (p.dest == hotspot) {
+      ++to_hotspot;
+    }
+  }
+  EXPECT_GT(to_hotspot, 200u);
+  EXPECT_THROW(hotspot_traffic(mesh, 1, NodeCoord{9, 9}, 0.5, rng),
+               ContractViolation);
+  EXPECT_THROW(hotspot_traffic(mesh, 1, hotspot, 1.5, rng),
+               ContractViolation);
+}
+
+TEST(Traffic, AllToOneAndOneToAll) {
+  const Mesh2D mesh(3, 3);
+  const auto in = all_to_one_traffic(mesh, NodeCoord{1, 1});
+  EXPECT_EQ(in.size(), 8u);
+  for (const TrafficPair& p : in) {
+    EXPECT_EQ(p.dest, (NodeCoord{1, 1}));
+  }
+  const auto out = one_to_all_traffic(mesh, NodeCoord{0, 0});
+  EXPECT_EQ(out.size(), 8u);
+  for (const TrafficPair& p : out) {
+    EXPECT_EQ(p.source, (NodeCoord{0, 0}));
+  }
+}
+
+TEST(Traffic, NeighborWrapsRows) {
+  const Mesh2D mesh(3, 2);
+  const auto pairs = neighbor_traffic(mesh);
+  EXPECT_EQ(pairs.size(), 6u);
+  for (const TrafficPair& p : pairs) {
+    EXPECT_EQ(p.dest.x, (p.source.x + 1) % 3);
+    EXPECT_EQ(p.dest.y, p.source.y);
+  }
+}
+
+TEST(Traffic, PermutationHasDistinctDestinations) {
+  const Mesh2D mesh(4, 4);
+  Rng rng(11);
+  const auto pairs = permutation_traffic(mesh, rng);
+  std::set<std::pair<int, int>> dests;
+  for (const TrafficPair& p : pairs) {
+    EXPECT_NE(p.source, p.dest);
+    dests.emplace(p.dest.x, p.dest.y);
+  }
+  EXPECT_EQ(dests.size(), pairs.size());
+}
+
+TEST(Traffic, RingCoversThePerimeter) {
+  const Mesh2D mesh(4, 3);
+  const auto pairs = ring_traffic(mesh, 2);
+  // Perimeter of a 4x3 mesh: 2*4 + 2*3 - 4 = 10 nodes.
+  EXPECT_EQ(pairs.size(), 10u);
+  expect_pairs_in_mesh(mesh, pairs);
+  for (const TrafficPair& p : pairs) {
+    const bool on_border = p.source.x == 0 || p.source.x == 3 ||
+                           p.source.y == 0 || p.source.y == 2;
+    EXPECT_TRUE(on_border);
+  }
+  EXPECT_THROW(ring_traffic(mesh, 0), ContractViolation);
+}
+
+TEST(Traffic, DispatcherCoversEveryPattern) {
+  const Mesh2D mesh(4, 4);
+  for (const TrafficPattern pattern :
+       {TrafficPattern::kUniformRandom, TrafficPattern::kTranspose,
+        TrafficPattern::kBitReversal, TrafficPattern::kHotspot,
+        TrafficPattern::kAllToOne, TrafficPattern::kNeighbor,
+        TrafficPattern::kPermutation, TrafficPattern::kRing}) {
+    Rng rng(2);
+    const auto pairs = generate_traffic(pattern, mesh, 20, rng);
+    EXPECT_FALSE(pairs.empty()) << traffic_pattern_name(pattern);
+    expect_pairs_in_mesh(mesh, pairs);
+    EXPECT_STRNE(traffic_pattern_name(pattern), "?");
+  }
+}
+
+}  // namespace
+}  // namespace genoc

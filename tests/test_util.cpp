@@ -1,0 +1,163 @@
+// Tests for the util substrate: contracts, RNG, table, CSV, DOT, stopwatch.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/dot.hpp"
+#include "util/log.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace genoc {
+namespace {
+
+TEST(Require, ThrowsWithContext) {
+  try {
+    GENOC_REQUIRE(1 == 2, "the impossible happened");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("the impossible happened"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+  EXPECT_NO_THROW(GENOC_REQUIRE(true, ""));
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42);
+  Rng b(42);
+  Rng c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_THROW(rng.below(0), ContractViolation);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(rng.range(2, 1), ContractViolation);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(9);
+  const auto perm = rng.permutation(50);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"File", "Lines"});
+  t.add_row({"Rxy", "1173"});
+  t.add_separator();
+  t.add_row({"Overall", "13261"});
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Rxy"), std::string::npos);
+  EXPECT_NE(out.find("13261"), std::string::npos);
+  EXPECT_NE(out.find("| File"), std::string::npos);
+  EXPECT_THROW(t.add_row({"too", "many", "cells"}), ContractViolation);
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_count(13261), "13,261");
+  EXPECT_EQ(format_count(7), "7");
+  EXPECT_EQ(format_count(1000000), "1,000,000");
+}
+
+TEST(Csv, QuotesOnlyWhenNeeded) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"plain", "with,comma"});
+  csv.add_row({"with\"quote", "with\nnewline"});
+  const std::string out = csv.render();
+  EXPECT_NE(out.find("a,b\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_THROW(csv.add_row({"one"}), ContractViolation);
+}
+
+TEST(Dot, RendersAndEscapes) {
+  const std::vector<std::pair<std::size_t, std::size_t>> edges{{0, 1}};
+  const std::string dot =
+      to_dot(2, edges, [](std::size_t v) {
+        return v == 0 ? std::string("a\"b") : std::string("<1,0,W,IN>");
+      });
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("a\\\"b"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_THROW(to_dot(1, edges, [](std::size_t) { return ""; }),
+               ContractViolation);
+}
+
+TEST(Stopwatch, Monotone) {
+  Stopwatch sw;
+  const double t1 = sw.elapsed_ms();
+  const double t2 = sw.elapsed_ms();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0.0);
+  sw.reset();
+  EXPECT_GE(sw.elapsed_s(), 0.0);
+}
+
+TEST(Log, LevelsFilter) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  GENOC_INFO("this is filtered, nothing to assert beyond no crash");
+  set_log_level(old);
+}
+
+}  // namespace
+}  // namespace genoc
