@@ -1,0 +1,112 @@
+#include "cli/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace genoc::cli {
+
+namespace {
+
+bool is_flag(const std::string& token) {
+  return token.size() > 2 && token.rfind("--", 0) == 0;
+}
+
+}  // namespace
+
+Args::Args(int argc, char** argv, int begin) {
+  for (int i = begin; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!is_flag(token)) {
+      positionals_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";  // bare boolean flag
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      throw std::invalid_argument(it->second);
+    }
+    return value;
+  } catch (const std::exception&) {
+    errors_.push_back("--" + name + " expects an integer, got '" + it->second +
+                      "'");
+    return fallback;
+  }
+}
+
+std::int64_t Args::get_int_in(const std::string& name, std::int64_t fallback,
+                              std::int64_t lo, std::int64_t hi) const {
+  const std::int64_t value = get_int(name, fallback);
+  if (value < lo || value > hi) {
+    errors_.push_back("--" + name + " must be in [" + std::to_string(lo) +
+                      ", " + std::to_string(hi) + "], got " +
+                      std::to_string(value));
+    return fallback;
+  }
+  return value;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      throw std::invalid_argument(it->second);
+    }
+    return value;
+  } catch (const std::exception&) {
+    errors_.push_back("--" + name + " expects a number, got '" + it->second +
+                      "'");
+    return fallback;
+  }
+}
+
+std::vector<std::string> Args::unknown_flags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    if (queried_.count(key) == 0) {
+      unknown.push_back("--" + key);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace genoc::cli

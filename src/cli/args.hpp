@@ -1,0 +1,60 @@
+/// \file args.hpp
+/// \brief Tiny GNU-style flag parser for the `genoc` driver: `--key value`,
+///        `--key=value`, and bare boolean `--flag` forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace genoc::cli {
+
+/// Parsed command-line options for one subcommand invocation.
+///
+/// Construction never fails; errors (unknown flags, bad numbers) surface
+/// through unknown_flags() / the typed getters so each subcommand can print
+/// its own usage string alongside the complaint.
+class Args {
+ public:
+  /// Parses argv[begin..argc). Tokens starting with "--" become flags; a
+  /// flag's value is either its "=..." suffix or the following token (when
+  /// that token is not itself a flag). Everything else is a positional.
+  Args(int argc, char** argv, int begin);
+
+  /// True iff \p name was given (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String value of \p name, or \p fallback when absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Integer value of \p name, or \p fallback when absent. A malformed
+  /// number records an error retrievable via errors().
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Like get_int, but additionally records an error when the value falls
+  /// outside [lo, hi] — the guard that keeps `--messages -5` or a 10^10-node
+  /// mesh from reaching the library as a wrapped-around std::size_t.
+  std::int64_t get_int_in(const std::string& name, std::int64_t fallback,
+                          std::int64_t lo, std::int64_t hi) const;
+
+  /// Double value of \p name, or \p fallback when absent.
+  double get_double(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// Flags that were provided but never queried by the subcommand; call
+  /// after all get*/has calls to reject typos like `--widht`.
+  std::vector<std::string> unknown_flags() const;
+
+  /// Parse errors accumulated by the typed getters.
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positionals_;
+  mutable std::vector<std::string> errors_;
+};
+
+}  // namespace genoc::cli

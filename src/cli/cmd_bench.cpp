@@ -1,0 +1,253 @@
+/// \file cmd_bench.cpp
+/// \brief `genoc bench` — timed micro-benchmarks over the library's hot
+///        paths, with machine-readable `BENCH_<name>.json` output so the
+///        perf trajectory accumulates across PRs.
+///
+/// Self-contained on purpose: the Google-Benchmark reproductions under
+/// bench/ stay available as separate binaries, but this subcommand must run
+/// (and emit JSON) on machines without libbenchmark.
+#include <atomic>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "cli/json_writer.hpp"
+#include "core/obligations.hpp"
+#include "deadlock/depgraph.hpp"
+#include "graph/cycle.hpp"
+#include "graph/tarjan.hpp"
+#include "sim/simulator.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "workload/traffic.hpp"
+
+namespace genoc::cli {
+
+namespace {
+
+constexpr const char* kUsage =
+    "Usage: genoc bench [options]\n"
+    "  --json          write one BENCH_<name>.json per benchmark\n"
+    "  --out-dir DIR   directory for the JSON files (default: cwd)\n"
+    "  --filter STR    only run benchmarks whose name contains STR\n"
+    "  --min-ms N      minimum measured time per benchmark (default 100)\n";
+
+/// Opaque sink defeating dead-code elimination of benchmark bodies.
+std::atomic<std::uint64_t> g_sink{0};
+
+void keep(std::uint64_t value) {
+  g_sink.fetch_add(value, std::memory_order_relaxed);
+}
+
+struct MicroBench {
+  std::string name;
+  std::string what;
+  std::function<void()> body;
+};
+
+struct BenchResult {
+  std::string name;
+  std::string what;
+  std::uint64_t iterations = 0;
+  double total_ms = 0.0;
+  double ns_per_op() const {
+    return iterations == 0 ? 0.0 : total_ms * 1e6 / iterations;
+  }
+  double ops_per_sec() const {
+    return total_ms <= 0.0 ? 0.0 : iterations * 1e3 / total_ms;
+  }
+};
+
+/// Runs \p bench until at least \p min_ms of measured wall time has
+/// accumulated, growing the batch geometrically so the timer overhead
+/// amortizes away.
+BenchResult run_bench(const MicroBench& bench, double min_ms) {
+  bench.body();  // warm-up (first-touch allocations, caches)
+  BenchResult result{bench.name, bench.what, 0, 0.0};
+  std::uint64_t batch = 1;
+  Stopwatch total;
+  while (true) {
+    Stopwatch timer;
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      bench.body();
+    }
+    result.total_ms += timer.elapsed_ms();
+    result.iterations += batch;
+    if (result.total_ms >= min_ms) {
+      break;
+    }
+    if (total.elapsed_ms() > 100.0 * min_ms) {
+      break;  // safety valve for pathologically slow bodies
+    }
+    batch *= 2;
+  }
+  return result;
+}
+
+std::vector<MicroBench> build_suite() {
+  std::vector<MicroBench> suite;
+
+  suite.push_back({"mesh_construct_16x16", "Mesh2D(16,16) construction", [] {
+                     const Mesh2D mesh(16, 16);
+                     keep(mesh.port_count());
+                   }});
+
+  {
+    auto mesh = std::make_shared<Mesh2D>(8, 8);
+    suite.push_back({"exy_dep_8x8", "closed-form Exy_dep on 8x8", [mesh] {
+                       const PortDepGraph dep = build_exy_dep(*mesh);
+                       keep(dep.graph.edge_count());
+                     }});
+    auto routing = std::make_shared<XYRouting>(*mesh);
+    suite.push_back(
+        {"depgraph_generic_8x8", "generic build_dep_graph on 8x8", [routing] {
+           const PortDepGraph dep = build_dep_graph(*routing);
+           keep(dep.graph.edge_count());
+         }});
+  }
+
+  {
+    auto dep = std::make_shared<PortDepGraph>(build_exy_dep(Mesh2D(16, 16)));
+    suite.push_back({"cycle_check_16x16", "is_acyclic on Exy_dep(16x16)",
+                     [dep] { keep(is_acyclic(dep->graph) ? 1 : 0); }});
+    suite.push_back({"tarjan_scc_16x16", "Tarjan SCC on Exy_dep(16x16)",
+                     [dep] {
+                       const SccResult scc = tarjan_scc(dep->graph);
+                       keep(scc.components.size());
+                     }});
+  }
+
+  {
+    auto hermes = std::make_shared<HermesInstance>(3, 3, 2);
+    suite.push_back(
+        {"verify_obligations_3x3", "full obligation suite on 3x3", [hermes] {
+           ObligationOptions options;
+           options.workloads = 1;
+           options.messages_per_workload = 12;
+           const ObligationSuite suite_run =
+               run_hermes_obligations(*hermes, options);
+           keep(suite_run.all_satisfied() ? 1 : 0);
+         }});
+  }
+
+  {
+    auto hermes = std::make_shared<HermesInstance>(8, 8, 2);
+    Rng rng(2010);
+    auto uniform = std::make_shared<std::vector<TrafficPair>>(
+        uniform_random_traffic(hermes->mesh(), 128, rng));
+    suite.push_back(
+        {"sim_uniform_8x8", "GeNoC2D, 128 uniform messages on 8x8",
+         [hermes, uniform] {
+           const SimulationReport report = simulate(*hermes, *uniform);
+           keep(report.run.steps);
+         }});
+    auto transpose = std::make_shared<std::vector<TrafficPair>>(
+        transpose_traffic(hermes->mesh()));
+    suite.push_back(
+        {"sim_transpose_8x8", "GeNoC2D, transpose pattern on 8x8",
+         [hermes, transpose] {
+           const SimulationReport report = simulate(*hermes, *transpose);
+           keep(report.run.steps);
+         }});
+  }
+
+  return suite;
+}
+
+bool write_json(const BenchResult& result, const std::string& out_dir) {
+  JsonObject obj;
+  obj.add("benchmark", result.name)
+      .add("suite", "genoc-bench")
+      .add("what", result.what)
+      .add("iterations", result.iterations)
+      .add("total_ms", result.total_ms)
+      .add("ns_per_op", result.ns_per_op())
+      .add("ops_per_sec", result.ops_per_sec())
+      .add("unix_time", static_cast<std::int64_t>(std::time(nullptr)));
+  std::string path = out_dir.empty() ? "" : out_dir + "/";
+  path += "BENCH_" + result.name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "genoc bench: cannot write " << path << "\n";
+    return false;
+  }
+  out << obj.to_string();
+  std::cout << "  wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace
+
+int cmd_bench(const Args& args) {
+  if (args.has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const bool as_json = args.has("json");
+  const std::string out_dir = args.get("out-dir", "");
+  const std::string filter = args.get("filter", "");
+  const double min_ms = args.get_double("min-ms", 100.0);
+  if (const int rc = finish_args(args, kUsage)) {
+    return rc;
+  }
+  if (min_ms <= 0.0 || min_ms > 60000.0) {
+    std::cerr << "genoc bench: --min-ms must be in (0, 60000], got " << min_ms
+              << "\n";
+    return 2;
+  }
+  if (as_json && !out_dir.empty()) {
+    // Create the output directory up front: failing after minutes of
+    // measurement would discard every result.
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::cerr << "genoc bench: cannot create --out-dir '" << out_dir
+                << "': " << ec.message() << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<MicroBench> suite = build_suite();
+  if (!filter.empty()) {
+    std::erase_if(suite, [&filter](const MicroBench& bench) {
+      return bench.name.find(filter) == std::string::npos;
+    });
+  }
+  if (suite.empty()) {
+    std::cerr << "genoc bench: no benchmark matches filter '" << filter
+              << "'\n";
+    return 2;
+  }
+  std::vector<BenchResult> results;
+  std::cout << "genoc bench — " << suite.size() << " micro-benchmarks, >= "
+            << min_ms << " ms each\n\n";
+  for (const MicroBench& bench : suite) {
+    std::cout << "  running " << bench.name << " ...\n";
+    results.push_back(run_bench(bench, min_ms));
+  }
+
+  std::cout << "\n";
+  Table table({"Benchmark", "Iterations", "ns/op", "ops/s"});
+  for (const BenchResult& result : results) {
+    table.add_row({result.name, format_count(result.iterations),
+                   format_double(result.ns_per_op(), 1),
+                   format_double(result.ops_per_sec(), 1)});
+  }
+  std::cout << table.render() << "\n";
+
+  if (as_json) {
+    for (const BenchResult& result : results) {
+      if (!write_json(result, out_dir)) {
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace genoc::cli

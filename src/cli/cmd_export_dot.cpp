@@ -1,0 +1,75 @@
+/// \file cmd_export_dot.cpp
+/// \brief `genoc export-dot` — emit a mesh's port dependency graph as
+///        Graphviz DOT (the paper's Fig. 3), from either the closed-form
+///        Exy_dep or the generic construction.
+#include <fstream>
+#include <iostream>
+
+#include "cli/commands.hpp"
+#include "deadlock/depgraph.hpp"
+#include "graph/cycle.hpp"
+#include "routing/xy.hpp"
+#include "topology/mesh.hpp"
+
+namespace genoc::cli {
+
+namespace {
+
+constexpr const char* kUsage =
+    "Usage: genoc export-dot [options]\n"
+    "  --width N     mesh width (default 2)\n"
+    "  --height N    mesh height (default 2)\n"
+    "  --generic     use the generic construction (build_dep_graph) instead\n"
+    "                of the paper's closed-form Exy_dep\n"
+    "  --name NAME   graph name in the DOT output (default exy_dep)\n"
+    "  --out FILE    write to FILE instead of stdout\n";
+
+}  // namespace
+
+int cmd_export_dot(const Args& args) {
+  if (args.has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const auto width =
+      static_cast<std::int32_t>(args.get_int_in("width", 2, 2, 512));
+  const auto height =
+      static_cast<std::int32_t>(args.get_int_in("height", 2, 2, 512));
+  const bool generic = args.has("generic");
+  const std::string name = args.get("name", "exy_dep");
+  const std::string out_path = args.get("out", "");
+  if (const int rc = finish_args(args, kUsage)) {
+    return rc;
+  }
+  const Mesh2D mesh(width, height);
+  PortDepGraph dep;
+  if (generic) {
+    const XYRouting routing(mesh);
+    dep = build_dep_graph(routing);
+  } else {
+    dep = build_exy_dep(mesh);
+  }
+  const std::string dot = dep.to_dot(name);
+
+  if (out_path.empty()) {
+    std::cout << dot;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "genoc export-dot: cannot open '" << out_path
+                << "' for writing\n";
+      return 1;
+    }
+    out << dot;
+    std::cerr << "Wrote " << dep.graph.vertex_count() << " vertices / "
+              << dep.graph.edge_count() << " edges to " << out_path
+              << " (render: dot -Tpdf " << out_path << " -o fig3.pdf)\n";
+  }
+  std::cerr << "Dependency graph is "
+            << (is_acyclic(dep.graph) ? "acyclic — deadlock-free (Theorem 1)"
+                                      : "CYCLIC — deadlock possible")
+            << "\n";
+  return 0;
+}
+
+}  // namespace genoc::cli

@@ -1,0 +1,25 @@
+/// \file commands.hpp
+/// \brief Subcommand entry points of the unified `genoc` driver.
+///
+/// One binary fronts every scenario the scattered example/bench mains used
+/// to own:
+///   genoc verify      — discharge the proof obligations (Table I shape)
+///   genoc sim         — run GeNoC2D on a traffic pattern with auditing
+///   genoc bench       — timed micro-benchmarks, machine-readable JSON out
+///   genoc export-dot  — dependency graph as Graphviz DOT (paper Fig. 3)
+#pragma once
+
+#include "cli/args.hpp"
+
+namespace genoc::cli {
+
+int cmd_verify(const Args& args);
+int cmd_sim(const Args& args);
+int cmd_bench(const Args& args);
+int cmd_export_dot(const Args& args);
+
+/// Prints \p usage plus any parse errors / unknown flags; returns 2 when
+/// the invocation was malformed, 0 otherwise. Call after all flag reads.
+int finish_args(const Args& args, const char* usage);
+
+}  // namespace genoc::cli

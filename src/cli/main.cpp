@@ -1,0 +1,97 @@
+/// \file main.cpp
+/// \brief The unified `genoc` driver: one binary fronting verification,
+///        simulation, benchmarking, and graph export.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+
+namespace genoc::cli {
+
+namespace {
+
+constexpr const char* kVersion = "0.1.0";
+
+constexpr const char* kUsage =
+    "genoc — executable GeNoC (VerbeekS10): formal deadlock-freedom\n"
+    "verification and simulation of on-chip interconnects.\n"
+    "\n"
+    "Usage: genoc <command> [options]\n"
+    "\n"
+    "Commands:\n"
+    "  verify      discharge the proof obligations on a HERMES instance\n"
+    "              and print the Table-I-shaped effort report\n"
+    "  sim         run GeNoC2D on a traffic pattern with the CorrThm /\n"
+    "              EvacThm / (C-5) audits on\n"
+    "  bench       timed micro-benchmarks; --json writes BENCH_*.json\n"
+    "  export-dot  port dependency graph as Graphviz DOT (paper Fig. 3)\n"
+    "  help        show this message (also: genoc <command> --help)\n"
+    "  version     print the version\n"
+    "\n"
+    "Run `genoc <command> --help` for per-command options.\n";
+
+}  // namespace
+
+int finish_args(const Args& args, const char* usage) {
+  bool bad = false;
+  for (const std::string& error : args.errors()) {
+    std::cerr << "genoc: " << error << "\n";
+    bad = true;
+  }
+  for (const std::string& flag : args.unknown_flags()) {
+    std::cerr << "genoc: unknown option " << flag << "\n";
+    bad = true;
+  }
+  // No subcommand takes positionals; a stray one is usually a single-dash
+  // flag typo (`-width 9`) that must not silently run with defaults.
+  for (const std::string& positional : args.positionals()) {
+    std::cerr << "genoc: unexpected argument '" << positional
+              << "' (options use --name value)\n";
+    bad = true;
+  }
+  if (bad) {
+    std::cerr << "\n" << usage;
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace genoc::cli
+
+int main(int argc, char** argv) {
+  using namespace genoc::cli;
+
+  if (argc < 2) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+
+  if (command == "help" || command == "--help" || command == "-h") {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (command == "version" || command == "--version") {
+    std::cout << "genoc " << kVersion << "\n";
+    return 0;
+  }
+
+  if (command == "verify") {
+    return cmd_verify(args);
+  }
+  if (command == "sim") {
+    return cmd_sim(args);
+  }
+  if (command == "bench") {
+    return cmd_bench(args);
+  }
+  if (command == "export-dot") {
+    return cmd_export_dot(args);
+  }
+
+  std::cerr << "genoc: unknown command '" << command << "'\n\n" << kUsage;
+  return 2;
+}
