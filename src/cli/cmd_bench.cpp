@@ -21,6 +21,8 @@
 #include "deadlock/depgraph.hpp"
 #include "graph/cycle.hpp"
 #include "graph/tarjan.hpp"
+#include "instance/batch_runner.hpp"
+#include "instance/registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -104,11 +106,51 @@ std::vector<MicroBench> build_suite() {
                        keep(dep.graph.edge_count());
                      }});
     auto routing = std::make_shared<XYRouting>(*mesh);
-    suite.push_back(
-        {"depgraph_generic_8x8", "generic build_dep_graph on 8x8", [routing] {
-           const PortDepGraph dep = build_dep_graph(*routing);
-           keep(dep.graph.edge_count());
-         }});
+    // The lambda must keep the mesh alive itself: --filter may erase the
+    // sibling benchmark that also captures it.
+    suite.push_back({"depgraph_generic_8x8", "generic build_dep_graph on 8x8",
+                     [mesh, routing] {
+                       const PortDepGraph dep = build_dep_graph(*routing);
+                       keep(dep.graph.edge_count());
+                     }});
+  }
+
+  {
+    // The ROADMAP's scaling axis: the generic (port, dest) enumeration,
+    // sequential vs sharded on the shared BatchRunner pool. 8x8 sequential
+    // above is the PR-1 baseline (~1.2 ms/op); these trace 16x16 and 32x32.
+    auto pool = std::make_shared<BatchRunner>();
+    auto mesh16 = std::make_shared<Mesh2D>(16, 16);
+    auto routing16 = std::make_shared<XYRouting>(*mesh16);
+    suite.push_back({"depgraph_generic_16x16",
+                     "generic build_dep_graph on 16x16, sequential",
+                     [mesh16, routing16] {
+                       const PortDepGraph dep = build_dep_graph(*routing16);
+                       keep(dep.graph.edge_count());
+                     }});
+    suite.push_back({"depgraph_parallel_16x16",
+                     "generic build_dep_graph on 16x16, BatchRunner-sharded",
+                     [mesh16, routing16, pool] {
+                       const PortDepGraph dep =
+                           build_dep_graph_parallel(*routing16, *pool);
+                       keep(dep.graph.edge_count());
+                     }});
+    auto mesh32 = std::make_shared<Mesh2D>(32, 32);
+    auto routing32 = std::make_shared<XYRouting>(*mesh32);
+    suite.push_back({"depgraph_parallel_32x32",
+                     "generic build_dep_graph on 32x32, BatchRunner-sharded",
+                     [mesh32, routing32, pool] {
+                       const PortDepGraph dep =
+                           build_dep_graph_parallel(*routing32, *pool);
+                       keep(dep.graph.edge_count());
+                     }});
+    suite.push_back({"registry_verify_all",
+                     "genoc verify --all: every registered instance",
+                     [pool] {
+                       const auto verdicts = verify_instances(
+                           InstanceRegistry::global().presets(), pool.get());
+                       keep(verdicts.size());
+                     }});
   }
 
   {

@@ -1,13 +1,17 @@
 /// \file cmd_export_dot.cpp
-/// \brief `genoc export-dot` — emit a mesh's port dependency graph as
-///        Graphviz DOT (the paper's Fig. 3), from either the closed-form
-///        Exy_dep or the generic construction.
+/// \brief `genoc export-dot` — emit a port dependency graph as Graphviz DOT
+///        (the paper's Fig. 3): the closed-form Exy_dep, the generic
+///        construction, or any registered instance via --instance.
+#include <cctype>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "cli/commands.hpp"
 #include "deadlock/depgraph.hpp"
 #include "graph/cycle.hpp"
+#include "instance/network_instance.hpp"
+#include "instance/registry.hpp"
 #include "routing/xy.hpp"
 #include "topology/mesh.hpp"
 
@@ -17,12 +21,28 @@ namespace {
 
 constexpr const char* kUsage =
     "Usage: genoc export-dot [options]\n"
+    "  --instance X  dump the dependency graph of a registered instance\n"
+    "                (see `genoc list`) or of an ad-hoc key=value spec;\n"
+    "                overrides --width/--height/--generic\n"
     "  --width N     mesh width (default 2)\n"
     "  --height N    mesh height (default 2)\n"
     "  --generic     use the generic construction (build_dep_graph) instead\n"
     "                of the paper's closed-form Exy_dep\n"
-    "  --name NAME   graph name in the DOT output (default exy_dep)\n"
+    "  --name NAME   graph name in the DOT output (default exy_dep, or the\n"
+    "                instance name)\n"
     "  --out FILE    write to FILE instead of stdout\n";
+
+/// DOT identifiers admit [A-Za-z0-9_] without quoting; instance names like
+/// "torus8-xy" are mangled to stay directly renderable.
+std::string dot_identifier(const std::string& name) {
+  std::string id;
+  for (const char c : name) {
+    id += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_';
+  }
+  return id.empty() || std::isdigit(static_cast<unsigned char>(id.front())) != 0
+             ? "dep_" + id
+             : id;
+}
 
 }  // namespace
 
@@ -31,25 +51,48 @@ int cmd_export_dot(const Args& args) {
     std::cout << kUsage;
     return 0;
   }
+  const std::string instance = args.get("instance", "");
   const auto width =
       static_cast<std::int32_t>(args.get_int_in("width", 2, 2, 512));
   const auto height =
       static_cast<std::int32_t>(args.get_int_in("height", 2, 2, 512));
   const bool generic = args.has("generic");
-  const std::string name = args.get("name", "exy_dep");
+  const std::string name = args.get("name", "");
   const std::string out_path = args.get("out", "");
   if (const int rc = finish_args(args, kUsage)) {
     return rc;
   }
-  const Mesh2D mesh(width, height);
+
   PortDepGraph dep;
-  if (generic) {
-    const XYRouting routing(mesh);
-    dep = build_dep_graph(routing);
+  std::optional<NetworkInstance> network;  // keeps mesh/routing alive
+  std::optional<Mesh2D> mesh;
+  std::string graph_name = name;
+  if (!instance.empty()) {
+    std::string error;
+    const std::optional<InstanceSpec> spec =
+        InstanceRegistry::global().resolve(instance, &error);
+    if (!spec) {
+      std::cerr << "genoc export-dot: " << error << "\n";
+      return 2;
+    }
+    network.emplace(*spec);
+    dep = network->dependency_graph();
+    if (graph_name.empty()) {
+      graph_name = dot_identifier(network->name());
+    }
   } else {
-    dep = build_exy_dep(mesh);
+    mesh.emplace(width, height);
+    if (generic) {
+      const XYRouting routing(*mesh);
+      dep = build_dep_graph(routing);
+    } else {
+      dep = build_exy_dep(*mesh);
+    }
+    if (graph_name.empty()) {
+      graph_name = "exy_dep";
+    }
   }
-  const std::string dot = dep.to_dot(name);
+  const std::string dot = dep.to_dot(graph_name);
 
   if (out_path.empty()) {
     std::cout << dot;

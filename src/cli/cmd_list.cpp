@@ -1,0 +1,63 @@
+/// \file cmd_list.cpp
+/// \brief `genoc list` — the registered network instances: name, canonical
+///        spec string, and what each one demonstrates.
+#include <iostream>
+
+#include "cli/commands.hpp"
+#include "cli/json_writer.hpp"
+#include "instance/registry.hpp"
+#include "util/table.hpp"
+
+namespace genoc::cli {
+
+namespace {
+
+constexpr const char* kUsage =
+    "Usage: genoc list [options]\n"
+    "  --json    emit the registry as JSON instead of the table\n"
+    "\n"
+    "Any listed name works wherever --instance is accepted; so does an\n"
+    "ad-hoc spec like \"topology=torus size=16x16 routing=odd_even\".\n";
+
+}  // namespace
+
+int cmd_list(const Args& args) {
+  if (args.has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const bool as_json = args.has("json");
+  if (const int rc = finish_args(args, kUsage)) {
+    return rc;
+  }
+  const InstanceRegistry& registry = InstanceRegistry::global();
+
+  if (as_json) {
+    std::vector<std::string> rows;
+    for (const InstanceSpec& spec : registry.presets()) {
+      JsonObject obj;
+      obj.add("name", spec.name)
+          .add("summary", spec.summary)
+          .add("spec", to_spec_string(spec));
+      rows.push_back(obj.to_string());
+    }
+    JsonObject report;
+    report.add("command", "list")
+        .add("count", static_cast<std::uint64_t>(registry.presets().size()))
+        .add_raw("instances", json_array(rows));
+    std::cout << report.to_string();
+    return 0;
+  }
+
+  Table table({"Instance", "Spec", "Summary"});
+  for (const InstanceSpec& spec : registry.presets()) {
+    table.add_row({spec.name, to_spec_string(spec), spec.summary});
+  }
+  std::cout << registry.presets().size()
+            << " registered instances (usable as `--instance <name>`; "
+               "key=value specs also accepted):\n\n"
+            << table.render() << "\n";
+  return 0;
+}
+
+}  // namespace genoc::cli

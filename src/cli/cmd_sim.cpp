@@ -1,11 +1,16 @@
 /// \file cmd_sim.cpp
-/// \brief `genoc sim` — run GeNoC2D on a generated traffic pattern with the
+/// \brief `genoc sim` — run GeNoC2D on a traffic pattern with the
 ///        CorrThm/EvacThm/(C-5) audits on, and report latency/throughput.
+///        `--instance` runs any registered instance (or ad-hoc spec):
+///        torus topologies, turn-model/adaptive routing, store-and-forward
+///        switching — all through the same audited pipeline.
 #include <iostream>
 #include <optional>
 
 #include "cli/commands.hpp"
 #include "cli/json_writer.hpp"
+#include "instance/network_instance.hpp"
+#include "instance/registry.hpp"
 #include "sim/simulator.hpp"
 #include "workload/traffic.hpp"
 
@@ -15,9 +20,13 @@ namespace {
 
 constexpr const char* kUsage =
     "Usage: genoc sim [options]\n"
-    "  --width N      mesh width (default 4)\n"
-    "  --height N     mesh height (default 4)\n"
-    "  --buffers N    buffers per port (default 2)\n"
+    "  --instance X   simulate a registered instance (see `genoc list`) or\n"
+    "                 an ad-hoc spec: \"topology=torus size=8x8\n"
+    "                 routing=torus_xy escape=xy\"; the spec carries the\n"
+    "                 workload, and the flags below override it\n"
+    "  --width N      mesh width (default 4; ignored with --instance)\n"
+    "  --height N     mesh height (default 4; ignored with --instance)\n"
+    "  --buffers N    buffers per port (default 2; ignored with --instance)\n"
     "  --messages N   message count for randomized patterns (default 64)\n"
     "  --flits N      flits per message (default 4)\n"
     "  --pattern P    uniform | transpose | bit-reversal | hotspot |\n"
@@ -26,83 +35,26 @@ constexpr const char* kUsage =
     "  --seed N       traffic RNG seed (default 2010)\n"
     "  --json         emit a JSON report on stdout instead of prose\n";
 
-std::optional<TrafficPattern> parse_pattern(const std::string& name) {
-  if (name == "uniform" || name == "uniform-random") {
-    return TrafficPattern::kUniformRandom;
-  }
-  if (name == "transpose") {
-    return TrafficPattern::kTranspose;
-  }
-  if (name == "bit-reversal" || name == "bitrev") {
-    return TrafficPattern::kBitReversal;
-  }
-  if (name == "hotspot") {
-    return TrafficPattern::kHotspot;
-  }
-  if (name == "all-to-one") {
-    return TrafficPattern::kAllToOne;
-  }
-  if (name == "neighbor") {
-    return TrafficPattern::kNeighbor;
-  }
-  if (name == "permutation") {
-    return TrafficPattern::kPermutation;
-  }
-  if (name == "ring") {
-    return TrafficPattern::kRing;
-  }
-  return std::nullopt;
-}
-
-}  // namespace
-
-int cmd_sim(const Args& args) {
-  if (args.has("help")) {
-    std::cout << kUsage;
-    return 0;
-  }
-  const auto width = static_cast<std::int32_t>(args.get_int_in("width", 4, 2, 512));
-  const auto height =
-      static_cast<std::int32_t>(args.get_int_in("height", 4, 2, 512));
-  const auto buffers =
-      static_cast<std::size_t>(args.get_int_in("buffers", 2, 1, 64));
-  const auto messages =
-      static_cast<std::size_t>(args.get_int_in("messages", 64, 0, 1000000));
-  const auto flits =
-      static_cast<std::uint32_t>(args.get_int_in("flits", 4, 1, 1024));
-  const std::string pattern_name = args.get("pattern", "uniform");
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2010));
-  const bool as_json = args.has("json");
-  if (const int rc = finish_args(args, kUsage)) {
-    return rc;
-  }
-  const std::optional<TrafficPattern> pattern = parse_pattern(pattern_name);
-  if (!pattern) {
-    std::cerr << "genoc sim: unknown pattern '" << pattern_name << "'\n"
-              << kUsage;
-    return 2;
-  }
-
-  const HermesInstance hermes(width, height, buffers);
-  Rng rng(seed);
-  const std::vector<TrafficPair> pairs =
-      generate_traffic(*pattern, hermes.mesh(), messages, rng);
-  SimulationOptions options;
-  options.flit_count = flits;
-  const SimulationReport report = simulate(hermes, pairs, options);
+int report(const SimulationReport& report, const std::string& network,
+           const std::string& routing_name, const std::string& switching_name,
+           const InstanceSpec& spec, bool as_json) {
   const bool ok =
       report.run.evacuated && report.correctness_ok && report.evacuation_ok;
-
   if (as_json) {
     JsonObject obj;
     obj.add("command", "sim")
-        .add("width", static_cast<std::int64_t>(width))
-        .add("height", static_cast<std::int64_t>(height))
-        .add("buffers_per_port", static_cast<std::uint64_t>(buffers))
-        .add("pattern", traffic_pattern_name(*pattern))
+        .add("instance", network)
+        .add("spec", to_spec_string(spec))
+        .add("topology", spec.topology)
+        .add("width", static_cast<std::int64_t>(spec.width))
+        .add("height", static_cast<std::int64_t>(spec.height))
+        .add("buffers_per_port", static_cast<std::uint64_t>(spec.buffers))
+        .add("routing", routing_name)
+        .add("switching", switching_name)
+        .add("pattern", spec.pattern)
         .add("messages", static_cast<std::uint64_t>(report.messages))
-        .add("flits_per_message", static_cast<std::uint64_t>(flits))
-        .add("seed", static_cast<std::uint64_t>(seed))
+        .add("flits_per_message", static_cast<std::uint64_t>(spec.flits))
+        .add("seed", spec.seed)
         .add("steps", static_cast<std::uint64_t>(report.run.steps))
         .add("evacuated", report.run.evacuated)
         .add("deadlocked", report.run.deadlocked)
@@ -122,10 +74,12 @@ int cmd_sim(const Args& args) {
     return ok ? 0 : 1;
   }
 
-  std::cout << "GeNoC2D simulation — HERMES " << width << "x" << height
-            << " mesh, " << buffers << " buffers/port, pattern "
-            << traffic_pattern_name(*pattern) << ", " << pairs.size()
-            << " messages x " << flits << " flits (seed " << seed << ")\n\n";
+  std::cout << "GeNoC2D simulation — " << network << " (" << spec.topology
+            << " " << spec.width << "x" << spec.height << ", "
+            << routing_name << " routing, " << switching_name
+            << " switching, " << spec.buffers << " buffers/port), pattern "
+            << spec.pattern << ", " << report.messages << " messages x "
+            << spec.flits << " flits (seed " << spec.seed << ")\n\n";
   std::cout << "Simulation: " << report.summary() << "\n";
   std::cout << "Latency:    " << report.latency.to_string() << "\n";
   std::cout << "Audits:     CorrThm "
@@ -135,6 +89,93 @@ int cmd_sim(const Args& args) {
                                                    : "VIOLATED")
             << "\n";
   return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int cmd_sim(const Args& args) {
+  if (args.has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const std::string instance = args.get("instance", "");
+  const auto width =
+      static_cast<std::int32_t>(args.get_int_in("width", 4, 2, 512));
+  const auto height =
+      static_cast<std::int32_t>(args.get_int_in("height", 4, 2, 512));
+  const auto buffers =
+      static_cast<std::uint32_t>(args.get_int_in("buffers", 2, 1, 64));
+  const bool messages_given = args.has("messages");
+  const auto messages =
+      static_cast<std::uint32_t>(args.get_int_in("messages", 64, 0, 1000000));
+  const bool flits_given = args.has("flits");
+  const auto flits =
+      static_cast<std::uint32_t>(args.get_int_in("flits", 4, 1, 1024));
+  const bool pattern_given = args.has("pattern");
+  const std::string pattern_name = args.get("pattern", "uniform");
+  const bool seed_given = args.has("seed");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2010));
+  const bool as_json = args.has("json");
+  if (const int rc = finish_args(args, kUsage)) {
+    return rc;
+  }
+  const std::optional<TrafficPattern> pattern =
+      parse_traffic_pattern(pattern_name);
+  if (!pattern) {
+    std::cerr << "genoc sim: unknown pattern '" << pattern_name << "'\n"
+              << kUsage;
+    return 2;
+  }
+
+  InstanceSpec spec;
+  if (instance.empty()) {
+    // Classic mode: the parametric HERMES mesh, every knob from flags.
+    spec.width = width;
+    spec.height = height;
+    spec.buffers = buffers;
+    spec.pattern = traffic_pattern_name(*pattern);
+    spec.messages = messages;
+    spec.flits = flits;
+    spec.seed = seed;
+  } else {
+    std::string error;
+    const std::optional<InstanceSpec> resolved =
+        InstanceRegistry::global().resolve(instance, &error);
+    if (!resolved) {
+      std::cerr << "genoc sim: " << error << "\n";
+      return 2;
+    }
+    spec = *resolved;
+    // Workload flags override the spec's baked-in workload when given.
+    if (pattern_given) {
+      spec.pattern = traffic_pattern_name(*pattern);
+    }
+    if (messages_given) {
+      spec.messages = messages;
+    }
+    if (flits_given) {
+      spec.flits = flits;
+    }
+    if (seed_given) {
+      spec.seed = seed;
+    }
+    const std::string invalid = validate_spec(spec);
+    if (!invalid.empty()) {
+      std::cerr << "genoc sim: " << invalid << "\n";
+      return 2;
+    }
+  }
+
+  const NetworkInstance network(spec);
+  const std::vector<TrafficPair> pairs = network.make_traffic();
+  const SimulationReport result = network.simulate(pairs);
+  // Named presets report their name; ad-hoc and classic runs get a short
+  // label (the canonical spec is in the report's "spec" field / header).
+  const std::string label = !spec.name.empty() ? spec.name
+                            : instance.empty() ? "HERMES"
+                                               : "ad-hoc spec";
+  return report(result, label, network.routing().name(),
+                network.switching().name(), spec, as_json);
 }
 
 }  // namespace genoc::cli

@@ -1,12 +1,21 @@
 /// \file cmd_verify.cpp
-/// \brief `genoc verify` — the paper's full verification pipeline (Fig. 2)
-///        on a parametric HERMES instance: discharge every proof obligation
-///        and print the per-row effort report next to the paper's Table I.
+/// \brief `genoc verify` — the paper's verification pipeline (Fig. 2).
+///
+/// Three modes:
+///   (default)        the classic parametric-HERMES obligation suite with
+///                    the Table-I-shaped effort report;
+///   --instance X     one registered instance (or ad-hoc key=value spec)
+///                    through the generic Theorem-1 / escape-lane pipeline;
+///   --all            every registered instance, verified on the shared
+///                    BatchRunner pool, as a per-instance matrix report.
 #include <iostream>
+#include <optional>
 
 #include "cli/commands.hpp"
 #include "cli/json_writer.hpp"
 #include "core/obligations.hpp"
+#include "instance/batch_runner.hpp"
+#include "instance/registry.hpp"
 #include "util/table.hpp"
 
 namespace genoc::cli {
@@ -15,12 +24,21 @@ namespace {
 
 constexpr const char* kUsage =
     "Usage: genoc verify [options]\n"
+    "Classic HERMES mode (no --instance/--all):\n"
     "  --width N      mesh width (default 4)\n"
     "  --height N     mesh height (default 4)\n"
     "  --buffers N    buffers per port (default 2)\n"
     "  --workloads N  simulated workloads for the Swh/CorrThm rows (default 3)\n"
     "  --messages N   messages per workload (default 24)\n"
     "  --seed N       traffic RNG seed (default 2010)\n"
+    "Instance mode:\n"
+    "  --instance X   verify a registered instance (see `genoc list`) or an\n"
+    "                 ad-hoc spec: \"topology=torus size=16x16 routing=odd_even\"\n"
+    "  --all          verify every registered instance (matrix report)\n"
+    "  --threads N    BatchRunner threads (default 0 = hardware concurrency)\n"
+    "  --sequential   disable the parallel BatchRunner\n"
+    "  --constraints  additionally discharge (C-1)/(C-2) per instance\n"
+    "Common:\n"
     "  --json         emit a JSON report on stdout instead of the table\n";
 
 std::string paper_column(const PaperEffortRow& ref) {
@@ -28,29 +46,111 @@ std::string paper_column(const PaperEffortRow& ref) {
          std::to_string(ref.cpu_minutes);
 }
 
-}  // namespace
+std::string verdict_word(const InstanceVerdict& verdict) {
+  if (verdict.deadlock_free) {
+    return "DEADLOCK-FREE";
+  }
+  return verdict.constraints_ok ? "DEADLOCK-PRONE" : "CONSTRAINT-VIOLATED";
+}
 
-int cmd_verify(const Args& args) {
-  if (args.has("help")) {
-    std::cout << kUsage;
-    return 0;
+std::string verdict_json(const InstanceVerdict& verdict) {
+  JsonObject obj;
+  obj.add("instance", verdict.instance)
+      .add("spec", verdict.spec)
+      .add("topology", verdict.topology)
+      .add("routing", verdict.routing)
+      .add("switching", verdict.switching)
+      .add("nodes", static_cast<std::uint64_t>(verdict.nodes))
+      .add("ports", static_cast<std::uint64_t>(verdict.ports))
+      .add("dep_edges", static_cast<std::uint64_t>(verdict.edges))
+      .add("deterministic", verdict.deterministic)
+      .add("dep_acyclic", verdict.dep_acyclic)
+      .add("method", verdict.method)
+      .add("deadlock_free", verdict.deadlock_free)
+      .add("constraints_ok", verdict.constraints_ok)
+      .add("checks", verdict.checks)
+      .add("cpu_ms", verdict.cpu_ms)
+      .add("note", verdict.note);
+  return obj.to_string();
+}
+
+int report_instances(const std::vector<InstanceVerdict>& verdicts,
+                     bool as_json, const std::string& mode,
+                     std::size_t threads) {
+  bool all_free = true;
+  for (const InstanceVerdict& verdict : verdicts) {
+    all_free = all_free && verdict.deadlock_free && verdict.constraints_ok;
   }
-  const auto width =
-      static_cast<std::int32_t>(args.get_int_in("width", 4, 2, 512));
-  const auto height =
-      static_cast<std::int32_t>(args.get_int_in("height", 4, 2, 512));
-  const auto buffers =
-      static_cast<std::size_t>(args.get_int_in("buffers", 2, 1, 64));
-  ObligationOptions options;
-  options.workloads =
-      static_cast<std::size_t>(args.get_int_in("workloads", 3, 1, 1000));
-  options.messages_per_workload =
-      static_cast<std::size_t>(args.get_int_in("messages", 24, 1, 100000));
-  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 2010));
-  const bool as_json = args.has("json");
-  if (const int rc = finish_args(args, kUsage)) {
-    return rc;
+
+  if (as_json) {
+    std::vector<std::string> rows;
+    rows.reserve(verdicts.size());
+    for (const InstanceVerdict& verdict : verdicts) {
+      rows.push_back(verdict_json(verdict));
+    }
+    JsonObject report;
+    report.add("command", "verify")
+        .add("mode", mode)
+        .add("threads", static_cast<std::uint64_t>(threads))
+        .add("instances_total", static_cast<std::uint64_t>(verdicts.size()))
+        .add("all_deadlock_free", all_free)
+        .add_raw("instances", json_array(rows));
+    std::cout << report.to_string();
+    return all_free ? 0 : 1;
   }
+
+  Table table({"Instance", "Topology", "Routing", "Switching", "Ports",
+               "Dep edges", "Method", "Verdict", "CPU ms"});
+  for (const InstanceVerdict& verdict : verdicts) {
+    table.add_row({verdict.instance, verdict.topology, verdict.routing,
+                   verdict.switching, format_count(verdict.ports),
+                   format_count(verdict.edges), verdict.method,
+                   verdict_word(verdict), format_double(verdict.cpu_ms, 2)});
+  }
+  std::cout << "Per-instance deadlock-freedom verification (" << threads
+            << " thread" << (threads == 1 ? "" : "s") << "):\n\n"
+            << table.render() << "\n";
+  for (const InstanceVerdict& verdict : verdicts) {
+    std::cout << "  " << verdict.instance << ": " << verdict.note << "\n";
+  }
+  std::cout << "\n"
+            << (all_free ? "Every instance verified deadlock-free."
+                         : "INSTANCE NOT VERIFIED — see the rows above.")
+            << "\n";
+  return all_free ? 0 : 1;
+}
+
+int run_instance_mode(const std::string& instance, bool all, bool sequential,
+                      std::size_t threads, bool constraints, bool as_json) {
+  const InstanceRegistry& registry = InstanceRegistry::global();
+  std::vector<InstanceSpec> specs;
+  if (all) {
+    specs = registry.presets();
+  } else {
+    std::string error;
+    const std::optional<InstanceSpec> spec = registry.resolve(instance, &error);
+    if (!spec) {
+      std::cerr << "genoc verify: " << error << "\n";
+      return 2;
+    }
+    specs.push_back(*spec);
+  }
+
+  InstanceVerifyOptions options;
+  options.check_constraints = constraints;
+  std::optional<BatchRunner> runner;
+  if (!sequential) {
+    runner.emplace(threads);
+  }
+  const std::vector<InstanceVerdict> verdicts =
+      verify_instances(specs, runner ? &*runner : nullptr, options);
+  return report_instances(verdicts, as_json, all ? "all" : "instance",
+                          runner ? runner->thread_count() : 1);
+}
+
+int run_hermes_mode(std::int32_t width, std::int32_t height,
+                    std::size_t buffers, const ObligationOptions& options,
+                    bool as_json) {
   const HermesInstance hermes(width, height, buffers);
   const ObligationSuite suite = run_hermes_obligations(hermes, options);
   const ObligationRow overall = suite.overall();
@@ -69,6 +169,7 @@ int cmd_verify(const Args& args) {
     }
     JsonObject report;
     report.add("command", "verify")
+        .add("mode", "hermes")
         .add("width", static_cast<std::int64_t>(width))
         .add("height", static_cast<std::int64_t>(height))
         .add("buffers_per_port", static_cast<std::uint64_t>(buffers))
@@ -109,6 +210,66 @@ int cmd_verify(const Args& args) {
                     : "OBLIGATION VIOLATED — see the rows above.")
             << "\n";
   return suite.all_satisfied() ? 0 : 1;
+}
+
+}  // namespace
+
+int cmd_verify(const Args& args) {
+  if (args.has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const auto width =
+      static_cast<std::int32_t>(args.get_int_in("width", 4, 2, 512));
+  const auto height =
+      static_cast<std::int32_t>(args.get_int_in("height", 4, 2, 512));
+  const auto buffers =
+      static_cast<std::size_t>(args.get_int_in("buffers", 2, 1, 64));
+  ObligationOptions options;
+  options.workloads =
+      static_cast<std::size_t>(args.get_int_in("workloads", 3, 1, 1000));
+  options.messages_per_workload =
+      static_cast<std::size_t>(args.get_int_in("messages", 24, 1, 100000));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 2010));
+  const std::string instance = args.get("instance", "");
+  const bool all = args.has("all");
+  const auto threads =
+      static_cast<std::size_t>(args.get_int_in("threads", 0, 0, 256));
+  const bool sequential = args.has("sequential");
+  const bool constraints = args.has("constraints");
+  const bool as_json = args.has("json");
+  if (const int rc = finish_args(args, kUsage)) {
+    return rc;
+  }
+  // Flags are mode-specific; a flag from the other mode parses fine but
+  // would silently do nothing, so call it out.
+  const bool instance_mode = all || !instance.empty();
+  const char* classic_flags[] = {"width",   "height",    "buffers",
+                                 "workloads", "messages", "seed"};
+  const char* instance_flags[] = {"threads", "sequential", "constraints"};
+  if (instance_mode) {
+    for (const char* flag : classic_flags) {
+      if (args.has(flag)) {
+        std::cerr << "genoc verify: --" << flag
+                  << " only applies to the classic HERMES mode and is "
+                     "ignored with --instance/--all (instance dimensions "
+                     "come from the spec)\n";
+      }
+    }
+  } else {
+    for (const char* flag : instance_flags) {
+      if (args.has(flag)) {
+        std::cerr << "genoc verify: --" << flag
+                  << " only applies with --instance/--all and is ignored "
+                     "in the classic HERMES mode\n";
+      }
+    }
+  }
+  if (instance_mode) {
+    return run_instance_mode(instance, all, sequential, threads, constraints,
+                             as_json);
+  }
+  return run_hermes_mode(width, height, buffers, options, as_json);
 }
 
 }  // namespace genoc::cli

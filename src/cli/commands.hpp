@@ -3,10 +3,12 @@
 ///
 /// One binary fronts every scenario the scattered example/bench mains used
 /// to own:
-///   genoc verify      — discharge the proof obligations (Table I shape)
+///   genoc verify      — discharge the proof obligations (Table I shape),
+///                       per --instance or as a --all registry matrix
 ///   genoc sim         — run GeNoC2D on a traffic pattern with auditing
 ///   genoc bench       — timed micro-benchmarks, machine-readable JSON out
 ///   genoc export-dot  — dependency graph as Graphviz DOT (paper Fig. 3)
+///   genoc list        — the registered network instances
 #pragma once
 
 #include "cli/args.hpp"
@@ -17,6 +19,7 @@ int cmd_verify(const Args& args);
 int cmd_sim(const Args& args);
 int cmd_bench(const Args& args);
 int cmd_export_dot(const Args& args);
+int cmd_list(const Args& args);
 
 /// Prints \p usage plus any parse errors / unknown flags; returns 2 when
 /// the invocation was malformed, 0 otherwise. Call after all flag reads.

@@ -21,12 +21,14 @@ constexpr const char* kUsage =
     "Usage: genoc <command> [options]\n"
     "\n"
     "Commands:\n"
-    "  verify      discharge the proof obligations on a HERMES instance\n"
-    "              and print the Table-I-shaped effort report\n"
+    "  verify      discharge the proof obligations — on the classic HERMES\n"
+    "              mesh, on one --instance (name or key=value spec), or on\n"
+    "              every registered instance (--all matrix report)\n"
     "  sim         run GeNoC2D on a traffic pattern with the CorrThm /\n"
-    "              EvacThm / (C-5) audits on\n"
+    "              EvacThm / (C-5) audits on (--instance selects a network)\n"
     "  bench       timed micro-benchmarks; --json writes BENCH_*.json\n"
     "  export-dot  port dependency graph as Graphviz DOT (paper Fig. 3)\n"
+    "  list        the registered network instances and their specs\n"
     "  help        show this message (also: genoc <command> --help)\n"
     "  version     print the version\n"
     "\n"
@@ -90,6 +92,9 @@ int main(int argc, char** argv) {
   }
   if (command == "export-dot") {
     return cmd_export_dot(args);
+  }
+  if (command == "list") {
+    return cmd_list(args);
   }
 
   std::cerr << "genoc: unknown command '" << command << "'\n\n" << kUsage;

@@ -1,0 +1,156 @@
+#include "instance/network_instance.hpp"
+
+#include "deadlock/constraints.hpp"
+#include "deadlock/escape.hpp"
+#include "graph/cycle.hpp"
+#include "instance/batch_runner.hpp"
+#include "routing/fully_adaptive.hpp"
+#include "routing/negative_first.hpp"
+#include "routing/north_last.hpp"
+#include "routing/odd_even.hpp"
+#include "routing/torus_xy.hpp"
+#include "routing/west_first.hpp"
+#include "routing/xy.hpp"
+#include "routing/yx.hpp"
+#include "switching/store_forward.hpp"
+#include "switching/wormhole.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace genoc {
+
+std::unique_ptr<RoutingFunction> make_routing(const std::string& name,
+                                              const Mesh2D& mesh) {
+  if (name == "xy") {
+    return std::make_unique<XYRouting>(mesh);
+  }
+  if (name == "yx") {
+    return std::make_unique<YXRouting>(mesh);
+  }
+  if (name == "torus_xy") {
+    return std::make_unique<TorusXYRouting>(mesh);
+  }
+  if (name == "west_first") {
+    return std::make_unique<WestFirstRouting>(mesh);
+  }
+  if (name == "north_last") {
+    return std::make_unique<NorthLastRouting>(mesh);
+  }
+  if (name == "negative_first") {
+    return std::make_unique<NegativeFirstRouting>(mesh);
+  }
+  if (name == "odd_even") {
+    return std::make_unique<OddEvenRouting>(mesh);
+  }
+  if (name == "fully_adaptive") {
+    return std::make_unique<FullyAdaptiveRouting>(mesh);
+  }
+  GENOC_REQUIRE(false, "unknown routing function '" + name + "'");
+  return nullptr;
+}
+
+std::unique_ptr<SwitchingPolicy> make_switching(const std::string& name) {
+  if (name == "wormhole") {
+    return std::make_unique<WormholeSwitching>();
+  }
+  if (name == "store_forward") {
+    return std::make_unique<StoreForwardSwitching>();
+  }
+  GENOC_REQUIRE(false, "unknown switching policy '" + name + "'");
+  return nullptr;
+}
+
+NetworkInstance::NetworkInstance(const InstanceSpec& spec) : spec_(spec) {
+  const std::string invalid = validate_spec(spec_);
+  GENOC_REQUIRE(invalid.empty(), "invalid instance spec: " + invalid);
+  display_name_ = spec_.name.empty() ? to_spec_string(spec_) : spec_.name;
+  mesh_ = std::make_unique<Mesh2D>(spec_.width, spec_.height, spec_.wrap_x(),
+                                   spec_.wrap_y());
+  routing_ = make_routing(spec_.routing, *mesh_);
+  if (!spec_.escape.empty()) {
+    escape_ = make_routing(spec_.escape, *mesh_);
+  }
+  switching_ = make_switching(spec_.switching);
+}
+
+std::vector<TrafficPair> NetworkInstance::make_traffic() const {
+  const auto pattern = parse_traffic_pattern(spec_.pattern);
+  GENOC_REQUIRE(pattern.has_value(),
+                "invalid pattern survived validation: " + spec_.pattern);
+  Rng rng(spec_.seed);
+  return generate_traffic(*pattern, *mesh_, spec_.messages, rng);
+}
+
+PortDepGraph NetworkInstance::dependency_graph(BatchRunner* runner) const {
+  return runner != nullptr ? build_dep_graph_parallel(*routing_, *runner)
+                           : build_dep_graph(*routing_);
+}
+
+InstanceVerdict NetworkInstance::verify(
+    const InstanceVerifyOptions& options) const {
+  Stopwatch timer;
+  InstanceVerdict verdict;
+  verdict.instance = display_name_;
+  verdict.spec = to_spec_string(spec_);
+  verdict.topology = spec_.topology;
+  verdict.routing = routing_->name();
+  verdict.switching = switching_->name();
+  verdict.nodes = mesh_->node_count();
+  verdict.ports = mesh_->port_count();
+  verdict.deterministic = routing_->is_deterministic();
+
+  const PortDepGraph dep = dependency_graph(options.runner);
+  verdict.edges = dep.graph.edge_count();
+  // The enumeration domain of the generic construction plus one check per
+  // produced edge: a deterministic count, independent of sharding.
+  verdict.checks = static_cast<std::uint64_t>(mesh_->port_count()) *
+                       mesh_->node_count() +
+                   verdict.edges;
+
+  const std::optional<CycleWitness> cycle = find_cycle(dep.graph);
+  verdict.dep_acyclic = !cycle.has_value();
+  if (verdict.dep_acyclic) {
+    verdict.deadlock_free = true;
+    verdict.method = "Theorem 1 (C-3)";
+    verdict.note = "dependency graph acyclic";
+  } else if (escape_ != nullptr) {
+    const EscapeAnalysis analysis = analyze_escape(*routing_, *escape_);
+    verdict.deadlock_free = analysis.deadlock_free;
+    verdict.method = "escape(" + spec_.escape + ")";
+    verdict.note = analysis.summary();
+    verdict.checks += analysis.states_checked;
+  } else {
+    verdict.deadlock_free = false;
+    verdict.method = "cycle";
+    verdict.note = "dependency cycle of length " +
+                   std::to_string(cycle->size()) + " through " +
+                   dep.label(cycle->front()) +
+                   " and no escape lane (Theorem 1: deadlock reachable)";
+  }
+
+  if (options.check_constraints) {
+    const ConstraintReport c1 = check_c1(*routing_, dep);
+    const ConstraintReport c2 = check_c2(*routing_, dep);
+    verdict.constraints_ok = c1.satisfied && c2.satisfied;
+    verdict.checks += c1.checks + c2.checks;
+    if (!verdict.constraints_ok) {
+      verdict.deadlock_free = false;
+      verdict.note += "; constraint violation: " +
+                      (c1.satisfied ? c2.summary() : c1.summary());
+    }
+  }
+  verdict.cpu_ms = timer.elapsed_ms();
+  return verdict;
+}
+
+SimulationReport NetworkInstance::simulate(
+    const std::vector<TrafficPair>& pairs,
+    const SimulationOptions& options) const {
+  SimulationOptions opts = options;
+  opts.flit_count = spec_.flits;
+  Rng rng(spec_.seed);
+  return simulate_routing(*mesh_, *routing_, pairs, spec_.buffers, rng, opts,
+                          switching_.get());
+}
+
+}  // namespace genoc

@@ -1,0 +1,106 @@
+#include "instance/registry.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace genoc {
+
+namespace {
+
+InstanceSpec preset(const std::string& name, const std::string& summary,
+                    const std::string& spec_text) {
+  std::string error;
+  std::optional<InstanceSpec> spec = parse_instance_spec(spec_text, &error);
+  GENOC_REQUIRE(spec.has_value(),
+                "invalid preset '" + name + "': " + error);
+  spec->name = name;
+  spec->summary = summary;
+  return *spec;
+}
+
+}  // namespace
+
+InstanceRegistry::InstanceRegistry() {
+  presets_ = {
+      preset("hermes", "the paper's GeNoC2D: 4x4 HERMES mesh, XY wormhole",
+             "topology=mesh size=4x4 routing=xy switching=wormhole "
+             "buffers=2 pattern=uniform messages=48 flits=4 seed=2010"),
+      preset("mesh8-xy", "XY on an 8x8 mesh (the bench baseline)",
+             "topology=mesh size=8x8 routing=xy pattern=uniform "
+             "messages=128"),
+      preset("mesh8-yx", "YX (vertical-first mirror) on an 8x8 mesh",
+             "topology=mesh size=8x8 routing=yx pattern=transpose"),
+      preset("mesh8-westfirst", "West-First turn model on an 8x8 mesh",
+             "topology=mesh size=8x8 routing=west_first pattern=uniform "
+             "messages=96"),
+      preset("mesh8-northlast", "North-Last turn model on an 8x8 mesh",
+             "topology=mesh size=8x8 routing=north_last pattern=hotspot "
+             "messages=96"),
+      preset("mesh8-negfirst", "Negative-First turn model on an 8x8 mesh",
+             "topology=mesh size=8x8 routing=negative_first "
+             "pattern=permutation"),
+      preset("mesh16-oddeven", "Odd-Even turn model on a 16x16 mesh",
+             "topology=mesh size=16x16 routing=odd_even pattern=transpose"),
+      preset("mesh16-xy", "XY on a 16x16 mesh (parallel-build showcase)",
+             "topology=mesh size=16x16 routing=xy pattern=bit-reversal"),
+      preset("mesh8-adaptive",
+             "fully-adaptive lanes cured by a Duato XY escape lane",
+             "topology=mesh size=8x8 routing=fully_adaptive escape=xy "
+             "pattern=uniform messages=96"),
+      preset("hermes-torus",
+             "HERMES wrapped into a 4x4 torus: torus-XY with XY escape lane",
+             "topology=torus size=4x4 routing=torus_xy escape=xy "
+             "pattern=neighbor flits=2"),
+      preset("torus8-xy",
+             "8x8 torus, shortest-way dimension order, XY escape lane",
+             "topology=torus size=8x8 routing=torus_xy escape=xy "
+             "pattern=uniform messages=128 flits=2"),
+      preset("mesh8-xy-sf", "store-and-forward baseline on an 8x8 mesh",
+             "topology=mesh size=8x8 routing=xy switching=store_forward "
+             "buffers=4 pattern=uniform messages=64"),
+  };
+}
+
+const InstanceRegistry& InstanceRegistry::global() {
+  static const InstanceRegistry registry;
+  return registry;
+}
+
+std::vector<std::string> InstanceRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(presets_.size());
+  for (const InstanceSpec& spec : presets_) {
+    result.push_back(spec.name);
+  }
+  return result;
+}
+
+const InstanceSpec* InstanceRegistry::find(const std::string& name) const {
+  const auto it =
+      std::find_if(presets_.begin(), presets_.end(),
+                   [&name](const InstanceSpec& spec) {
+                     return spec.name == name;
+                   });
+  return it == presets_.end() ? nullptr : &*it;
+}
+
+std::optional<InstanceSpec> InstanceRegistry::resolve(
+    const std::string& text, std::string* error) const {
+  if (text.find('=') != std::string::npos) {
+    return parse_instance_spec(text, error);
+  }
+  if (const InstanceSpec* spec = find(text)) {
+    return *spec;
+  }
+  if (error != nullptr) {
+    *error = "unknown instance '" + text + "'; registered instances:";
+    for (const InstanceSpec& spec : presets_) {
+      *error += " " + spec.name;
+    }
+    *error += " (or pass a key=value spec)";
+  }
+  return std::nullopt;
+}
+
+}  // namespace genoc

@@ -1,0 +1,45 @@
+/// \file registry.hpp
+/// \brief The global registry of named network instances — the booksim2
+///        idea of "one simulator, hundreds of configurations" applied to
+///        the paper's verification pipeline.
+///
+/// Every preset is an InstanceSpec with a name and a one-line summary:
+/// `genoc verify --instance hermes`, `genoc sim --instance torus8-xy` and
+/// `genoc verify --all` all resolve through here. Ad-hoc specs
+/// ("topology=torus size=16x16 routing=odd_even") bypass the registry via
+/// the same resolve() entry point, so the CLI accepts either form
+/// everywhere an instance is expected.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "instance/spec.hpp"
+
+namespace genoc {
+
+class InstanceRegistry {
+ public:
+  /// The process-wide registry (immutable after construction).
+  static const InstanceRegistry& global();
+
+  const std::vector<InstanceSpec>& presets() const { return presets_; }
+  std::vector<std::string> names() const;
+
+  /// The preset named \p name, or nullptr.
+  const InstanceSpec* find(const std::string& name) const;
+
+  /// Resolves a CLI argument: a `key=value` spec when \p text contains
+  /// '=', otherwise a preset name. On failure returns nullopt and stores
+  /// a message (listing the known names for a bad preset) in *error.
+  std::optional<InstanceSpec> resolve(const std::string& text,
+                                      std::string* error) const;
+
+ private:
+  InstanceRegistry();
+
+  std::vector<InstanceSpec> presets_;
+};
+
+}  // namespace genoc

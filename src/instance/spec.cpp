@@ -1,0 +1,259 @@
+#include "instance/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "workload/traffic.hpp"
+
+namespace genoc {
+
+namespace {
+
+std::string normalize(std::string value) {
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  std::replace(value.begin(), value.end(), '-', '_');
+  return value;
+}
+
+bool contains(const std::vector<std::string>& values,
+              const std::string& value) {
+  return std::find(values.begin(), values.end(), value) != values.end();
+}
+
+/// Parses an unsigned integer in [lo, hi]; complains into *error.
+bool parse_uint(const std::string& key, const std::string& value,
+                std::uint64_t lo, std::uint64_t hi, std::uint64_t* out,
+                std::string* error) {
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    *error = "bad value for " + key + ": '" + value + "' is not a number";
+    return false;
+  }
+  if (parsed < lo || parsed > hi) {
+    *error = "bad value for " + key + ": " + value + " is outside [" +
+             std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+/// Parses `size=N` (square) or `size=WxH`.
+bool parse_size(const std::string& value, InstanceSpec* spec,
+                std::string* error) {
+  const std::size_t cross = value.find('x');
+  std::uint64_t w = 0;
+  std::uint64_t h = 0;
+  if (cross == std::string::npos) {
+    if (!parse_uint("size", value, 1, 512, &w, error)) {
+      return false;
+    }
+    h = w;
+  } else {
+    if (!parse_uint("size", value.substr(0, cross), 1, 512, &w, error) ||
+        !parse_uint("size", value.substr(cross + 1), 1, 512, &h, error)) {
+      return false;
+    }
+  }
+  spec->width = static_cast<std::int32_t>(w);
+  spec->height = static_cast<std::int32_t>(h);
+  return true;
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_topologies() {
+  static const std::vector<std::string> values = {"mesh", "torus", "ring"};
+  return values;
+}
+
+const std::vector<std::string>& known_routings() {
+  static const std::vector<std::string> values = {
+      "xy",         "yx",             "torus_xy", "west_first",
+      "north_last", "negative_first", "odd_even", "fully_adaptive"};
+  return values;
+}
+
+const std::vector<std::string>& known_switchings() {
+  static const std::vector<std::string> values = {"wormhole",
+                                                  "store_forward"};
+  return values;
+}
+
+const std::vector<std::string>& turn_model_routings() {
+  static const std::vector<std::string> values = {
+      "west_first", "north_last", "negative_first", "odd_even"};
+  return values;
+}
+
+std::optional<InstanceSpec> parse_instance_spec(const std::string& text,
+                                                std::string* error) {
+  InstanceSpec spec;
+  std::string local_error;
+  std::string* err = error != nullptr ? error : &local_error;
+  std::istringstream tokens(text);
+  std::string token;
+  bool any = false;
+  while (tokens >> token) {
+    any = true;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      *err = "malformed token '" + token + "': expected key=value";
+      return std::nullopt;
+    }
+    const std::string key = normalize(token.substr(0, eq));
+    const std::string raw = token.substr(eq + 1);
+    std::uint64_t number = 0;
+    if (key == "topology") {
+      spec.topology = normalize(raw);
+      if (!contains(known_topologies(), spec.topology)) {
+        *err = "unknown topology '" + raw + "' (try: mesh, torus, ring)";
+        return std::nullopt;
+      }
+    } else if (key == "size") {
+      if (!parse_size(normalize(raw), &spec, err)) {
+        return std::nullopt;
+      }
+    } else if (key == "width") {
+      if (!parse_uint(key, raw, 1, 512, &number, err)) {
+        return std::nullopt;
+      }
+      spec.width = static_cast<std::int32_t>(number);
+    } else if (key == "height") {
+      if (!parse_uint(key, raw, 1, 512, &number, err)) {
+        return std::nullopt;
+      }
+      spec.height = static_cast<std::int32_t>(number);
+    } else if (key == "routing") {
+      spec.routing = normalize(raw);
+      if (!contains(known_routings(), spec.routing)) {
+        *err = "unknown routing '" + raw + "'";
+        return std::nullopt;
+      }
+    } else if (key == "switching") {
+      std::string value = normalize(raw);
+      if (value == "sf" || value == "store_and_forward") {
+        value = "store_forward";
+      }
+      spec.switching = value;
+      if (!contains(known_switchings(), spec.switching)) {
+        *err = "unknown switching '" + raw +
+               "' (try: wormhole, store_forward)";
+        return std::nullopt;
+      }
+    } else if (key == "buffers") {
+      if (!parse_uint(key, raw, 1, 64, &number, err)) {
+        return std::nullopt;
+      }
+      spec.buffers = static_cast<std::uint32_t>(number);
+    } else if (key == "escape") {
+      const std::string value = normalize(raw);
+      spec.escape = value == "none" ? "" : value;
+      if (!spec.escape.empty() && !contains(known_routings(), spec.escape)) {
+        *err = "unknown escape routing '" + raw + "'";
+        return std::nullopt;
+      }
+    } else if (key == "pattern") {
+      const auto pattern = parse_traffic_pattern(normalize(raw));
+      if (!pattern) {
+        *err = "unknown pattern '" + raw + "'";
+        return std::nullopt;
+      }
+      spec.pattern = traffic_pattern_name(*pattern);
+    } else if (key == "messages") {
+      if (!parse_uint(key, raw, 0, 1000000, &number, err)) {
+        return std::nullopt;
+      }
+      spec.messages = static_cast<std::uint32_t>(number);
+    } else if (key == "flits") {
+      if (!parse_uint(key, raw, 1, 1024, &number, err)) {
+        return std::nullopt;
+      }
+      spec.flits = static_cast<std::uint32_t>(number);
+    } else if (key == "seed") {
+      if (!parse_uint(key, raw, 0, UINT64_MAX, &number, err)) {
+        return std::nullopt;
+      }
+      spec.seed = number;
+    } else {
+      *err = "unknown key '" + key +
+             "' (known: topology size width height routing switching "
+             "buffers escape pattern messages flits seed)";
+      return std::nullopt;
+    }
+  }
+  if (!any) {
+    *err = "empty instance spec";
+    return std::nullopt;
+  }
+  const std::string invalid = validate_spec(spec);
+  if (!invalid.empty()) {
+    *err = invalid;
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::string to_spec_string(const InstanceSpec& spec) {
+  std::ostringstream os;
+  os << "topology=" << spec.topology << " size=" << spec.width << "x"
+     << spec.height << " routing=" << spec.routing
+     << " switching=" << spec.switching << " buffers=" << spec.buffers;
+  if (!spec.escape.empty()) {
+    os << " escape=" << spec.escape;
+  }
+  os << " pattern=" << spec.pattern << " messages=" << spec.messages
+     << " flits=" << spec.flits << " seed=" << spec.seed;
+  return os.str();
+}
+
+std::string validate_spec(const InstanceSpec& spec) {
+  if (!contains(known_topologies(), spec.topology)) {
+    return "unknown topology '" + spec.topology + "'";
+  }
+  if (spec.width < 1 || spec.width > 512 || spec.height < 1 ||
+      spec.height > 512) {
+    return "dimensions must be within 1..512";
+  }
+  if (static_cast<std::int64_t>(spec.width) * spec.height < 2) {
+    return "a 1x1 network has no interconnect to verify";
+  }
+  if (spec.wrap_x() && spec.width < 2) {
+    return "wrapping x requires width >= 2";
+  }
+  if (spec.wrap_y() && spec.height < 2) {
+    return "wrapping y requires height >= 2";
+  }
+  if (!contains(known_routings(), spec.routing)) {
+    return "unknown routing '" + spec.routing + "'";
+  }
+  if (spec.routing == "torus_xy" && !spec.wrap_x() && !spec.wrap_y()) {
+    return "routing torus_xy requires a wrapped topology (torus or ring)";
+  }
+  if (!spec.escape.empty() && spec.escape != "xy" && spec.escape != "yx") {
+    return "escape must be a deterministic deadlock-free routing (xy or yx)";
+  }
+  if (!contains(known_switchings(), spec.switching)) {
+    return "unknown switching '" + spec.switching + "'";
+  }
+  if (!parse_traffic_pattern(spec.pattern)) {
+    return "unknown pattern '" + spec.pattern + "'";
+  }
+  if (spec.buffers < 1 || spec.buffers > 64) {
+    return "buffers must be within 1..64";
+  }
+  if (spec.flits < 1 || spec.flits > 1024) {
+    return "flits must be within 1..1024";
+  }
+  if (spec.switching == "store_forward" && spec.flits > spec.buffers) {
+    return "store_forward needs flits <= buffers (whole-packet buffering)";
+  }
+  return "";
+}
+
+}  // namespace genoc

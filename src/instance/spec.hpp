@@ -1,0 +1,81 @@
+/// \file spec.hpp
+/// \brief The instance specification: one plain-data record naming a
+///        topology, a routing function, a switching policy and a workload —
+///        everything needed to construct a verifiable/simulable network.
+///
+/// The paper's contribution is a *generic* deadlock-freedom condition that
+/// is instantiated per network; InstanceSpec is the executable form of "one
+/// instantiation". Specs come from two sources: the registry of named
+/// presets (registry.hpp) and a booksim2-style `key=value` string
+/// ("topology=torus size=16x16 routing=odd_even"), so arbitrary instances
+/// are constructible straight from the CLI.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace genoc {
+
+/// A fully parsed description of a network instance. Plain data: the
+/// factory that turns it into live objects is NetworkInstance.
+struct InstanceSpec {
+  std::string name;     ///< registry name; empty for ad-hoc CLI specs
+  std::string summary;  ///< one-line description (presets only)
+
+  // ---- network -----------------------------------------------------------
+  std::string topology = "mesh";  ///< mesh | torus | ring (wrap-x only)
+  std::int32_t width = 4;
+  std::int32_t height = 4;
+  std::string routing = "xy";  ///< see known_routings()
+  std::string switching = "wormhole";  ///< wormhole | store_forward
+  std::uint32_t buffers = 2;   ///< 1-flit buffers per port
+  /// Escape-lane routing for Duato-style verification of instances whose
+  /// own dependency graph is cyclic (torus dimension-order, fully
+  /// adaptive); empty = no escape lane.
+  std::string escape;
+
+  // ---- workload (genoc sim / the simulated verification rows) ------------
+  std::string pattern = "uniform-random";  ///< see parse_traffic_pattern()
+  std::uint32_t messages = 64;  ///< count for the randomized patterns
+  std::uint32_t flits = 4;
+  std::uint64_t seed = 2010;
+
+  bool wrap_x() const { return topology == "torus" || topology == "ring"; }
+  bool wrap_y() const { return topology == "torus"; }
+
+  friend bool operator==(const InstanceSpec&, const InstanceSpec&) = default;
+};
+
+/// The accepted values of the enumerated keys, for validation and usage
+/// text. Routing names are the canonical underscore forms.
+const std::vector<std::string>& known_topologies();
+const std::vector<std::string>& known_routings();
+const std::vector<std::string>& known_switchings();
+
+/// The turn-model subfamily of known_routings() (paper Sec. IX).
+const std::vector<std::string>& turn_model_routings();
+
+/// Parses a booksim2-style spec: whitespace-separated `key=value` tokens.
+/// Keys: topology, size (N or WxH), width, height, routing, switching,
+/// buffers, escape (routing name or "none"), pattern, messages, flits,
+/// seed. Later tokens override earlier ones. Values are normalized
+/// ('-' == '_' for routing/switching, pattern aliases resolved) and
+/// validated, including cross-field consistency via validate_spec().
+/// On failure returns nullopt and stores a human-readable message naming
+/// the offending token in *error.
+std::optional<InstanceSpec> parse_instance_spec(const std::string& text,
+                                                std::string* error);
+
+/// Canonical `key=value` rendering: parse_instance_spec() round-trips it
+/// (name/summary are registry metadata and are not part of the string).
+std::string to_spec_string(const InstanceSpec& spec);
+
+/// Cross-field validation: dimension ranges (wrapped dimensions need >= 2
+/// nodes), torus_xy requires a wrapped topology, escape must name a
+/// deterministic routing, and every enumerated field must be known.
+/// Returns the empty string when the spec is valid, else the complaint.
+std::string validate_spec(const InstanceSpec& spec);
+
+}  // namespace genoc

@@ -42,6 +42,9 @@ class XYRouting final : public RoutingFunction {
   ///   - S,OUT: x(d) = x(s) and y(d) >= y(s)+1.
   /// Cross-validated against closure_reachable() in the test suite.
   bool reachable(const Port& s, const Port& d) const override;
+
+  /// reachable() is closed-form: nothing to pre-build for parallel use.
+  void prime() const override {}
 };
 
 }  // namespace genoc

@@ -22,6 +22,9 @@ class YXRouting final : public RoutingFunction {
   /// Closed-form s R d, the exact mirror of XYRouting::reachable (vertical
   /// ports are unconstrained in x-history, horizontal in-ports pin y).
   bool reachable(const Port& s, const Port& d) const override;
+
+  /// reachable() is closed-form: nothing to pre-build for parallel use.
+  void prime() const override {}
 };
 
 }  // namespace genoc

@@ -79,7 +79,8 @@ SimulationReport simulate_routing(const Mesh2D& mesh,
                                   const RoutingFunction& routing,
                                   const std::vector<TrafficPair>& pairs,
                                   std::size_t buffers_per_port, Rng& rng,
-                                  const SimulationOptions& options) {
+                                  const SimulationOptions& options,
+                                  const SwitchingPolicy* switching) {
   Config config(mesh, buffers_per_port);
   TravelId next_id = 1;
   for (const TrafficPair& pair : pairs) {
@@ -91,9 +92,12 @@ SimulationReport simulate_routing(const Mesh2D& mesh,
                                              options.flit_count));
   }
   const IdentityInjection injection;
-  const WormholeSwitching switching;
+  const WormholeSwitching wormhole;
+  const SwitchingPolicy& policy =
+      switching != nullptr ? *switching
+                           : static_cast<const SwitchingPolicy&>(wormhole);
   const FlitLevelMeasure measure;
-  const GenocInterpreter interpreter(injection, switching, measure);
+  const GenocInterpreter interpreter(injection, policy, measure);
   GenocRunResult run = interpreter.run(config, options.genoc);
   return finish_report(config, routing, std::move(run), options);
 }

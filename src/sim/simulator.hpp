@@ -55,12 +55,14 @@ Route sample_route(const RoutingFunction& routing, const Port& from,
 
 /// Simulates an arbitrary routing function (including the adaptive
 /// extensions) over \p mesh: adaptive choices are fixed per travel by
-/// sampling routes with \p rng, then the wormhole policy runs as usual.
-/// Used by the routing-comparison ablation.
+/// sampling routes with \p rng, then the switching policy runs as usual
+/// (\p switching = nullptr selects wormhole, HERMES' choice). Used by the
+/// routing-comparison ablation and the instance layer.
 SimulationReport simulate_routing(const Mesh2D& mesh,
                                   const RoutingFunction& routing,
                                   const std::vector<TrafficPair>& pairs,
                                   std::size_t buffers_per_port, Rng& rng,
-                                  const SimulationOptions& options = {});
+                                  const SimulationOptions& options = {},
+                                  const SwitchingPolicy* switching = nullptr);
 
 }  // namespace genoc

@@ -1,0 +1,35 @@
+#include "topology/torus.hpp"
+
+namespace genoc {
+
+Mesh2D make_torus(std::int32_t width, std::int32_t height, bool wrap_x,
+                  bool wrap_y) {
+  return Mesh2D(width, height, wrap_x, wrap_y);
+}
+
+std::vector<std::pair<Port, Port>> wrap_links(const Mesh2D& mesh) {
+  std::vector<std::pair<Port, Port>> links;
+  const std::int32_t west_edge = 0;
+  const std::int32_t east_edge = mesh.width() - 1;
+  const std::int32_t north_edge = 0;
+  const std::int32_t south_edge = mesh.height() - 1;
+  if (mesh.wraps_x()) {
+    for (std::int32_t y = 0; y < mesh.height(); ++y) {
+      const Port east_out{east_edge, y, PortName::kEast, Direction::kOut};
+      const Port west_out{west_edge, y, PortName::kWest, Direction::kOut};
+      links.emplace_back(east_out, mesh.next_in(east_out));
+      links.emplace_back(west_out, mesh.next_in(west_out));
+    }
+  }
+  if (mesh.wraps_y()) {
+    for (std::int32_t x = 0; x < mesh.width(); ++x) {
+      const Port south_out{x, south_edge, PortName::kSouth, Direction::kOut};
+      const Port north_out{x, north_edge, PortName::kNorth, Direction::kOut};
+      links.emplace_back(south_out, mesh.next_in(south_out));
+      links.emplace_back(north_out, mesh.next_in(north_out));
+    }
+  }
+  return links;
+}
+
+}  // namespace genoc

@@ -1,0 +1,43 @@
+/// \file torus.hpp
+/// \brief The k-ary 2D torus topology: a Mesh2D whose boundary switches keep
+///        their outward ports and whose links wrap around.
+///
+/// Mesh2D already carries the wrap machinery (wrap_x / wrap_y); this module
+/// gives the torus a first-class name and the torus-specific queries the
+/// instance layer and the tests need: the wrap-around link set (the edges
+/// that close the ring dependency cycles Theorem 1 detects) and convenience
+/// constructors for the full torus and the single-dimension ring.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "topology/mesh.hpp"
+
+namespace genoc {
+
+/// A W x H torus. Wraps both dimensions by default; pass wrap flags to get
+/// partial wraps (a wrap-x-only "ring of columns" etc.). Requires at least
+/// 2 nodes along every wrapped dimension.
+class Torus2D final : public Mesh2D {
+ public:
+  Torus2D(std::int32_t width, std::int32_t height, bool wrap_x = true,
+          bool wrap_y = true)
+      : Mesh2D(width, height, wrap_x, wrap_y) {}
+
+  /// Square k-ary torus (k x k, both dimensions wrapped).
+  explicit Torus2D(std::int32_t radix) : Torus2D(radix, radix) {}
+};
+
+/// Builds the plain-value Mesh2D for a torus/ring — what NetworkInstance
+/// stores (it holds topologies by value as Mesh2D).
+Mesh2D make_torus(std::int32_t width, std::int32_t height, bool wrap_x = true,
+                  bool wrap_y = true);
+
+/// The directed wrap-around links of \p mesh: every (cardinal OUT port,
+/// IN port) pair whose link crosses a dateline. Empty on an unwrapped mesh.
+/// These are exactly the edges that close each ring's dependency cycle
+/// under dimension-order routing (see routing/torus_xy.hpp).
+std::vector<std::pair<Port, Port>> wrap_links(const Mesh2D& mesh);
+
+}  // namespace genoc

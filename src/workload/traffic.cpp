@@ -199,6 +199,24 @@ const char* traffic_pattern_name(TrafficPattern pattern) {
   return "?";
 }
 
+std::optional<TrafficPattern> parse_traffic_pattern(const std::string& name) {
+  std::string canon = name;
+  std::replace(canon.begin(), canon.end(), '_', '-');
+  if (canon == "uniform" || canon == "bitrev") {
+    canon = canon == "uniform" ? "uniform-random" : "bit-reversal";
+  }
+  for (const TrafficPattern pattern :
+       {TrafficPattern::kUniformRandom, TrafficPattern::kTranspose,
+        TrafficPattern::kBitReversal, TrafficPattern::kHotspot,
+        TrafficPattern::kAllToOne, TrafficPattern::kNeighbor,
+        TrafficPattern::kPermutation, TrafficPattern::kRing}) {
+    if (canon == traffic_pattern_name(pattern)) {
+      return pattern;
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<TrafficPair> generate_traffic(TrafficPattern pattern,
                                           const Mesh2D& mesh,
                                           std::size_t count, Rng& rng) {

@@ -8,6 +8,7 @@
 /// their Rng seed.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,12 @@ enum class TrafficPattern {
 };
 
 const char* traffic_pattern_name(TrafficPattern pattern);
+
+/// Inverse of traffic_pattern_name, tolerant of spelling variants: accepts
+/// the canonical dashed names plus '_' for '-' ("bit_reversal"), the
+/// shorthands "uniform" and "bitrev". Returns nullopt for unknown names.
+/// Shared by `genoc sim --pattern` and the instance spec parser.
+std::optional<TrafficPattern> parse_traffic_pattern(const std::string& name);
 
 /// Dispatches to the generator for \p pattern. \p count is used by the
 /// randomized patterns (uniform, hotspot); structured patterns derive their

@@ -5,6 +5,8 @@
 // analysis must certify the classic cure.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/genoc.hpp"
 #include "core/travel.hpp"
 #include "deadlock/channel_dep.hpp"
@@ -16,6 +18,7 @@
 #include "routing/torus_xy.hpp"
 #include "routing/xy.hpp"
 #include "switching/wormhole.hpp"
+#include "topology/torus.hpp"
 #include "util/require.hpp"
 
 namespace genoc {
@@ -193,6 +196,38 @@ TEST(Torus, PlainRoutingFunctionsStillWorkOnUnwrappedMeshes) {
   EXPECT_TRUE(check_c1(xy, build_exy_dep(mesh)).satisfied);
   EXPECT_TRUE(check_c3(build_exy_dep(mesh)).satisfied);
   EXPECT_THROW(TorusXYRouting{mesh}, ContractViolation);
+}
+
+TEST(Torus, Torus2DIsTheFullyWrappedMesh) {
+  const Torus2D torus(5, 4);
+  EXPECT_TRUE(torus.wraps_x());
+  EXPECT_TRUE(torus.wraps_y());
+  EXPECT_EQ(torus.port_count(), 5u * 4u * 10u);
+  const Torus2D square(3);
+  EXPECT_EQ(square.width(), 3);
+  EXPECT_EQ(square.height(), 3);
+  // make_torus builds the identical plain-value topology.
+  const Mesh2D value = make_torus(5, 4);
+  EXPECT_EQ(value.port_count(), torus.port_count());
+  EXPECT_EQ(value.ports(), torus.ports());
+  EXPECT_THROW(Torus2D(1, 4), ContractViolation);
+}
+
+TEST(Torus, WrapLinksEnumerateExactlyTheDatelineCrossings) {
+  const Torus2D torus(4, 3);
+  const auto links = wrap_links(torus);
+  // 2 directed x-wraps per row + 2 directed y-wraps per column.
+  EXPECT_EQ(links.size(), 2u * 3u + 2u * 4u);
+  for (const auto& [out, in] : links) {
+    EXPECT_EQ(out.dir, Direction::kOut);
+    EXPECT_EQ(in.dir, Direction::kIn);
+    EXPECT_EQ(torus.next_in(out), in);
+    // A wrap link really crosses the dateline: the hop is not +-1.
+    EXPECT_GT(std::abs(out.x - in.x) + std::abs(out.y - in.y), 1);
+  }
+  // Partial wrap only reports its own dimension's links.
+  EXPECT_EQ(wrap_links(Mesh2D(4, 3, true, false)).size(), 2u * 3u);
+  EXPECT_EQ(wrap_links(Mesh2D(4, 3)).size(), 0u);
 }
 
 }  // namespace
