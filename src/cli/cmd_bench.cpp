@@ -12,6 +12,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -113,12 +114,21 @@ std::vector<MicroBench> build_suite() {
                        const PortDepGraph dep = build_dep_graph(*routing);
                        keep(dep.graph.edge_count());
                      }});
+    // The headline of this perf pass: the per-destination fast builder
+    // against the generic oracle above. CI guards the >= 10x ratio.
+    suite.push_back({"depgraph_fast_8x8",
+                     "per-destination build_dep_graph_fast on 8x8",
+                     [mesh, routing] {
+                       const PortDepGraph dep = build_dep_graph_fast(*routing);
+                       keep(dep.graph.edge_count());
+                     }});
   }
 
   {
-    // The ROADMAP's scaling axis: the generic (port, dest) enumeration,
-    // sequential vs sharded on the shared BatchRunner pool. 8x8 sequential
-    // above is the PR-1 baseline (~1.2 ms/op); these trace 16x16 and 32x32.
+    // The ROADMAP's scaling axis. depgraph_generic_8x8 above is the PR-1
+    // baseline (~1.2 ms/op); these trace the per-destination fast builder
+    // sequentially and destination-sharded up to 64x64, plus the parallel
+    // SCC stage that keeps the cycle check linear at that scale.
     auto pool = std::make_shared<BatchRunner>();
     auto mesh16 = std::make_shared<Mesh2D>(16, 16);
     auto routing16 = std::make_shared<XYRouting>(*mesh16);
@@ -129,7 +139,7 @@ std::vector<MicroBench> build_suite() {
                        keep(dep.graph.edge_count());
                      }});
     suite.push_back({"depgraph_parallel_16x16",
-                     "generic build_dep_graph on 16x16, BatchRunner-sharded",
+                     "fast builder on 16x16, destination-sharded",
                      [mesh16, routing16, pool] {
                        const PortDepGraph dep =
                            build_dep_graph_parallel(*routing16, *pool);
@@ -138,17 +148,57 @@ std::vector<MicroBench> build_suite() {
     auto mesh32 = std::make_shared<Mesh2D>(32, 32);
     auto routing32 = std::make_shared<XYRouting>(*mesh32);
     suite.push_back({"depgraph_parallel_32x32",
-                     "generic build_dep_graph on 32x32, BatchRunner-sharded",
+                     "fast builder on 32x32, destination-sharded",
                      [mesh32, routing32, pool] {
                        const PortDepGraph dep =
                            build_dep_graph_parallel(*routing32, *pool);
                        keep(dep.graph.edge_count());
                      }});
+    auto mesh64 = std::make_shared<Mesh2D>(64, 64);
+    auto routing64 = std::make_shared<XYRouting>(*mesh64);
+    suite.push_back({"depgraph_fast_64x64",
+                     "per-destination build_dep_graph_fast on 64x64",
+                     [mesh64, routing64] {
+                       const PortDepGraph dep =
+                           build_dep_graph_fast(*routing64);
+                       keep(dep.graph.edge_count());
+                     }});
+    suite.push_back({"depgraph_parallel_64x64",
+                     "fast builder on 64x64, destination-sharded",
+                     [mesh64, routing64, pool] {
+                       const PortDepGraph dep =
+                           build_dep_graph_parallel(*routing64, *pool);
+                       keep(dep.graph.edge_count());
+                     }});
+    // Built on first use (the warm-up call), not at suite construction:
+    // `--filter` would otherwise make every bench invocation pay the
+    // ~0.2 s 64x64 build only to erase the SCC entries.
+    auto dep64 = std::make_shared<std::optional<PortDepGraph>>();
+    auto dep64_graph = [mesh64, routing64, dep64]() -> const Digraph& {
+      if (!dep64->has_value()) {
+        *dep64 = build_dep_graph_fast(*routing64);
+      }
+      return (*dep64)->graph;
+    };
+    suite.push_back({"tarjan_scc_64x64",
+                     "sequential Tarjan on the 64x64 XY dep graph",
+                     [dep64_graph] {
+                       const SccResult scc = tarjan_scc(dep64_graph());
+                       keep(scc.components.size());
+                     }});
+    suite.push_back({"scc_parallel_64x64",
+                     "parallel SCC (trim + FW-BW) on the 64x64 XY dep graph",
+                     [dep64_graph, pool] {
+                       const SccResult scc =
+                           parallel_scc(dep64_graph(), *pool);
+                       keep(scc.components.size());
+                     }});
     suite.push_back({"registry_verify_all",
-                     "genoc verify --all: every registered instance",
+                     "genoc verify --all: every non-heavy registered instance",
                      [pool] {
                        const auto verdicts = verify_instances(
-                           InstanceRegistry::global().presets(), pool.get());
+                           InstanceRegistry::global().sweep_presets(),
+                           pool.get());
                        keep(verdicts.size());
                      }});
   }

@@ -38,7 +38,8 @@ int cmd_list(const Args& args) {
       JsonObject obj;
       obj.add("name", spec.name)
           .add("summary", spec.summary)
-          .add("spec", to_spec_string(spec));
+          .add("spec", to_spec_string(spec))
+          .add("heavy", registry.heavy(spec.name));
       rows.push_back(obj.to_string());
     }
     JsonObject report;
@@ -51,7 +52,8 @@ int cmd_list(const Args& args) {
 
   Table table({"Instance", "Spec", "Summary"});
   for (const InstanceSpec& spec : registry.presets()) {
-    table.add_row({spec.name, to_spec_string(spec), spec.summary});
+    table.add_row({spec.name + (registry.heavy(spec.name) ? " (heavy)" : ""),
+                   to_spec_string(spec), spec.summary});
   }
   std::cout << registry.presets().size()
             << " registered instances (usable as `--instance <name>`; "

@@ -34,10 +34,13 @@ constexpr const char* kUsage =
     "Instance mode:\n"
     "  --instance X   verify a registered instance (see `genoc list`) or an\n"
     "                 ad-hoc spec: \"topology=torus size=16x16 routing=odd_even\"\n"
-    "  --all          verify every registered instance (matrix report)\n"
+    "  --all          verify every registered instance (matrix report;\n"
+    "                 heavy presets like mesh128-xy need --heavy to join)\n"
+    "  --heavy        include the heavy presets in --all\n"
     "  --threads N    BatchRunner threads (default 0 = hardware concurrency)\n"
     "  --sequential   disable the parallel BatchRunner\n"
     "  --constraints  additionally discharge (C-1)/(C-2) per instance\n"
+    "  --generic      build graphs with the quadratic oracle builder\n"
     "Common:\n"
     "  --json         emit a JSON report on stdout instead of the table\n";
 
@@ -120,12 +123,13 @@ int report_instances(const std::vector<InstanceVerdict>& verdicts,
   return all_free ? 0 : 1;
 }
 
-int run_instance_mode(const std::string& instance, bool all, bool sequential,
-                      std::size_t threads, bool constraints, bool as_json) {
+int run_instance_mode(const std::string& instance, bool all, bool heavy,
+                      bool sequential, std::size_t threads, bool constraints,
+                      bool generic, bool as_json) {
   const InstanceRegistry& registry = InstanceRegistry::global();
   std::vector<InstanceSpec> specs;
   if (all) {
-    specs = registry.presets();
+    specs = heavy ? registry.presets() : registry.sweep_presets();
   } else {
     std::string error;
     const std::optional<InstanceSpec> spec = registry.resolve(instance, &error);
@@ -138,6 +142,7 @@ int run_instance_mode(const std::string& instance, bool all, bool sequential,
 
   InstanceVerifyOptions options;
   options.check_constraints = constraints;
+  options.generic_builder = generic;
   std::optional<BatchRunner> runner;
   if (!sequential) {
     runner.emplace(threads);
@@ -237,6 +242,8 @@ int cmd_verify(const Args& args) {
       static_cast<std::size_t>(args.get_int_in("threads", 0, 0, 256));
   const bool sequential = args.has("sequential");
   const bool constraints = args.has("constraints");
+  const bool heavy = args.has("heavy");
+  const bool generic = args.has("generic");
   const bool as_json = args.has("json");
   if (const int rc = finish_args(args, kUsage)) {
     return rc;
@@ -246,7 +253,8 @@ int cmd_verify(const Args& args) {
   const bool instance_mode = all || !instance.empty();
   const char* classic_flags[] = {"width",   "height",    "buffers",
                                  "workloads", "messages", "seed"};
-  const char* instance_flags[] = {"threads", "sequential", "constraints"};
+  const char* instance_flags[] = {"threads", "sequential", "constraints",
+                                  "heavy", "generic"};
   if (instance_mode) {
     for (const char* flag : classic_flags) {
       if (args.has(flag)) {
@@ -266,8 +274,8 @@ int cmd_verify(const Args& args) {
     }
   }
   if (instance_mode) {
-    return run_instance_mode(instance, all, sequential, threads, constraints,
-                             as_json);
+    return run_instance_mode(instance, all, heavy, sequential, threads,
+                             constraints, generic, as_json);
   }
   return run_hermes_mode(width, height, buffers, options, as_json);
 }

@@ -1,5 +1,6 @@
 #include "deadlock/depgraph.hpp"
 
+#include "routing/sweep.hpp"
 #include "util/dot.hpp"
 #include "util/require.hpp"
 
@@ -32,6 +33,27 @@ PortDepGraph build_dep_graph(const RoutingFunction& routing) {
         }
       }
     }
+  }
+  result.graph.finalize();
+  return result;
+}
+
+PortDepGraph build_dep_graph_fast(const RoutingFunction& routing) {
+  const Mesh2D& mesh = routing.mesh();
+  RouteSweeper sweeper(routing);
+  std::vector<RouteSweeper::Edge> edges;
+  // The sweeper suppresses repeat emissions, so the buffer stays near the
+  // final edge count; ~3 edges per port covers every routing here.
+  edges.reserve(mesh.port_count() * 3);
+  for (std::size_t dest = 0; dest < mesh.node_count(); ++dest) {
+    sweeper.sweep(dest, &edges, nullptr);
+  }
+  PortDepGraph result;
+  result.mesh = &mesh;
+  result.graph = Digraph(mesh.port_count());
+  result.graph.reserve_edges(edges.size());
+  for (const auto& [from, to] : edges) {
+    result.graph.add_edge(from, to);
   }
   result.graph.finalize();
   return result;

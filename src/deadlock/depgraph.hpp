@@ -4,17 +4,20 @@
 /// Vertices are the ports of the interconnection network; edges are the
 /// pairs of ports connected by the routing function. Theorem 1: a
 /// (deterministic) routing function is deadlock-free iff this graph is
-/// acyclic. The graph is built in two independent ways:
+/// acyclic. The graph is built in three independent ways:
 ///
 ///  1. build_dep_graph(): the *generic* construction — enumerate every pair
 ///     (p, d) with p R d and add an edge (p, q) for every q in R(p, d).
 ///     This works for any routing function, including the adaptive
-///     extensions.
-///  2. build_exy_dep(): the paper's *closed-form* Exy_dep for XY routing
+///     extensions, and serves as the oracle for the fast builder.
+///  2. build_dep_graph_fast(): the *per-destination* construction
+///     (routing/sweep.hpp) — one sweep per destination over the ports its
+///     routes visit; bit-identical to 1. and what every driver uses.
+///  3. build_exy_dep(): the paper's *closed-form* Exy_dep for XY routing
 ///     (function next_outs, Sec. V.6), restricted to ports that exist.
 ///
-/// Their equality on every mesh is the executable content of constraints
-/// (C-1) and (C-2) for HERMES, and the test suite checks it.
+/// Their pairwise equality on every mesh is the executable content of
+/// constraints (C-1) and (C-2) for HERMES, and the test suite checks it.
 #pragma once
 
 #include <string>
@@ -42,7 +45,26 @@ struct PortDepGraph {
 
 /// Generic construction from the routing function and its reachability
 /// relation (works for deterministic and adaptive functions alike).
+/// Enumerates the full (port, destination) product — O(|ports| · |dests| ·
+/// route-walk) — and therefore serves as the ORACLE the fast builder is
+/// tested against; use build_dep_graph_fast() everywhere speed matters.
 PortDepGraph build_dep_graph(const RoutingFunction& routing);
+
+/// The per-destination construction (RouteSweeper): one sweep per
+/// destination over the ports routes to it actually visit, so total work
+/// is O(Σ_d |ports reaching d| · degree) instead of the full product.
+///
+/// Precondition: the routing's reachable() must equal the semantic
+/// closure (closure_reachable) — the documented invariant every honest
+/// RoutingFunction satisfies and the test suite cross-validates. The
+/// sweeps enumerate exactly the closure, so a routing that deliberately
+/// CLAIMS reachability beyond it (the broken-reachability mutants in
+/// tests/test_mutations.cpp do, to model mis-stated invariants) must be
+/// analyzed with the generic oracle, which honours the claim. Under that
+/// precondition the finalized Digraph is bit-identical to
+/// build_dep_graph()'s on every routing function (the test suite checks
+/// all registry presets).
+PortDepGraph build_dep_graph_fast(const RoutingFunction& routing);
 
 /// The paper's function next_outs(p): the set of out-ports an in-port p
 /// depends on under XY routing (Sec. V.6), filtered to existing ports.

@@ -1,9 +1,8 @@
 #include "deadlock/escape.hpp"
 
-#include <queue>
 #include <sstream>
-#include <unordered_set>
 
+#include "routing/sweep.hpp"
 #include "util/require.hpp"
 
 namespace genoc {
@@ -27,11 +26,32 @@ EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
   GENOC_REQUIRE(escape.is_deterministic(),
                 "the escape function must be deterministic");
   const Mesh2D& mesh = adaptive.mesh();
+  const std::size_t port_count = mesh.port_count();
 
   EscapeAnalysis result;
   result.escape_graph.mesh = &mesh;
-  result.escape_graph.graph = Digraph(mesh.port_count());
+  result.escape_graph.graph = Digraph(port_count);
   result.escape_always_available = true;
+
+  // The adaptive-lane in-ports (the escape entry states) and the flat
+  // per-destination scratch: epoch stamps instead of a rebuilt hash set,
+  // an index-walked frontier instead of std::queue, one reused hop vector
+  // instead of a fresh allocation per next_hops call.
+  std::vector<Port> in_ports;
+  for (const Port& p : mesh.ports()) {
+    if (p.dir == Direction::kIn) {
+      in_ports.push_back(p);
+    }
+  }
+  adaptive.prime();  // all reachable() queries below hit the bitset closure
+  std::vector<std::uint32_t> stamp(port_count, 0);
+  std::uint32_t epoch = 0;
+  std::vector<PortId> frontier;
+  std::vector<Port> hops;
+  // Escape-graph edges repeat across destinations (the lane is the same
+  // deterministic function every time); the sweep engines' shared filter
+  // keeps the Digraph build buffer near the final edge count.
+  EdgeDedupCache emitted(port_count);
 
   // Explore, per destination, every state of the escape LANE. A packet
   // transfers into the escape lane at the out-port the escape function
@@ -40,31 +60,30 @@ EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
   // only the dependencies among escape-lane ports themselves, which is
   // what Duato's condition constrains. The entry hops seed the closure.
   for (const Port& d : mesh.destinations()) {
-    std::unordered_set<Port> seen;
-    std::queue<Port> frontier;
-
-    auto seed = [&](const Port& hop) {
-      if (seen.insert(hop).second) {
-        frontier.push(hop);
+    ++epoch;
+    frontier.clear();
+    auto seed = [&](PortId pid) {
+      if (stamp[pid] != epoch) {
+        stamp[pid] = epoch;
+        frontier.push_back(pid);
       }
     };
 
     // Escape entries: every adaptive-reachable in-port state. Availability
     // means the escape formula yields an existing port.
-    for (const Port& p : mesh.ports()) {
-      if (p.dir != Direction::kIn || !adaptive.reachable(p, d)) {
-        continue;
-      }
-      if (p == d) {
+    for (const Port& p : in_ports) {
+      if (!adaptive.reachable(p, d)) {
         continue;
       }
       ++result.states_checked;
-      const std::vector<Port> hops = escape.next_hops(p, d);
+      hops.clear();
+      escape.append_next_hops(p, d, hops);
       bool available = false;
       for (const Port& hop : hops) {
-        if (mesh.exists(hop)) {
+        const std::int32_t hid = mesh.try_id(hop);
+        if (hid >= 0) {
           available = true;
-          seed(hop);
+          seed(static_cast<PortId>(hid));
         }
       }
       if (!available && result.escape_always_available) {
@@ -76,18 +95,23 @@ EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
     // Escape continuation: follow the (deterministic) escape function from
     // every escape-lane state until consumption, collecting the lane's own
     // dependency edges.
-    while (!frontier.empty()) {
-      const Port p = frontier.front();
-      frontier.pop();
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const PortId pid = frontier[head];
+      const Port& p = mesh.port(pid);
       if (p.name == PortName::kLocal && p.dir == Direction::kOut) {
         continue;  // consumed
       }
-      for (const Port& hop : escape.next_hops(p, d)) {
-        if (!mesh.exists(hop)) {
+      hops.clear();
+      escape.append_next_hops(p, d, hops);
+      for (const Port& hop : hops) {
+        const std::int32_t hid = mesh.try_id(hop);
+        if (hid < 0) {
           continue;  // malformed mid-lane hop: surfaces as missing edge
         }
-        result.escape_graph.graph.add_edge(mesh.id(p), mesh.id(hop));
-        seed(hop);
+        if (emitted.fresh(pid, static_cast<PortId>(hid))) {
+          result.escape_graph.graph.add_edge(pid, static_cast<PortId>(hid));
+        }
+        seed(static_cast<PortId>(hid));
       }
     }
   }

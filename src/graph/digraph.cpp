@@ -20,6 +20,11 @@ void Digraph::add_edge(std::size_t from, std::size_t to) {
                             static_cast<std::uint32_t>(to));
 }
 
+void Digraph::reserve_edges(std::size_t edge_count) {
+  GENOC_REQUIRE(!finalized_, "cannot reserve edges on a finalized Digraph");
+  build_edges_.reserve(edge_count);
+}
+
 void Digraph::finalize() {
   if (finalized_) {
     return;

@@ -37,6 +37,11 @@ class Digraph {
   /// not yet finalized.
   void add_edge(std::size_t from, std::size_t to);
 
+  /// Reserves capacity for \p edge_count insertions, so bulk builders (the
+  /// dependency-graph sweeps, shard merges) avoid reallocation churn.
+  /// Requires the graph not yet finalized.
+  void reserve_edges(std::size_t edge_count);
+
   /// Freezes the graph: sorts adjacency, removes duplicate edges, and builds
   /// the CSR arrays. Idempotent.
   void finalize();

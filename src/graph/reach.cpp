@@ -8,20 +8,21 @@
 
 namespace genoc {
 
-std::vector<bool> reachable_from(const Digraph& graph, std::size_t source) {
+std::vector<std::uint8_t> reachable_from(const Digraph& graph,
+                                         std::size_t source) {
   GENOC_REQUIRE(graph.finalized(), "reachable_from requires a finalized graph");
   GENOC_REQUIRE(source < graph.vertex_count(), "source out of range");
-  std::vector<bool> seen(graph.vertex_count(), false);
-  std::queue<std::size_t> frontier;
-  seen[source] = true;
-  frontier.push(source);
-  while (!frontier.empty()) {
-    const std::size_t v = frontier.front();
-    frontier.pop();
+  std::vector<std::uint8_t> seen(graph.vertex_count(), 0);
+  std::vector<std::size_t> frontier;
+  frontier.reserve(64);
+  seen[source] = 1;
+  frontier.push_back(source);
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const std::size_t v = frontier[head];
     for (std::uint32_t w : graph.out(v)) {
-      if (!seen[w]) {
-        seen[w] = true;
-        frontier.push(w);
+      if (seen[w] == 0) {
+        seen[w] = 1;
+        frontier.push_back(w);
       }
     }
   }
@@ -31,7 +32,7 @@ std::vector<bool> reachable_from(const Digraph& graph, std::size_t source) {
 bool is_reachable(const Digraph& graph, std::size_t source,
                   std::size_t target) {
   GENOC_REQUIRE(target < graph.vertex_count(), "target out of range");
-  return reachable_from(graph, source)[target];
+  return reachable_from(graph, source)[target] != 0;
 }
 
 std::vector<std::size_t> shortest_path(const Digraph& graph,

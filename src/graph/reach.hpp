@@ -3,14 +3,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/digraph.hpp"
 
 namespace genoc {
 
-/// Vertices reachable from \p source (including source itself), as a mask.
-std::vector<bool> reachable_from(const Digraph& graph, std::size_t source);
+/// Vertices reachable from \p source (including source itself), as a flat
+/// 0/1 mask. std::vector<std::uint8_t> rather than std::vector<bool>: the
+/// byte-per-vertex layout plus an index-based frontier is the same
+/// constant-factor pattern the per-destination route sweeps use, and it
+/// avoids the proxy-reference bit fiddling on the BFS hot path.
+std::vector<std::uint8_t> reachable_from(const Digraph& graph,
+                                         std::size_t source);
 
 /// True iff \p target is reachable from \p source (BFS, O(V + E)).
 bool is_reachable(const Digraph& graph, std::size_t source, std::size_t target);

@@ -1,9 +1,11 @@
 #include "graph/tarjan.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace genoc {
 
@@ -75,6 +77,390 @@ SccResult tarjan_scc(const Digraph& graph) {
     }
   }
   return result;
+}
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// Reverse adjacency in CSR form, built by counting sort (no comparison
+/// sort — reversed() would pay an O(E log E) finalize).
+struct ReverseAdj {
+  std::vector<std::uint32_t> offsets;  // size n + 1
+  std::vector<std::uint32_t> sources;
+
+  explicit ReverseAdj(const Digraph& graph) {
+    const std::size_t n = graph.vertex_count();
+    offsets.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const std::uint32_t w : graph.out(v)) {
+        ++offsets[w + 1];
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      offsets[v + 1] += offsets[v];
+    }
+    sources.resize(graph.edge_count());
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const std::uint32_t w : graph.out(v)) {
+        sources[cursor[w]++] = static_cast<std::uint32_t>(v);
+      }
+    }
+  }
+
+  std::span<const std::uint32_t> in(std::size_t v) const {
+    return {sources.data() + offsets[v],
+            static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+  }
+};
+
+/// Shared scratch of one parallel_scc run. The per-vertex arrays are
+/// written without locks: the trim phase runs before the pool fans out,
+/// and afterwards every vertex belongs to exactly one weakly-connected
+/// bucket, so tasks touch disjoint entries. Tokens (region labels and
+/// reachability stamps) come from one atomic counter, so no two uses ever
+/// collide.
+struct SccScratch {
+  const Digraph* graph = nullptr;
+  const ReverseAdj* rev = nullptr;
+  std::vector<std::uint32_t> region;   // current FW-BW region label
+  std::vector<std::uint32_t> fwstamp;  // forward-reachable stamp
+  std::vector<std::uint32_t> bwstamp;  // backward-reachable stamp
+  std::vector<std::size_t> index;      // Tarjan DFS numbers
+  std::vector<std::size_t> lowlink;
+  std::vector<std::uint8_t> on_stack;
+  std::atomic<std::uint32_t> next_token{1};
+
+  explicit SccScratch(const Digraph& g, const ReverseAdj& r)
+      : graph(&g),
+        rev(&r),
+        region(g.vertex_count(), 0),
+        fwstamp(g.vertex_count(), 0),
+        bwstamp(g.vertex_count(), 0),
+        index(g.vertex_count(), kNone),
+        lowlink(g.vertex_count(), 0),
+        on_stack(g.vertex_count(), 0) {}
+
+  std::uint32_t token() {
+    return next_token.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// Iterative Tarjan restricted to the vertices labelled \p rid, appending
+/// each SCC (sorted) to *out.
+void tarjan_region(SccScratch& s, const std::vector<std::uint32_t>& verts,
+                   std::uint32_t rid,
+                   std::vector<std::vector<std::size_t>>* out) {
+  const Digraph& graph = *s.graph;
+  struct Frame {
+    std::size_t vertex;
+    std::size_t next_child;
+  };
+  std::vector<Frame> call_stack;
+  std::vector<std::size_t> scc_stack;
+  std::size_t next_index = 0;
+
+  for (const std::uint32_t root : verts) {
+    if (s.index[root] != kNone) {
+      continue;
+    }
+    call_stack.push_back({root, 0});
+    s.index[root] = s.lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    s.on_stack[root] = 1;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::size_t v = frame.vertex;
+      const auto succ = graph.out(v);
+      if (frame.next_child < succ.size()) {
+        const std::size_t w = succ[frame.next_child++];
+        if (s.region[w] != rid) {
+          continue;  // trimmed vertex or another FW-BW sub-region
+        }
+        if (s.index[w] == kNone) {
+          s.index[w] = s.lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          s.on_stack[w] = 1;
+          call_stack.push_back({w, 0});
+        } else if (s.on_stack[w] != 0) {
+          s.lowlink[v] = std::min(s.lowlink[v], s.index[w]);
+        }
+      } else {
+        if (s.lowlink[v] == s.index[v]) {
+          std::vector<std::size_t> comp;
+          for (;;) {
+            const std::size_t w = scc_stack.back();
+            scc_stack.pop_back();
+            s.on_stack[w] = 0;
+            comp.push_back(w);
+            if (w == v) {
+              break;
+            }
+          }
+          std::sort(comp.begin(), comp.end());
+          out->push_back(std::move(comp));
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const std::size_t parent = call_stack.back().vertex;
+          s.lowlink[parent] = std::min(s.lowlink[parent], s.lowlink[v]);
+        }
+      }
+    }
+  }
+}
+
+/// Forward-backward reachability coloring on one weakly-connected bucket:
+/// the pivot's forward ∩ backward reach is an SCC; the three remaining
+/// parts recurse. Median-by-id pivots keep chain-shaped regions balanced;
+/// past kMaxDepth (or below kFwbwMin) the region falls back to Tarjan.
+void fwbw_region(SccScratch& s, std::vector<std::uint32_t> verts,
+                 std::uint32_t rid,
+                 std::vector<std::vector<std::size_t>>* out) {
+  constexpr std::size_t kFwbwMin = 2048;
+  constexpr int kMaxDepth = 64;
+
+  struct Region {
+    std::vector<std::uint32_t> verts;
+    std::uint32_t rid;
+    int depth;
+  };
+  std::vector<Region> work;
+  work.push_back({std::move(verts), rid, 0});
+  std::vector<std::uint32_t> queue;
+
+  while (!work.empty()) {
+    Region region = std::move(work.back());
+    work.pop_back();
+    if (region.verts.size() < kFwbwMin || region.depth > kMaxDepth) {
+      tarjan_region(s, region.verts, region.rid, out);
+      continue;
+    }
+    // Median-by-id pivot: for chain-like DAG-of-SCCs shapes this splits
+    // the region near the middle instead of peeling one SCC per level.
+    const std::size_t mid = region.verts.size() / 2;
+    std::nth_element(region.verts.begin(), region.verts.begin() + mid,
+                     region.verts.end());
+    const std::uint32_t pivot = region.verts[mid];
+
+    const std::uint32_t ftoken = s.token();
+    queue.clear();
+    s.fwstamp[pivot] = ftoken;
+    queue.push_back(pivot);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const std::uint32_t w : s.graph->out(queue[head])) {
+        if (s.region[w] == region.rid && s.fwstamp[w] != ftoken) {
+          s.fwstamp[w] = ftoken;
+          queue.push_back(w);
+        }
+      }
+    }
+    const std::uint32_t btoken = s.token();
+    queue.clear();
+    s.bwstamp[pivot] = btoken;
+    queue.push_back(pivot);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const std::uint32_t w : s.rev->in(queue[head])) {
+        if (s.region[w] == region.rid && s.bwstamp[w] != btoken) {
+          s.bwstamp[w] = btoken;
+          queue.push_back(w);
+        }
+      }
+    }
+
+    std::vector<std::size_t> scc;
+    Region fw_only{{}, s.token(), region.depth + 1};
+    Region bw_only{{}, s.token(), region.depth + 1};
+    Region rest{{}, s.token(), region.depth + 1};
+    for (const std::uint32_t v : region.verts) {
+      const bool in_fw = s.fwstamp[v] == ftoken;
+      const bool in_bw = s.bwstamp[v] == btoken;
+      if (in_fw && in_bw) {
+        scc.push_back(v);
+      } else if (in_fw) {
+        s.region[v] = fw_only.rid;
+        fw_only.verts.push_back(v);
+      } else if (in_bw) {
+        s.region[v] = bw_only.rid;
+        bw_only.verts.push_back(v);
+      } else {
+        s.region[v] = rest.rid;
+        rest.verts.push_back(v);
+      }
+    }
+    std::sort(scc.begin(), scc.end());
+    out->push_back(std::move(scc));
+    for (Region* part : {&fw_only, &bw_only, &rest}) {
+      if (!part->verts.empty()) {
+        work.push_back(std::move(*part));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SccResult parallel_scc(const Digraph& graph, ThreadPool& pool) {
+  GENOC_REQUIRE(graph.finalized(), "parallel_scc requires a finalized graph");
+  const std::size_t n = graph.vertex_count();
+  SccResult result;
+  result.component.assign(n, kNone);
+  if (n == 0) {
+    return result;
+  }
+  const ReverseAdj rev(graph);
+  std::vector<std::uint8_t> alive(n, 1);
+  std::vector<std::vector<std::size_t>> comps;
+
+  // Stage 1 — TRIM. A vertex whose live out-degree (then: in-degree) hits
+  // zero cannot lie on a cycle: it is a singleton SCC. Self-loops keep
+  // their vertex's degree positive, so they survive to the Tarjan stage.
+  {
+    std::vector<std::uint32_t> deg(n);
+    std::vector<std::uint32_t> peel;
+    for (std::size_t v = 0; v < n; ++v) {
+      deg[v] = static_cast<std::uint32_t>(graph.out_degree(v));
+      if (deg[v] == 0) {
+        peel.push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+    for (std::size_t head = 0; head < peel.size(); ++head) {
+      const std::uint32_t v = peel[head];
+      alive[v] = 0;
+      comps.push_back({v});
+      for (const std::uint32_t u : rev.in(v)) {
+        if (alive[u] != 0 && --deg[u] == 0) {
+          peel.push_back(u);
+        }
+      }
+    }
+    std::fill(deg.begin(), deg.end(), 0);
+    peel.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (alive[v] == 0) {
+        continue;
+      }
+      for (const std::uint32_t w : graph.out(v)) {
+        if (alive[w] != 0) {
+          ++deg[w];
+        }
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (alive[v] != 0 && deg[v] == 0) {
+        peel.push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+    for (std::size_t head = 0; head < peel.size(); ++head) {
+      const std::uint32_t v = peel[head];
+      alive[v] = 0;
+      comps.push_back({v});
+      for (const std::uint32_t w : graph.out(v)) {
+        if (alive[w] != 0 && --deg[w] == 0) {
+          peel.push_back(w);
+        }
+      }
+    }
+  }
+
+  // Stage 2 — weakly-connected buckets of the cyclic remainder (no edge
+  // between live vertices crosses a bucket, so stage 3's shards write
+  // disjoint scratch entries).
+  std::vector<std::vector<std::uint32_t>> buckets;
+  {
+    std::vector<std::uint32_t> parent(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      parent[v] = static_cast<std::uint32_t>(v);
+    }
+    auto find = [&parent](std::uint32_t v) {
+      while (parent[v] != v) {
+        parent[v] = parent[parent[v]];  // path halving
+        v = parent[v];
+      }
+      return v;
+    };
+    for (std::size_t v = 0; v < n; ++v) {
+      if (alive[v] == 0) {
+        continue;
+      }
+      for (const std::uint32_t w : graph.out(v)) {
+        if (alive[w] != 0) {
+          const std::uint32_t a = find(static_cast<std::uint32_t>(v));
+          const std::uint32_t b = find(w);
+          if (a != b) {
+            parent[std::max(a, b)] = std::min(a, b);
+          }
+        }
+      }
+    }
+    std::vector<std::uint32_t> bucket_of(n,
+                                         std::numeric_limits<std::uint32_t>::max());
+    for (std::size_t v = 0; v < n; ++v) {
+      if (alive[v] == 0) {
+        continue;
+      }
+      const std::uint32_t root = find(static_cast<std::uint32_t>(v));
+      if (bucket_of[root] == std::numeric_limits<std::uint32_t>::max()) {
+        bucket_of[root] = static_cast<std::uint32_t>(buckets.size());
+        buckets.emplace_back();
+      }
+      buckets[bucket_of[root]].push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+
+  // Stage 3 — per-bucket SCCs on the pool.
+  std::vector<std::vector<std::vector<std::size_t>>> bucket_comps(
+      buckets.size());
+  if (!buckets.empty()) {
+    SccScratch scratch(graph, rev);
+    constexpr std::size_t kFwbwBucket = 4096;
+    pool.parallel_for(
+        buckets.size(), 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t b = begin; b < end; ++b) {
+            const std::uint32_t rid = scratch.token();
+            for (const std::uint32_t v : buckets[b]) {
+              scratch.region[v] = rid;
+            }
+            if (buckets[b].size() >= kFwbwBucket) {
+              fwbw_region(scratch, buckets[b], rid, &bucket_comps[b]);
+            } else {
+              tarjan_region(scratch, buckets[b], rid, &bucket_comps[b]);
+            }
+          }
+        });
+  }
+  for (auto& list : bucket_comps) {
+    for (auto& comp : list) {
+      comps.push_back(std::move(comp));
+    }
+  }
+
+  // Canonical ids: components ordered by their smallest vertex, so every
+  // thread count produces the identical SccResult.
+  std::sort(comps.begin(), comps.end(),
+            [](const std::vector<std::size_t>& a,
+               const std::vector<std::size_t>& b) {
+              return a.front() < b.front();
+            });
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    for (const std::size_t v : comps[i]) {
+      result.component[v] = i;
+    }
+  }
+  result.components = std::move(comps);
+  return result;
+}
+
+bool has_nontrivial_scc(const Digraph& graph, ThreadPool& pool) {
+  const SccResult scc = parallel_scc(graph, pool);
+  for (const auto& comp : scc.components) {
+    if (comp.size() >= 2 || graph.has_edge(comp.front(), comp.front())) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool has_nontrivial_scc(const Digraph& graph) {

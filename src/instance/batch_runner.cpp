@@ -1,176 +1,43 @@
 #include "instance/batch_runner.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <memory>
 #include <utility>
 
+#include "routing/sweep.hpp"
 #include "util/require.hpp"
 
 namespace genoc {
 
-namespace {
-
-/// Shared state of one parallel_for: chunks are claimed via an atomic
-/// cursor; the loop completes when every chunk has *executed* (claimed-and-
-/// finished), which the caller alone can guarantee — helpers are pure
-/// opportunism and may never be scheduled at all.
-struct ForLoop {
-  std::size_t count = 0;
-  std::size_t grain = 1;
-  std::size_t chunk_total = 0;
-  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
-  std::atomic<std::size_t> next_chunk{0};
-  std::atomic<std::size_t> done_chunks{0};
-  std::mutex mutex;
-  std::condition_variable all_done;
-  std::exception_ptr first_error;
-
-  /// Claims and runs chunks until none are left.
-  void drain() {
-    while (true) {
-      const std::size_t chunk =
-          next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (chunk >= chunk_total) {
-        return;
-      }
-      const std::size_t begin = chunk * grain;
-      const std::size_t end = std::min(count, begin + grain);
-      try {
-        (*body)(begin, end);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-        }
-      }
-      if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-          chunk_total) {
-        std::lock_guard<std::mutex> lock(mutex);
-        all_done.notify_all();
-      }
-    }
-  }
-};
-
-}  // namespace
-
-BatchRunner::BatchRunner(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  for (std::size_t i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-}
-
-BatchRunner::~BatchRunner() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  wake_.notify_all();
-  for (std::thread& worker : workers_) {
-    worker.join();
-  }
-}
-
-void BatchRunner::worker_loop() {
-  while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        return;  // stopping_ and drained
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
-    }
-    task();
-  }
-}
-
-void BatchRunner::enqueue(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) {
-      return;
-    }
-    tasks_.push(std::move(task));
-  }
-  wake_.notify_one();
-}
-
-void BatchRunner::parallel_for(
-    std::size_t count, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& body) {
-  if (count == 0) {
-    return;
-  }
-  grain = std::max<std::size_t>(1, grain);
-  auto loop = std::make_shared<ForLoop>();
-  loop->count = count;
-  loop->grain = grain;
-  loop->chunk_total = (count + grain - 1) / grain;
-  loop->body = &body;
-
-  const std::size_t helpers =
-      std::min(workers_.size(), loop->chunk_total - 1);
-  for (std::size_t i = 0; i < helpers; ++i) {
-    enqueue([loop] { loop->drain(); });
-  }
-  loop->drain();
-  {
-    std::unique_lock<std::mutex> lock(loop->mutex);
-    loop->all_done.wait(lock, [&loop] {
-      return loop->done_chunks.load(std::memory_order_acquire) ==
-             loop->chunk_total;
-    });
-  }
-  if (loop->first_error) {
-    std::rethrow_exception(loop->first_error);
-  }
-}
-
 PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
                                       BatchRunner& runner) {
   const Mesh2D& mesh = routing.mesh();
-  routing.prime();  // lazy caches built once, before threads share them
-  const std::vector<Port> destinations = mesh.destinations();
-  const std::size_t port_count = mesh.port_count();
+  const std::size_t dest_count = mesh.node_count();
   const std::size_t grain = std::max<std::size_t>(
-      1, port_count / (runner.thread_count() * 8));
-  const std::size_t shard_total = (port_count + grain - 1) / grain;
-  std::vector<std::vector<std::pair<PortId, PortId>>> shards(shard_total);
+      1, dest_count / (runner.thread_count() * 8));
+  const std::size_t shard_total = (dest_count + grain - 1) / grain;
+  std::vector<std::vector<RouteSweeper::Edge>> shards(shard_total);
 
   runner.parallel_for(
-      port_count, grain, [&](std::size_t begin, std::size_t end) {
+      dest_count, grain, [&](std::size_t begin, std::size_t end) {
         auto& local = shards[begin / grain];
-        for (std::size_t pid = begin; pid < end; ++pid) {
-          const Port& p = mesh.port(static_cast<PortId>(pid));
-          for (const Port& d : destinations) {
-            if (!routing.reachable(p, d)) {
-              continue;
-            }
-            for (const Port& q : routing.next_hops(p, d)) {
-              // Mirrors build_dep_graph: hop existence for reachable
-              // inputs is (C-1)'s concern, the graph only holds real
-              // ports.
-              if (mesh.exists(q)) {
-                local.emplace_back(static_cast<PortId>(pid), mesh.id(q));
-              }
-            }
-          }
+        // A sweeper per shard: the emitted-edge dedup cache is sweeper-
+        // local, so shards may re-emit edges another shard saw — merge
+        // order and duplicates are both erased by finalize().
+        RouteSweeper sweeper(routing);
+        local.reserve(mesh.port_count() / 2);
+        for (std::size_t dest = begin; dest < end; ++dest) {
+          sweeper.sweep(dest, &local, nullptr);
         }
       });
 
   PortDepGraph result;
   result.mesh = &mesh;
-  result.graph = Digraph(port_count);
-  // Merge in shard order; finalize() sorts and dedups, so the CSR form is
-  // bit-identical to the sequential construction regardless of schedule.
+  result.graph = Digraph(mesh.port_count());
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    total += shard.size();
+  }
+  result.graph.reserve_edges(total);
   for (const auto& shard : shards) {
     for (const auto& [from, to] : shard) {
       result.graph.add_edge(from, to);

@@ -1,76 +1,45 @@
 /// \file batch_runner.hpp
-/// \brief BatchRunner: a shared worker pool that fans the generic
-///        dependency-graph construction and instance sweeps across threads.
+/// \brief BatchRunner: the shared worker pool that fans the dependency-graph
+///        sweeps and instance verifications across threads.
 ///
-/// The generic build_dep_graph enumerates every (port, destination) pair —
-/// the ROADMAP's scaling bottleneck (quadratic in nodes for each of the
-/// O(nodes) ports). Two axes parallelize independently and compose:
+/// Two axes parallelize independently and compose:
 ///
-///   1. WITHIN one instance: the port range is sharded across the pool,
-///      each shard collecting its edge list locally; the shards are merged
-///      and canonicalized by Digraph::finalize() (sort + dedup), so the
-///      parallel graph is BIT-IDENTICAL to the sequential one.
+///   1. WITHIN one instance: build_dep_graph_parallel shards the
+///      per-DESTINATION route sweeps (RouteSweeper) across the pool, each
+///      shard collecting its edge list locally; the shards are merged and
+///      canonicalized by Digraph::finalize() (sort + dedup), so the
+///      parallel graph is BIT-IDENTICAL to the sequential one — and to the
+///      generic oracle's.
 ///   2. ACROSS instances: `genoc verify --all` verifies every registered
 ///      instance, each writing its verdict into a fixed slot, so the
 ///      report order is deterministic too.
 ///
-/// parallel_for is work-sharing: the calling thread claims chunks alongside
-/// the workers and completion never depends on a worker picking up the
-/// task, so nested calls (an instance task sharding its own graph build)
-/// cannot deadlock the pool.
+/// The pool mechanics live in util/ThreadPool (so graph-level algorithms
+/// like parallel_scc can run on the same pool without depending on this
+/// subsystem); parallel_for is work-sharing, hence nested calls (an
+/// instance task sharding its own graph build) cannot deadlock the pool.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <functional>
-#include <mutex>
-#include <queue>
-#include <thread>
 #include <vector>
 
 #include "deadlock/depgraph.hpp"
 #include "instance/network_instance.hpp"
 #include "instance/spec.hpp"
+#include "util/thread_pool.hpp"
 
 namespace genoc {
 
-class BatchRunner {
+class BatchRunner : public ThreadPool {
  public:
-  /// Spawns \p threads - 1 workers (the caller is the remaining thread);
-  /// 0 means hardware concurrency.
-  explicit BatchRunner(std::size_t threads = 0);
-  ~BatchRunner();
-
-  BatchRunner(const BatchRunner&) = delete;
-  BatchRunner& operator=(const BatchRunner&) = delete;
-
-  /// Total parallelism: workers + the calling thread.
-  std::size_t thread_count() const { return workers_.size() + 1; }
-
-  /// Runs body(begin, end) over consecutive chunks of ~\p grain indices
-  /// covering [0, count); blocks until every chunk has run. The caller
-  /// participates, so this is safe to call from inside another
-  /// parallel_for body. The first exception thrown by a chunk is
-  /// rethrown here (remaining chunks still run).
-  void parallel_for(
-      std::size_t count, std::size_t grain,
-      const std::function<void(std::size_t, std::size_t)>& body);
-
- private:
-  void worker_loop();
-  void enqueue(std::function<void()> task);
-
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::queue<std::function<void()>> tasks_;
-  bool stopping_ = false;
+  using ThreadPool::ThreadPool;
 };
 
-/// The sharded generic construction (axis 1 above). Requires nothing of
-/// the caller beyond build_dep_graph's contract; calls routing.prime()
-/// first so the enumeration is read-only across threads. The result is
-/// bit-identical to build_dep_graph(routing).
+/// The destination-sharded fast construction (axis 1 above). Each shard
+/// owns a RouteSweeper, so the routing function is only entered through
+/// its stateless const interface (node_out_mask / append_next_hops) —
+/// no prime() warm-up needed. The result is bit-identical to
+/// build_dep_graph(routing) and build_dep_graph_fast(routing).
 PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
                                       BatchRunner& runner);
 

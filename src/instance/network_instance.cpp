@@ -3,6 +3,7 @@
 #include "deadlock/constraints.hpp"
 #include "deadlock/escape.hpp"
 #include "graph/cycle.hpp"
+#include "graph/tarjan.hpp"
 #include "instance/batch_runner.hpp"
 #include "routing/fully_adaptive.hpp"
 #include "routing/negative_first.hpp"
@@ -83,7 +84,7 @@ std::vector<TrafficPair> NetworkInstance::make_traffic() const {
 
 PortDepGraph NetworkInstance::dependency_graph(BatchRunner* runner) const {
   return runner != nullptr ? build_dep_graph_parallel(*routing_, *runner)
-                           : build_dep_graph(*routing_);
+                           : build_dep_graph_fast(*routing_);
 }
 
 InstanceVerdict NetworkInstance::verify(
@@ -99,15 +100,28 @@ InstanceVerdict NetworkInstance::verify(
   verdict.ports = mesh_->port_count();
   verdict.deterministic = routing_->is_deterministic();
 
-  const PortDepGraph dep = dependency_graph(options.runner);
+  const PortDepGraph dep = options.generic_builder
+                               ? build_dep_graph(*routing_)
+                               : dependency_graph(options.runner);
   verdict.edges = dep.graph.edge_count();
   // The enumeration domain of the generic construction plus one check per
-  // produced edge: a deterministic count, independent of sharding.
+  // produced edge: a deterministic count, independent of sharding and of
+  // which (bit-identical) builder produced the graph.
   verdict.checks = static_cast<std::uint64_t>(mesh_->port_count()) *
                        mesh_->node_count() +
                    verdict.edges;
 
-  const std::optional<CycleWitness> cycle = find_cycle(dep.graph);
+  // Acyclicity: parallel SCC when a pool is available, else the linear
+  // DFS. On a cyclic graph find_cycle supplies the witness either way, so
+  // the verdict and note are identical across all modes.
+  std::optional<CycleWitness> cycle;
+  if (options.runner != nullptr) {
+    if (has_nontrivial_scc(dep.graph, *options.runner)) {
+      cycle = find_cycle(dep.graph);
+    }
+  } else {
+    cycle = find_cycle(dep.graph);
+  }
   verdict.dep_acyclic = !cycle.has_value();
   if (verdict.dep_acyclic) {
     verdict.deadlock_free = true;

@@ -37,11 +37,16 @@ std::unique_ptr<SwitchingPolicy> make_switching(const std::string& name);
 
 /// Options for NetworkInstance::verify().
 struct InstanceVerifyOptions {
-  /// Shard the dependency-graph construction across this pool; nullptr
-  /// runs sequentially. Results are bit-identical either way.
+  /// Shard the dependency-graph construction (per destination) and the SCC
+  /// stage across this pool; nullptr runs sequentially. Results are
+  /// bit-identical either way.
   BatchRunner* runner = nullptr;
   /// Additionally discharge (C-1)/(C-2) (quadratic-ish; off for sweeps).
   bool check_constraints = false;
+  /// Build the graph with the quadratic generic oracle instead of the
+  /// per-destination fast builder (cross-check escape hatch; the two are
+  /// bit-identical, so verdicts never differ).
+  bool generic_builder = false;
 };
 
 /// Verdict of one instance verification — one row of the `genoc verify
@@ -88,8 +93,9 @@ class NetworkInstance {
   /// The spec's workload (pattern/messages/seed), deterministically.
   std::vector<TrafficPair> make_traffic() const;
 
-  /// The generic port dependency graph of the instance's routing function,
-  /// optionally sharded over (port, destination) pairs on \p runner.
+  /// The port dependency graph of the instance's routing function, built
+  /// by the per-destination fast builder — sharded over destinations on
+  /// \p runner when given. Bit-identical to the generic construction.
   PortDepGraph dependency_graph(BatchRunner* runner = nullptr) const;
 
   /// Verifies deadlock freedom: builds the dependency graph, checks (C-3);

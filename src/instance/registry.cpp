@@ -59,7 +59,23 @@ InstanceRegistry::InstanceRegistry() {
       preset("mesh8-xy-sf", "store-and-forward baseline on an 8x8 mesh",
              "topology=mesh size=8x8 routing=xy switching=store_forward "
              "buffers=4 pattern=uniform messages=64"),
+      preset("mesh64-xy",
+             "XY on a 64x64 mesh — the per-destination fast-builder scale",
+             "topology=mesh size=64x64 routing=xy pattern=uniform "
+             "messages=512"),
+      preset("torus64-xy-escape",
+             "64x64 torus, shortest-way dimension order, XY escape lane",
+             "topology=torus size=64x64 routing=torus_xy escape=xy "
+             "pattern=uniform messages=256 flits=2"),
+      preset("mesh128-xy",
+             "XY on a 128x128 mesh (heavy: opt into sweeps with --heavy)",
+             "topology=mesh size=128x128 routing=xy pattern=uniform "
+             "messages=512"),
   };
+  // Presets excluded from `verify --all`-style sweeps unless explicitly
+  // requested: a 128x128 build is seconds of work per pass, which would
+  // dominate every CI matrix run and bench iteration.
+  heavy_ = {"mesh128-xy"};
 }
 
 const InstanceRegistry& InstanceRegistry::global() {
@@ -72,6 +88,21 @@ std::vector<std::string> InstanceRegistry::names() const {
   result.reserve(presets_.size());
   for (const InstanceSpec& spec : presets_) {
     result.push_back(spec.name);
+  }
+  return result;
+}
+
+bool InstanceRegistry::heavy(const std::string& name) const {
+  return std::find(heavy_.begin(), heavy_.end(), name) != heavy_.end();
+}
+
+std::vector<InstanceSpec> InstanceRegistry::sweep_presets() const {
+  std::vector<InstanceSpec> result;
+  result.reserve(presets_.size());
+  for (const InstanceSpec& spec : presets_) {
+    if (!heavy(spec.name)) {
+      result.push_back(spec);
+    }
   }
   return result;
 }

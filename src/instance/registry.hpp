@@ -27,6 +27,15 @@ class InstanceRegistry {
   const std::vector<InstanceSpec>& presets() const { return presets_; }
   std::vector<std::string> names() const;
 
+  /// True for presets excluded from whole-registry sweeps by default
+  /// (`verify --all`, the registry bench) because one pass costs seconds;
+  /// they stay addressable by name and `verify --all --heavy` includes
+  /// them.
+  bool heavy(const std::string& name) const;
+
+  /// presets() minus the heavy ones — the default sweep population.
+  std::vector<InstanceSpec> sweep_presets() const;
+
   /// The preset named \p name, or nullptr.
   const InstanceSpec* find(const std::string& name) const;
 
@@ -40,6 +49,7 @@ class InstanceRegistry {
   InstanceRegistry();
 
   std::vector<InstanceSpec> presets_;
+  std::vector<std::string> heavy_;
 };
 
 }  // namespace genoc

@@ -2,18 +2,19 @@
 
 namespace genoc {
 
-std::vector<Port> AdaptiveRouting::next_hops(const Port& current,
-                                             const Port& dest) const {
+void AdaptiveRouting::append_next_hops(const Port& current, const Port& dest,
+                                       std::vector<Port>& out) const {
   if (current.dir == Direction::kOut) {
-    if (current.name == PortName::kLocal) {
-      return {};
+    if (current.name != PortName::kLocal) {
+      out.push_back(mesh().next_in(current));
     }
-    return {mesh().next_in(current)};
+    return;
   }
   if (at_destination_node(current, dest)) {
-    return {trans(current, PortName::kLocal, Direction::kOut)};
+    out.push_back(trans(current, PortName::kLocal, Direction::kOut));
+    return;
   }
-  return out_choices(current, dest);
+  append_out_choices(current, dest, out);
 }
 
 }  // namespace genoc

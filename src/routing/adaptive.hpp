@@ -29,14 +29,16 @@ class AdaptiveRouting : public RoutingFunction {
 
   bool is_deterministic() const override { return false; }
 
-  std::vector<Port> next_hops(const Port& current,
-                              const Port& dest) const final;
+  void append_next_hops(const Port& current, const Port& dest,
+                        std::vector<Port>& out) const final;
 
  protected:
-  /// The set of OUT ports (within current's node) the message may take,
-  /// given that it sits in IN port \p current with destination \p dest.
-  virtual std::vector<Port> out_choices(const Port& current,
-                                        const Port& dest) const = 0;
+  /// Appends the set of OUT ports (within current's node) the message may
+  /// take, given that it sits in IN port \p current with destination
+  /// \p dest. current is never at the destination node (the base class
+  /// handles delivery).
+  virtual void append_out_choices(const Port& current, const Port& dest,
+                                  std::vector<Port>& out) const = 0;
 
   /// Helper: true iff current's node is the destination node.
   static bool at_destination_node(const Port& current, const Port& dest) {

@@ -2,22 +2,40 @@
 
 namespace genoc {
 
-std::vector<Port> FullyAdaptiveRouting::out_choices(const Port& current,
-                                                    const Port& dest) const {
-  std::vector<Port> choices;
+void FullyAdaptiveRouting::append_out_choices(const Port& current,
+                                              const Port& dest,
+                                              std::vector<Port>& out) const {
   if (dest.x > current.x) {
-    choices.push_back(trans(current, PortName::kEast, Direction::kOut));
+    out.push_back(trans(current, PortName::kEast, Direction::kOut));
   }
   if (dest.x < current.x) {
-    choices.push_back(trans(current, PortName::kWest, Direction::kOut));
+    out.push_back(trans(current, PortName::kWest, Direction::kOut));
   }
   if (dest.y < current.y) {
-    choices.push_back(trans(current, PortName::kNorth, Direction::kOut));
+    out.push_back(trans(current, PortName::kNorth, Direction::kOut));
   }
   if (dest.y > current.y) {
-    choices.push_back(trans(current, PortName::kSouth, Direction::kOut));
+    out.push_back(trans(current, PortName::kSouth, Direction::kOut));
   }
-  return choices;
+}
+
+std::uint8_t FullyAdaptiveRouting::node_out_mask(std::int32_t x,
+                                                 std::int32_t y,
+                                                 const Port& dest) const {
+  std::uint8_t mask = 0;
+  if (dest.x > x) {
+    mask |= port_name_bit(PortName::kEast);
+  }
+  if (dest.x < x) {
+    mask |= port_name_bit(PortName::kWest);
+  }
+  if (dest.y < y) {
+    mask |= port_name_bit(PortName::kNorth);
+  }
+  if (dest.y > y) {
+    mask |= port_name_bit(PortName::kSouth);
+  }
+  return mask != 0 ? mask : port_name_bit(PortName::kLocal);
 }
 
 }  // namespace genoc

@@ -2,26 +2,48 @@
 
 namespace genoc {
 
-std::vector<Port> NegativeFirstRouting::out_choices(const Port& current,
-                                                    const Port& dest) const {
-  std::vector<Port> negative;
+void NegativeFirstRouting::append_out_choices(const Port& current,
+                                              const Port& dest,
+                                              std::vector<Port>& out) const {
+  const std::size_t before = out.size();
   if (dest.x < current.x) {
-    negative.push_back(trans(current, PortName::kWest, Direction::kOut));
+    out.push_back(trans(current, PortName::kWest, Direction::kOut));
   }
   if (dest.y < current.y) {
-    negative.push_back(trans(current, PortName::kNorth, Direction::kOut));
+    out.push_back(trans(current, PortName::kNorth, Direction::kOut));
   }
-  if (!negative.empty()) {
-    return negative;
+  if (out.size() != before) {
+    return;
   }
-  std::vector<Port> positive;
   if (dest.x > current.x) {
-    positive.push_back(trans(current, PortName::kEast, Direction::kOut));
+    out.push_back(trans(current, PortName::kEast, Direction::kOut));
   }
   if (dest.y > current.y) {
-    positive.push_back(trans(current, PortName::kSouth, Direction::kOut));
+    out.push_back(trans(current, PortName::kSouth, Direction::kOut));
   }
-  return positive;
+}
+
+std::uint8_t NegativeFirstRouting::node_out_mask(std::int32_t x,
+                                                 std::int32_t y,
+                                                 const Port& dest) const {
+  std::uint8_t negative = 0;
+  if (dest.x < x) {
+    negative |= port_name_bit(PortName::kWest);
+  }
+  if (dest.y < y) {
+    negative |= port_name_bit(PortName::kNorth);
+  }
+  if (negative != 0) {
+    return negative;
+  }
+  std::uint8_t positive = 0;
+  if (dest.x > x) {
+    positive |= port_name_bit(PortName::kEast);
+  }
+  if (dest.y > y) {
+    positive |= port_name_bit(PortName::kSouth);
+  }
+  return positive != 0 ? positive : port_name_bit(PortName::kLocal);
 }
 
 }  // namespace genoc

@@ -2,24 +2,44 @@
 
 namespace genoc {
 
-std::vector<Port> NorthLastRouting::out_choices(const Port& current,
-                                                const Port& dest) const {
-  std::vector<Port> choices;
+void NorthLastRouting::append_out_choices(const Port& current,
+                                          const Port& dest,
+                                          std::vector<Port>& out) const {
+  const std::size_t before = out.size();
   if (dest.x > current.x) {
-    choices.push_back(trans(current, PortName::kEast, Direction::kOut));
+    out.push_back(trans(current, PortName::kEast, Direction::kOut));
   }
   if (dest.x < current.x) {
-    choices.push_back(trans(current, PortName::kWest, Direction::kOut));
+    out.push_back(trans(current, PortName::kWest, Direction::kOut));
   }
   if (dest.y > current.y) {
-    choices.push_back(trans(current, PortName::kSouth, Direction::kOut));
+    out.push_back(trans(current, PortName::kSouth, Direction::kOut));
   }
-  if (!choices.empty()) {
-    return choices;
+  if (out.size() != before) {
+    return;
   }
   // Only the northbound hop remains (dest.y < current.y, same column): the
   // "last" phase. Minimality guarantees we never need to leave it.
-  return {trans(current, PortName::kNorth, Direction::kOut)};
+  out.push_back(trans(current, PortName::kNorth, Direction::kOut));
+}
+
+std::uint8_t NorthLastRouting::node_out_mask(std::int32_t x, std::int32_t y,
+                                             const Port& dest) const {
+  std::uint8_t mask = 0;
+  if (dest.x > x) {
+    mask |= port_name_bit(PortName::kEast);
+  }
+  if (dest.x < x) {
+    mask |= port_name_bit(PortName::kWest);
+  }
+  if (dest.y > y) {
+    mask |= port_name_bit(PortName::kSouth);
+  }
+  if (mask != 0) {
+    return mask;
+  }
+  return dest.y < y ? port_name_bit(PortName::kNorth)
+                    : port_name_bit(PortName::kLocal);
 }
 
 }  // namespace genoc

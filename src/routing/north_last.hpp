@@ -17,9 +17,14 @@ class NorthLastRouting final : public AdaptiveRouting {
 
   std::string name() const override { return "North-Last"; }
 
+  /// Choice depends only on the node coordinates.
+  bool node_uniform() const override { return true; }
+  std::uint8_t node_out_mask(std::int32_t x, std::int32_t y,
+                             const Port& dest) const override;
+
  protected:
-  std::vector<Port> out_choices(const Port& current,
-                                const Port& dest) const override;
+  void append_out_choices(const Port& current, const Port& dest,
+                          std::vector<Port>& out) const override;
 };
 
 }  // namespace genoc

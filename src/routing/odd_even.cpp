@@ -20,8 +20,9 @@ bool odd(std::int32_t x) { return (x % 2) != 0; }
 ///  - an eastbound move is forbidden when it would strand the packet one
 ///    hop west of an even destination column with vertical hops remaining
 ///    (the EN/ES turn there would be illegal).
-std::vector<Port> OddEvenRouting::out_choices(const Port& current,
-                                              const Port& dest) const {
+void OddEvenRouting::append_out_choices(const Port& current,
+                                        const Port& dest,
+                                        std::vector<Port>& out) const {
   const std::int32_t ex = dest.x - current.x;
   const std::int32_t ey = dest.y - current.y;
   const bool odd_column = odd(current.x);
@@ -36,25 +37,24 @@ std::vector<Port> OddEvenRouting::out_choices(const Port& current,
   // destination column still needing an (illegal) EN/ES turn there.
   const bool east_safe = (ey == 0) || (ex > 1) || odd(dest.x);
 
-  std::vector<Port> choices;
   switch (current.name) {
     case PortName::kLocal:
       // Injection: entering any direction is not a turn, but the packet
       // must not be painted into a corner.
       if (ex > 0) {
         if (ey != 0) {
-          choices.push_back(vertical());
+          out.push_back(vertical());
         }
         if (east_safe) {
-          choices.push_back(east());
+          out.push_back(east());
         }
       } else if (ex < 0) {
         if (ey != 0 && !odd_column) {
-          choices.push_back(vertical());
+          out.push_back(vertical());
         }
-        choices.push_back(west());
+        out.push_back(west());
       } else {
-        choices.push_back(vertical());  // ey != 0 here (dest node handled)
+        out.push_back(vertical());  // ey != 0 here (dest node handled)
       }
       break;
 
@@ -63,13 +63,13 @@ std::vector<Port> OddEvenRouting::out_choices(const Port& current,
       if (ex == 0) {
         // Arrived at the destination column; the east_safe guard ensures
         // this only happens where the turn is legal.
-        choices.push_back(vertical());
+        out.push_back(vertical());
       } else {
         if (ey != 0 && odd_column) {
-          choices.push_back(vertical());
+          out.push_back(vertical());
         }
         if (east_safe) {
-          choices.push_back(east());
+          out.push_back(east());
         }
       }
       break;
@@ -79,12 +79,12 @@ std::vector<Port> OddEvenRouting::out_choices(const Port& current,
       // movement with west hops remaining requires an even column (the
       // NW/SW turn back happens in the same column).
       if (ex == 0) {
-        choices.push_back(vertical());
+        out.push_back(vertical());
       } else {
         if (ey != 0 && !odd_column) {
-          choices.push_back(vertical());
+          out.push_back(vertical());
         }
-        choices.push_back(west());
+        out.push_back(west());
       }
       break;
 
@@ -94,17 +94,16 @@ std::vector<Port> OddEvenRouting::out_choices(const Port& current,
       // turns are free (modulo the east_safe guard); NW/SW west turns need
       // an even column.
       if (ey != 0) {
-        choices.push_back(vertical());
+        out.push_back(vertical());
       }
       if (ex > 0 && east_safe) {
-        choices.push_back(east());
+        out.push_back(east());
       }
       if (ex < 0 && !odd_column) {
-        choices.push_back(west());
+        out.push_back(west());
       }
       break;
   }
-  return choices;
 }
 
 }  // namespace genoc

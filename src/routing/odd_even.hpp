@@ -19,9 +19,12 @@ class OddEvenRouting final : public AdaptiveRouting {
 
   std::string name() const override { return "Odd-Even"; }
 
+  /// NOT node-uniform: turn legality reads the in-port name (the travel
+  /// direction), so the fast builder uses the generic port-level sweep.
+
  protected:
-  std::vector<Port> out_choices(const Port& current,
-                                const Port& dest) const override;
+  void append_out_choices(const Port& current, const Port& dest,
+                          std::vector<Port>& out) const override;
 };
 
 }  // namespace genoc

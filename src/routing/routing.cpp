@@ -1,7 +1,6 @@
 #include "routing/routing.hpp"
 
-#include <queue>
-
+#include "routing/sweep.hpp"
 #include "util/require.hpp"
 
 namespace genoc {
@@ -9,6 +8,14 @@ namespace genoc {
 bool RoutingFunction::valid_endpoints(const Port& s, const Port& d) const {
   return mesh_->exists(s) && d.name == PortName::kLocal &&
          d.dir == Direction::kOut && mesh_->exists(d);
+}
+
+std::uint8_t RoutingFunction::node_out_mask(std::int32_t /*x*/,
+                                            std::int32_t /*y*/,
+                                            const Port& /*dest*/) const {
+  GENOC_REQUIRE(false, "node_out_mask requires a node_uniform() routing "
+                       "function (" + name() + " is not)");
+  return 0;
 }
 
 bool RoutingFunction::closure_reachable(const Port& s, const Port& d) const {
@@ -19,44 +26,24 @@ bool RoutingFunction::closure_reachable(const Port& s, const Port& d) const {
   const auto dest_index = static_cast<std::size_t>(d.y) *
                               static_cast<std::size_t>(mesh_->width()) +
                           static_cast<std::size_t>(d.x);
-  return closure_[dest_index][mesh_->id(s)];
+  const PortId sid = mesh_->id(s);
+  const std::uint64_t word =
+      closure_[dest_index * closure_words_ + (sid >> 6)];
+  return ((word >> (sid & 63)) & 1u) != 0;
 }
 
 void RoutingFunction::build_closure() const {
   if (closure_built_) {
     return;
   }
-  closure_.assign(mesh_->node_count(),
-                  std::vector<bool>(mesh_->port_count(), false));
-  for (const Port& dest : mesh_->destinations()) {
-    const auto dest_index = static_cast<std::size_t>(dest.y) *
-                                static_cast<std::size_t>(mesh_->width()) +
-                            static_cast<std::size_t>(dest.x);
-    auto& seen = closure_[dest_index];
-    std::queue<Port> frontier;
-    // Messages enter the network at Local IN ports; every port a route can
-    // visit from there (under this destination) is reachable-consistent.
-    for (const Port& source : mesh_->sources()) {
-      seen[mesh_->id(source)] = true;
-      frontier.push(source);
-    }
-    while (!frontier.empty()) {
-      const Port p = frontier.front();
-      frontier.pop();
-      for (const Port& hop : next_hops(p, dest)) {
-        // A routing function may only produce existing ports for reachable
-        // inputs; a violation here is a (C-1)-detectable bug, and the
-        // closure simply does not propagate through it.
-        if (!mesh_->exists(hop)) {
-          continue;
-        }
-        const PortId hop_id = mesh_->id(hop);
-        if (!seen[hop_id]) {
-          seen[hop_id] = true;
-          frontier.push(hop);
-        }
-      }
-    }
+  // One per-destination sweep fills one bitset row; the sweep itself takes
+  // care of seeding at the Local IN ports and of skipping non-existent
+  // hops (a (C-1)-detectable bug the closure must not propagate through).
+  RouteSweeper sweeper(*this);
+  closure_words_ = sweeper.row_words();
+  closure_.assign(mesh_->node_count() * closure_words_, 0);
+  for (std::size_t dest = 0; dest < mesh_->node_count(); ++dest) {
+    sweeper.sweep(dest, nullptr, closure_.data() + dest * closure_words_);
   }
   closure_built_ = true;
 }

@@ -24,31 +24,55 @@ std::int32_t TorusXYRouting::shortest_delta(std::int32_t from,
   return forward <= extent / 2 ? forward : forward - extent;
 }
 
-std::vector<Port> TorusXYRouting::next_hops(const Port& current,
-                                            const Port& dest) const {
+void TorusXYRouting::append_next_hops(const Port& current, const Port& dest,
+                                      std::vector<Port>& out) const {
   if (current.dir == Direction::kOut) {
-    if (current.name == PortName::kLocal) {
-      return {};
+    if (current.name != PortName::kLocal) {
+      out.push_back(mesh().next_in(current));
     }
-    return {mesh().next_in(current)};
+    return;
   }
-  const std::int32_t dx = shortest_delta(current.x, dest.x, mesh().width(),
-                                         mesh().wraps_x());
-  const std::int32_t dy = shortest_delta(current.y, dest.y, mesh().height(),
-                                         mesh().wraps_y());
+  const PortName choice = [&] {
+    const std::int32_t dx = shortest_delta(current.x, dest.x, mesh().width(),
+                                           mesh().wraps_x());
+    const std::int32_t dy = shortest_delta(current.y, dest.y, mesh().height(),
+                                           mesh().wraps_y());
+    if (dx < 0) {
+      return PortName::kWest;
+    }
+    if (dx > 0) {
+      return PortName::kEast;
+    }
+    if (dy < 0) {
+      return PortName::kNorth;
+    }
+    if (dy > 0) {
+      return PortName::kSouth;
+    }
+    return PortName::kLocal;
+  }();
+  out.push_back(trans(current, choice, Direction::kOut));
+}
+
+std::uint8_t TorusXYRouting::node_out_mask(std::int32_t x, std::int32_t y,
+                                           const Port& dest) const {
+  const std::int32_t dx =
+      shortest_delta(x, dest.x, mesh().width(), mesh().wraps_x());
+  const std::int32_t dy =
+      shortest_delta(y, dest.y, mesh().height(), mesh().wraps_y());
   if (dx < 0) {
-    return {trans(current, PortName::kWest, Direction::kOut)};
+    return port_name_bit(PortName::kWest);
   }
   if (dx > 0) {
-    return {trans(current, PortName::kEast, Direction::kOut)};
+    return port_name_bit(PortName::kEast);
   }
   if (dy < 0) {
-    return {trans(current, PortName::kNorth, Direction::kOut)};
+    return port_name_bit(PortName::kNorth);
   }
   if (dy > 0) {
-    return {trans(current, PortName::kSouth, Direction::kOut)};
+    return port_name_bit(PortName::kSouth);
   }
-  return {trans(current, PortName::kLocal, Direction::kOut)};
+  return port_name_bit(PortName::kLocal);
 }
 
 }  // namespace genoc

@@ -24,8 +24,13 @@ class TorusXYRouting final : public RoutingFunction {
   std::string name() const override { return "Torus-XY"; }
   bool is_deterministic() const override { return true; }
 
-  std::vector<Port> next_hops(const Port& current,
-                              const Port& dest) const override;
+  void append_next_hops(const Port& current, const Port& dest,
+                        std::vector<Port>& out) const override;
+
+  /// Shortest-way dimension order decides from the node coordinates alone.
+  bool node_uniform() const override { return true; }
+  std::uint8_t node_out_mask(std::int32_t x, std::int32_t y,
+                             const Port& dest) const override;
 
  private:
   /// Signed shortest displacement from \p from to \p to along a dimension

@@ -2,24 +2,42 @@
 
 namespace genoc {
 
-std::vector<Port> WestFirstRouting::out_choices(const Port& current,
-                                                const Port& dest) const {
+void WestFirstRouting::append_out_choices(const Port& current,
+                                          const Port& dest,
+                                          std::vector<Port>& out) const {
   // Phase 1: any pending westbound hop must be taken before anything else.
   if (dest.x < current.x) {
-    return {trans(current, PortName::kWest, Direction::kOut)};
+    out.push_back(trans(current, PortName::kWest, Direction::kOut));
+    return;
   }
   // Phase 2: fully adaptive among the productive non-West directions.
-  std::vector<Port> choices;
   if (dest.x > current.x) {
-    choices.push_back(trans(current, PortName::kEast, Direction::kOut));
+    out.push_back(trans(current, PortName::kEast, Direction::kOut));
   }
   if (dest.y < current.y) {
-    choices.push_back(trans(current, PortName::kNorth, Direction::kOut));
+    out.push_back(trans(current, PortName::kNorth, Direction::kOut));
   }
   if (dest.y > current.y) {
-    choices.push_back(trans(current, PortName::kSouth, Direction::kOut));
+    out.push_back(trans(current, PortName::kSouth, Direction::kOut));
   }
-  return choices;
+}
+
+std::uint8_t WestFirstRouting::node_out_mask(std::int32_t x, std::int32_t y,
+                                             const Port& dest) const {
+  if (dest.x < x) {
+    return port_name_bit(PortName::kWest);
+  }
+  std::uint8_t mask = 0;
+  if (dest.x > x) {
+    mask |= port_name_bit(PortName::kEast);
+  }
+  if (dest.y < y) {
+    mask |= port_name_bit(PortName::kNorth);
+  }
+  if (dest.y > y) {
+    mask |= port_name_bit(PortName::kSouth);
+  }
+  return mask != 0 ? mask : port_name_bit(PortName::kLocal);
 }
 
 }  // namespace genoc

@@ -18,9 +18,14 @@ class WestFirstRouting final : public AdaptiveRouting {
 
   std::string name() const override { return "West-First"; }
 
+  /// The west-first phases read only the node coordinates.
+  bool node_uniform() const override { return true; }
+  std::uint8_t node_out_mask(std::int32_t x, std::int32_t y,
+                             const Port& dest) const override;
+
  protected:
-  std::vector<Port> out_choices(const Port& current,
-                                const Port& dest) const override;
+  void append_out_choices(const Port& current, const Port& dest,
+                          std::vector<Port>& out) const override;
 };
 
 }  // namespace genoc

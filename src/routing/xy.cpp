@@ -2,27 +2,43 @@
 
 namespace genoc {
 
-std::vector<Port> XYRouting::next_hops(const Port& current,
-                                       const Port& dest) const {
+void XYRouting::append_next_hops(const Port& current, const Port& dest,
+                                 std::vector<Port>& out) const {
   if (current.dir == Direction::kOut) {
     if (current.name == PortName::kLocal) {
-      return {};  // delivered: Local OUT ports hand the message to the core
+      return;  // delivered: Local OUT ports hand the message to the core
     }
-    return {mesh().next_in(current)};
+    out.push_back(mesh().next_in(current));
+    return;
   }
   if (dest.x < current.x) {
-    return {trans(current, PortName::kWest, Direction::kOut)};
+    out.push_back(trans(current, PortName::kWest, Direction::kOut));
+  } else if (dest.x > current.x) {
+    out.push_back(trans(current, PortName::kEast, Direction::kOut));
+  } else if (dest.y < current.y) {
+    out.push_back(trans(current, PortName::kNorth, Direction::kOut));
+  } else if (dest.y > current.y) {
+    out.push_back(trans(current, PortName::kSouth, Direction::kOut));
+  } else {
+    out.push_back(trans(current, PortName::kLocal, Direction::kOut));
   }
-  if (dest.x > current.x) {
-    return {trans(current, PortName::kEast, Direction::kOut)};
+}
+
+std::uint8_t XYRouting::node_out_mask(std::int32_t x, std::int32_t y,
+                                      const Port& dest) const {
+  if (dest.x < x) {
+    return port_name_bit(PortName::kWest);
   }
-  if (dest.y < current.y) {
-    return {trans(current, PortName::kNorth, Direction::kOut)};
+  if (dest.x > x) {
+    return port_name_bit(PortName::kEast);
   }
-  if (dest.y > current.y) {
-    return {trans(current, PortName::kSouth, Direction::kOut)};
+  if (dest.y < y) {
+    return port_name_bit(PortName::kNorth);
   }
-  return {trans(current, PortName::kLocal, Direction::kOut)};
+  if (dest.y > y) {
+    return port_name_bit(PortName::kSouth);
+  }
+  return port_name_bit(PortName::kLocal);
 }
 
 bool XYRouting::reachable(const Port& s, const Port& d) const {

@@ -25,8 +25,14 @@ class XYRouting final : public RoutingFunction {
   std::string name() const override { return "XY"; }
   bool is_deterministic() const override { return true; }
 
-  std::vector<Port> next_hops(const Port& current,
-                              const Port& dest) const override;
+  void append_next_hops(const Port& current, const Port& dest,
+                        std::vector<Port>& out) const override;
+
+  /// XY decides from the node coordinates alone (the in-port name never
+  /// enters the formula), OUT ports forward along their link.
+  bool node_uniform() const override { return true; }
+  std::uint8_t node_out_mask(std::int32_t x, std::int32_t y,
+                             const Port& dest) const override;
 
   /// Closed-form s R d for XY routing: d is an existing Local OUT port and
   /// s's port class is consistent with XY history (horizontal phase first,

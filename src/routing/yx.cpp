@@ -2,27 +2,42 @@
 
 namespace genoc {
 
-std::vector<Port> YXRouting::next_hops(const Port& current,
-                                       const Port& dest) const {
+void YXRouting::append_next_hops(const Port& current, const Port& dest,
+                                 std::vector<Port>& out) const {
   if (current.dir == Direction::kOut) {
-    if (current.name == PortName::kLocal) {
-      return {};
+    if (current.name != PortName::kLocal) {
+      out.push_back(mesh().next_in(current));
     }
-    return {mesh().next_in(current)};
+    return;
   }
   if (dest.y < current.y) {
-    return {trans(current, PortName::kNorth, Direction::kOut)};
+    out.push_back(trans(current, PortName::kNorth, Direction::kOut));
+  } else if (dest.y > current.y) {
+    out.push_back(trans(current, PortName::kSouth, Direction::kOut));
+  } else if (dest.x < current.x) {
+    out.push_back(trans(current, PortName::kWest, Direction::kOut));
+  } else if (dest.x > current.x) {
+    out.push_back(trans(current, PortName::kEast, Direction::kOut));
+  } else {
+    out.push_back(trans(current, PortName::kLocal, Direction::kOut));
   }
-  if (dest.y > current.y) {
-    return {trans(current, PortName::kSouth, Direction::kOut)};
+}
+
+std::uint8_t YXRouting::node_out_mask(std::int32_t x, std::int32_t y,
+                                      const Port& dest) const {
+  if (dest.y < y) {
+    return port_name_bit(PortName::kNorth);
   }
-  if (dest.x < current.x) {
-    return {trans(current, PortName::kWest, Direction::kOut)};
+  if (dest.y > y) {
+    return port_name_bit(PortName::kSouth);
   }
-  if (dest.x > current.x) {
-    return {trans(current, PortName::kEast, Direction::kOut)};
+  if (dest.x < x) {
+    return port_name_bit(PortName::kWest);
   }
-  return {trans(current, PortName::kLocal, Direction::kOut)};
+  if (dest.x > x) {
+    return port_name_bit(PortName::kEast);
+  }
+  return port_name_bit(PortName::kLocal);
 }
 
 bool YXRouting::reachable(const Port& s, const Port& d) const {

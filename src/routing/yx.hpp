@@ -16,8 +16,13 @@ class YXRouting final : public RoutingFunction {
   std::string name() const override { return "YX"; }
   bool is_deterministic() const override { return true; }
 
-  std::vector<Port> next_hops(const Port& current,
-                              const Port& dest) const override;
+  void append_next_hops(const Port& current, const Port& dest,
+                        std::vector<Port>& out) const override;
+
+  /// Vertical-first mirror of XY: same node-level decision structure.
+  bool node_uniform() const override { return true; }
+  std::uint8_t node_out_mask(std::int32_t x, std::int32_t y,
+                             const Port& dest) const override;
 
   /// Closed-form s R d, the exact mirror of XYRouting::reachable (vertical
   /// ports are unconstrained in x-history, horizontal in-ports pin y).

@@ -5,7 +5,6 @@
 namespace genoc {
 
 namespace {
-constexpr std::size_t kSlotsPerNode = 10;  // 5 names x 2 directions
 
 /// A cardinal port exists iff the neighbour it would connect to is inside
 /// the mesh — or the dimension wraps (torus links keep boundary ports
@@ -38,7 +37,7 @@ Mesh2D::Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x,
                 "a mesh needs at least two nodes");
   GENOC_REQUIRE(!wrap_x || width >= 2, "wrapping x needs at least 2 columns");
   GENOC_REQUIRE(!wrap_y || height >= 2, "wrapping y needs at least 2 rows");
-  id_table_.assign(node_count() * kSlotsPerNode, -1);
+  id_table_.assign(node_count() * kPortSlotsPerNode, -1);
 
   // Enumerate ports node-major so ids are stable and human-predictable.
   for (std::int32_t y = 0; y < height_; ++y) {
@@ -134,15 +133,6 @@ std::vector<Port> Mesh2D::sources() const {
     result.push_back(local_in(node.x, node.y));
   }
   return result;
-}
-
-std::size_t Mesh2D::slot(const Port& p) const {
-  const auto node_index = static_cast<std::size_t>(p.y) *
-                              static_cast<std::size_t>(width_) +
-                          static_cast<std::size_t>(p.x);
-  const auto name_index = static_cast<std::size_t>(p.name);
-  const auto dir_index = static_cast<std::size_t>(p.dir);
-  return node_index * kSlotsPerNode + name_index * 2 + dir_index;
 }
 
 }  // namespace genoc

@@ -21,6 +21,15 @@ namespace genoc {
 /// Dense index of an existing port within a Mesh2D.
 using PortId = std::uint32_t;
 
+/// Slots per node in the (name, direction) port-lookup layout shared by
+/// Mesh2D::slot() and the RouteSweeper tables: 5 names x 2 directions.
+inline constexpr std::size_t kPortSlotsPerNode = 10;
+
+/// Slot of (name, dir) within a node's kPortSlotsPerNode-slot block.
+inline constexpr std::size_t port_slot(PortName name, Direction dir) {
+  return static_cast<std::size_t>(name) * 2 + static_cast<std::size_t>(dir);
+}
+
 /// Node coordinates within the mesh.
 struct NodeCoord {
   std::int32_t x = 0;
@@ -73,6 +82,16 @@ class Mesh2D {
   /// Dense id of an existing port. Requires exists(p).
   PortId id(const Port& p) const;
 
+  /// Dense id of \p p, or -1 when the port does not exist. One table
+  /// lookup — the hot-path fusion of exists() + id() the per-destination
+  /// sweeps thread PortIds through.
+  std::int32_t try_id(const Port& p) const {
+    if (!contains_node(p.x, p.y)) {
+      return -1;
+    }
+    return id_table_[slot(p)];
+  }
+
   /// The port with dense id \p pid. Requires pid < port_count().
   const Port& port(PortId pid) const;
 
@@ -96,8 +115,14 @@ class Mesh2D {
 
  private:
   /// Slot of p in the (node-major, name-major, dir-minor) lookup table,
-  /// defined for any port whose node is in the mesh.
-  std::size_t slot(const Port& p) const;
+  /// defined for any port whose node is in the mesh. Inline: this is the
+  /// innermost step of every port-id lookup on the sweep hot path.
+  std::size_t slot(const Port& p) const {
+    const auto node_index = static_cast<std::size_t>(p.y) *
+                                static_cast<std::size_t>(width_) +
+                            static_cast<std::size_t>(p.x);
+    return node_index * kPortSlotsPerNode + port_slot(p.name, p.dir);
+  }
 
   std::int32_t width_;
   std::int32_t height_;

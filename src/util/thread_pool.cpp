@@ -1,0 +1,135 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace genoc {
+
+namespace {
+
+/// Shared state of one parallel_for: chunks are claimed via an atomic
+/// cursor; the loop completes when every chunk has *executed* (claimed-and-
+/// finished), which the caller alone can guarantee — helpers are pure
+/// opportunism and may never be scheduled at all.
+struct ForLoop {
+  std::size_t count = 0;
+  std::size_t grain = 1;
+  std::size_t chunk_total = 0;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> done_chunks{0};
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::exception_ptr first_error;
+
+  /// Claims and runs chunks until none are left.
+  void drain() {
+    while (true) {
+      const std::size_t chunk =
+          next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= chunk_total) {
+        return;
+      }
+      const std::size_t begin = chunk * grain;
+      const std::size_t end = std::min(count, begin + grain);
+      try {
+        (*body)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+      if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          chunk_total) {
+        std::lock_guard<std::mutex> lock(mutex);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  for (std::size_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    tasks_.push(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  grain = std::max<std::size_t>(1, grain);
+  auto loop = std::make_shared<ForLoop>();
+  loop->count = count;
+  loop->grain = grain;
+  loop->chunk_total = (count + grain - 1) / grain;
+  loop->body = &body;
+
+  const std::size_t helpers =
+      std::min(workers_.size(), loop->chunk_total - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    enqueue([loop] { loop->drain(); });
+  }
+  loop->drain();
+  {
+    std::unique_lock<std::mutex> lock(loop->mutex);
+    loop->all_done.wait(lock, [&loop] {
+      return loop->done_chunks.load(std::memory_order_acquire) ==
+             loop->chunk_total;
+    });
+  }
+  if (loop->first_error) {
+    std::rethrow_exception(loop->first_error);
+  }
+}
+
+}  // namespace genoc

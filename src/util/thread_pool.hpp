@@ -1,0 +1,56 @@
+/// \file thread_pool.hpp
+/// \brief ThreadPool: the shared worker pool behind every parallel stage
+///        (dependency-graph sharding, instance sweeps, parallel SCC).
+///
+/// Extracted from instance/BatchRunner so that lower layers (graph/) can
+/// accept a pool without depending on the instance subsystem. parallel_for
+/// is work-sharing: the calling thread claims chunks alongside the workers
+/// and completion never depends on a worker picking up the task, so nested
+/// calls (an instance task sharding its own graph build) cannot deadlock
+/// the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace genoc {
+
+class ThreadPool {
+ public:
+  /// Spawns \p threads - 1 workers (the caller is the remaining thread);
+  /// 0 means hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism: workers + the calling thread.
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs body(begin, end) over consecutive chunks of ~\p grain indices
+  /// covering [0, count); blocks until every chunk has run. The caller
+  /// participates, so this is safe to call from inside another
+  /// parallel_for body. The first exception thrown by a chunk is
+  /// rethrown here (remaining chunks still run).
+  void parallel_for(
+      std::size_t count, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+}  // namespace genoc

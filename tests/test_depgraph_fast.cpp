@@ -1,0 +1,237 @@
+// The fast per-destination dependency-graph builder against its oracle.
+//
+// The acceptance bar of the perf issue: build_dep_graph_fast (and its
+// destination-sharded parallel twin) must produce a finalized Digraph
+// BIT-IDENTICAL to the generic (port, destination)-product construction on
+// every registry preset — torus and adaptive instances included — and the
+// node-uniform sweep must agree with the generic port-level BFS it
+// specializes. The node_out_mask closed forms are additionally
+// cross-validated against append_next_hops on every in-port, which is the
+// uniformity claim the node sweep rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "deadlock/depgraph.hpp"
+#include "instance/batch_runner.hpp"
+#include "instance/network_instance.hpp"
+#include "instance/registry.hpp"
+#include "routing/sweep.hpp"
+
+namespace genoc {
+namespace {
+
+Digraph digraph_from_sweeper(RouteSweeper& sweeper, const Mesh2D& mesh) {
+  std::vector<RouteSweeper::Edge> edges;
+  for (std::size_t dest = 0; dest < mesh.node_count(); ++dest) {
+    sweeper.sweep(dest, &edges, nullptr);
+  }
+  Digraph graph(mesh.port_count());
+  graph.reserve_edges(edges.size());
+  for (const auto& [from, to] : edges) {
+    graph.add_edge(from, to);
+  }
+  graph.finalize();
+  return graph;
+}
+
+void expect_fast_equals_generic(const InstanceSpec& spec) {
+  SCOPED_TRACE(spec.name);
+  const NetworkInstance instance(spec);
+  const PortDepGraph fast = build_dep_graph_fast(instance.routing());
+  ASSERT_EQ(fast.graph.vertex_count(), instance.mesh().port_count());
+  const PortDepGraph generic = build_dep_graph(instance.routing());
+  EXPECT_EQ(fast.graph.edge_count(), generic.graph.edge_count());
+  EXPECT_EQ(fast.graph.edges(), generic.graph.edges());
+}
+
+TEST(DepGraphFast, BitIdenticalToGenericOnEverySmallPreset) {
+  const InstanceRegistry& registry = InstanceRegistry::global();
+  for (const InstanceSpec& spec : registry.presets()) {
+    if (spec.width > 32 || spec.height > 32) {
+      continue;  // the 64x64 oracle runs get their own (timed) test cases
+    }
+    expect_fast_equals_generic(spec);
+  }
+}
+
+// The 64x64 oracle comparisons are minutes-scale under sanitizers, so
+// each runs as its own test case (the CTest timeout applies per test).
+TEST(DepGraphFast, BitIdenticalToGenericAt64x64Mesh) {
+  std::string error;
+  const auto spec = InstanceRegistry::global().resolve("mesh64-xy", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  expect_fast_equals_generic(*spec);
+}
+
+TEST(DepGraphFast, BitIdenticalToGenericAt64x64Torus) {
+  std::string error;
+  const auto spec =
+      InstanceRegistry::global().resolve("torus64-xy-escape", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  expect_fast_equals_generic(*spec);
+}
+
+TEST(DepGraphFast, HeavyPresetFastMatchesParallel) {
+  // The 128x128 oracle run costs minutes even in release; the fast
+  // builder is instead cross-checked against the sharded build, and both
+  // sweep modes (size-generic code) agree with the oracle on every other
+  // preset up to 64x64.
+  const InstanceRegistry& registry = InstanceRegistry::global();
+  for (const InstanceSpec& spec : registry.presets()) {
+    if (!registry.heavy(spec.name)) {
+      continue;
+    }
+    SCOPED_TRACE(spec.name);
+    const NetworkInstance instance(spec);
+    const PortDepGraph fast = build_dep_graph_fast(instance.routing());
+    BatchRunner runner(4);
+    const PortDepGraph parallel =
+        build_dep_graph_parallel(instance.routing(), runner);
+    EXPECT_EQ(fast.graph.edges(), parallel.graph.edges());
+  }
+}
+
+TEST(DepGraphFast, PortModeSweepMatchesGenericOnEveryPreset) {
+  // The generic BFS fallback (what non-node-uniform functions like
+  // Odd-Even always use) must itself reproduce the oracle, on every
+  // preset — this is also the path that vouches for the heavy presets
+  // whose oracle run is skipped above.
+  const InstanceRegistry& registry = InstanceRegistry::global();
+  for (const InstanceSpec& spec : registry.presets()) {
+    if (registry.heavy(spec.name)) {
+      // A 128x128 port-level BFS costs ~20 s for no extra code coverage:
+      // both sweep modes are size-generic and already agree at 64x64.
+      continue;
+    }
+    SCOPED_TRACE(spec.name);
+    const NetworkInstance instance(spec);
+    RouteSweeper sweeper(instance.routing());
+    sweeper.force_port_mode();
+    const Digraph swept =
+        digraph_from_sweeper(sweeper, instance.mesh());
+    const PortDepGraph fast = build_dep_graph_fast(instance.routing());
+    EXPECT_EQ(swept.edges(), fast.graph.edges());
+    if (spec.width <= 16 && spec.height <= 16) {
+      const PortDepGraph generic = build_dep_graph(instance.routing());
+      EXPECT_EQ(swept.edges(), generic.graph.edges());
+    }
+  }
+}
+
+TEST(DepGraphFast, NodeMaskMatchesAppendNextHopsOnEveryInPort) {
+  // The node-uniformity contract, checked literally: for every node and
+  // destination, node_out_mask equals the hop set append_next_hops yields
+  // from EVERY in-port of the node; cardinal OUT ports forward along
+  // their link and Local OUT ports terminate.
+  for (const InstanceSpec& spec : InstanceRegistry::global().presets()) {
+    if (spec.width > 16 || spec.height > 16) {
+      continue;  // the small presets cover every routing family
+    }
+    const NetworkInstance instance(spec);
+    const RoutingFunction& routing = instance.routing();
+    if (!routing.node_uniform()) {
+      continue;  // Odd-Even: turns read the in-port name by design
+    }
+    SCOPED_TRACE(spec.name);
+    const Mesh2D& mesh = instance.mesh();
+    std::vector<Port> hops;
+    for (const Port& d : mesh.destinations()) {
+      for (const Port& p : mesh.ports()) {
+        hops.clear();
+        routing.append_next_hops(p, d, hops);
+        if (p.dir == Direction::kOut) {
+          if (p.name == PortName::kLocal) {
+            EXPECT_TRUE(hops.empty()) << to_string(p);
+          } else {
+            ASSERT_EQ(hops.size(), 1u) << to_string(p);
+            EXPECT_EQ(hops.front(), mesh.next_in(p)) << to_string(p);
+          }
+          continue;
+        }
+        std::uint8_t seen = 0;
+        for (const Port& hop : hops) {
+          EXPECT_EQ(hop.dir, Direction::kOut) << to_string(p);
+          EXPECT_EQ(hop.x, p.x);
+          EXPECT_EQ(hop.y, p.y);
+          seen |= port_name_bit(hop.name);
+        }
+        EXPECT_EQ(seen, routing.node_out_mask(p.x, p.y, d))
+            << "in-port " << to_string(p) << " dest " << to_string(d);
+      }
+    }
+  }
+}
+
+TEST(DepGraphFast, NodeAndPortModeClosureRowsAgree) {
+  // The bitset closure (RoutingFunction::prime) is built by whichever
+  // sweep mode the routing selects; the two must mark the same visited
+  // set per destination.
+  for (const InstanceSpec& spec : InstanceRegistry::global().presets()) {
+    if (spec.width > 16 || spec.height > 16) {
+      continue;
+    }
+    const NetworkInstance instance(spec);
+    if (!instance.routing().node_uniform()) {
+      continue;
+    }
+    SCOPED_TRACE(spec.name);
+    const Mesh2D& mesh = instance.mesh();
+    RouteSweeper nodes(instance.routing());
+    RouteSweeper ports(instance.routing());
+    ports.force_port_mode();
+    ASSERT_TRUE(nodes.node_mode());
+    std::vector<std::uint64_t> node_row(nodes.row_words());
+    std::vector<std::uint64_t> port_row(ports.row_words());
+    for (std::size_t dest = 0; dest < mesh.node_count(); ++dest) {
+      std::fill(node_row.begin(), node_row.end(), 0);
+      std::fill(port_row.begin(), port_row.end(), 0);
+      nodes.sweep(dest, nullptr, node_row.data());
+      ports.sweep(dest, nullptr, port_row.data());
+      EXPECT_EQ(node_row, port_row) << "destination node " << dest;
+    }
+  }
+}
+
+TEST(DepGraphFast, ParallelBuildBitIdenticalAcrossThreadCounts) {
+  std::string error;
+  const auto spec64 =
+      InstanceRegistry::global().resolve("mesh64-xy", &error);
+  ASSERT_TRUE(spec64.has_value()) << error;
+  const NetworkInstance instance(*spec64);
+  const PortDepGraph fast = build_dep_graph_fast(instance.routing());
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    BatchRunner runner(threads);
+    const PortDepGraph parallel =
+        build_dep_graph_parallel(instance.routing(), runner);
+    EXPECT_EQ(parallel.graph.edges(), fast.graph.edges())
+        << threads << " threads";
+  }
+}
+
+TEST(DepGraphFast, VerdictIdenticalWithGenericBuilder) {
+  // The oracle escape hatch (`genoc verify --generic`) must change
+  // nothing observable but cpu_ms.
+  for (const char* name :
+       {"hermes", "mesh8-adaptive", "hermes-torus", "mesh16-oddeven"}) {
+    SCOPED_TRACE(name);
+    std::string error;
+    const auto spec = InstanceRegistry::global().resolve(name, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    const NetworkInstance instance(*spec);
+    InstanceVerifyOptions fast_options;
+    InstanceVerifyOptions generic_options;
+    generic_options.generic_builder = true;
+    const InstanceVerdict fast = instance.verify(fast_options);
+    const InstanceVerdict generic = instance.verify(generic_options);
+    EXPECT_EQ(fast.deadlock_free, generic.deadlock_free);
+    EXPECT_EQ(fast.dep_acyclic, generic.dep_acyclic);
+    EXPECT_EQ(fast.edges, generic.edges);
+    EXPECT_EQ(fast.method, generic.method);
+    EXPECT_EQ(fast.note, generic.note);
+    EXPECT_EQ(fast.checks, generic.checks);
+  }
+}
+
+}  // namespace
+}  // namespace genoc

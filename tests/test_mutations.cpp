@@ -29,24 +29,25 @@ class SignFlipXY final : public MutantBase {
  public:
   using MutantBase::MutantBase;
   std::string name() const override { return "XY-sign-flip"; }
-  std::vector<Port> next_hops(const Port& p, const Port& d) const override {
+  void append_next_hops(const Port& p, const Port& d,
+                        std::vector<Port>& out) const override {
     if (p.dir == Direction::kOut) {
-      return p.name == PortName::kLocal ? std::vector<Port>{}
-                                        : std::vector<Port>{next_in(p)};
+      if (p.name != PortName::kLocal) {
+        out.push_back(next_in(p));
+      }
+      return;
     }
     if (d.x < p.x) {
-      return {trans(p, PortName::kWest, Direction::kOut)};
+      out.push_back(trans(p, PortName::kWest, Direction::kOut));
+    } else if (d.x > p.x) {
+      out.push_back(trans(p, PortName::kEast, Direction::kOut));
+    } else if (d.y < p.y) {  // should go North; goes South
+      out.push_back(trans(p, PortName::kSouth, Direction::kOut));
+    } else if (d.y > p.y) {
+      out.push_back(trans(p, PortName::kNorth, Direction::kOut));
+    } else {
+      out.push_back(trans(p, PortName::kLocal, Direction::kOut));
     }
-    if (d.x > p.x) {
-      return {trans(p, PortName::kEast, Direction::kOut)};
-    }
-    if (d.y < p.y) {  // should go North; goes South
-      return {trans(p, PortName::kSouth, Direction::kOut)};
-    }
-    if (d.y > p.y) {
-      return {trans(p, PortName::kNorth, Direction::kOut)};
-    }
-    return {trans(p, PortName::kLocal, Direction::kOut)};
   }
 };
 
@@ -57,22 +58,27 @@ class TurnLeakXY final : public MutantBase {
  public:
   using MutantBase::MutantBase;
   std::string name() const override { return "XY-turn-leak"; }
-  std::vector<Port> next_hops(const Port& p, const Port& d) const override {
+  void append_next_hops(const Port& p, const Port& d,
+                        std::vector<Port>& out) const override {
     if (p.dir == Direction::kOut) {
-      return p.name == PortName::kLocal ? std::vector<Port>{}
-                                        : std::vector<Port>{next_in(p)};
+      if (p.name != PortName::kLocal) {
+        out.push_back(next_in(p));
+      }
+      return;
     }
     // Vertical in-ports may resume horizontal movement (illegal under XY).
     if ((p.name == PortName::kNorth || p.name == PortName::kSouth)) {
       if (d.x < p.x) {
-        return {trans(p, PortName::kWest, Direction::kOut)};
+        out.push_back(trans(p, PortName::kWest, Direction::kOut));
+        return;
       }
       if (d.x > p.x) {
-        return {trans(p, PortName::kEast, Direction::kOut)};
+        out.push_back(trans(p, PortName::kEast, Direction::kOut));
+        return;
       }
     }
     XYRouting xy(mesh());
-    return xy.next_hops(p, d);
+    xy.append_next_hops(p, d, out);
   }
   /// The leak is only exercised when a vertical port holds a packet with a
   /// horizontal displacement, which honest XY routes never create — so we
@@ -95,12 +101,14 @@ class UTurnXY final : public MutantBase {
  public:
   using MutantBase::MutantBase;
   std::string name() const override { return "XY-u-turn"; }
-  std::vector<Port> next_hops(const Port& p, const Port& d) const override {
-    XYRouting xy(mesh());
+  void append_next_hops(const Port& p, const Port& d,
+                        std::vector<Port>& out) const override {
     if (p.dir == Direction::kIn && p.name == PortName::kEast && d.x > p.x) {
-      return {trans(p, PortName::kEast, Direction::kOut)};
+      out.push_back(trans(p, PortName::kEast, Direction::kOut));
+      return;
     }
-    return xy.next_hops(p, d);
+    XYRouting xy(mesh());
+    xy.append_next_hops(p, d, out);
   }
   bool reachable(const Port& s, const Port& d) const override {
     if (!mesh().exists(s) || d.name != PortName::kLocal ||
@@ -117,14 +125,16 @@ class NoDeliveryXY final : public MutantBase {
  public:
   using MutantBase::MutantBase;
   std::string name() const override { return "XY-no-delivery"; }
-  std::vector<Port> next_hops(const Port& p, const Port& d) const override {
+  void append_next_hops(const Port& p, const Port& d,
+                        std::vector<Port>& out) const override {
     XYRouting xy(mesh());
     const auto hops = xy.next_hops(p, d);
     if (hops.size() == 1 && hops[0].name == PortName::kLocal &&
         hops[0].dir == Direction::kOut) {
-      return {trans(p, PortName::kEast, Direction::kOut)};
+      out.push_back(trans(p, PortName::kEast, Direction::kOut));
+      return;
     }
-    return hops;
+    out.insert(out.end(), hops.begin(), hops.end());
   }
 };
 

@@ -1,0 +1,191 @@
+// parallel_scc against sequential Tarjan: identical partitions (up to the
+// documented relabeling — Tarjan numbers components in DFS order, the
+// parallel decomposition canonically by smallest vertex) on hand-built
+// graphs, random digraphs, and real dependency graphs, at 1, 4 and 8
+// threads; and bit-identical results across thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "deadlock/depgraph.hpp"
+#include "deadlock/scc_checker.hpp"
+#include "graph/tarjan.hpp"
+#include "routing/fully_adaptive.hpp"
+#include "routing/torus_xy.hpp"
+#include "routing/xy.hpp"
+#include "topology/mesh.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace genoc {
+namespace {
+
+/// Partition in canonical order: components sorted by smallest vertex
+/// (each component is already internally sorted by both algorithms).
+std::vector<std::vector<std::size_t>> canonical(const SccResult& scc) {
+  std::vector<std::vector<std::size_t>> comps = scc.components;
+  std::sort(comps.begin(), comps.end(),
+            [](const std::vector<std::size_t>& a,
+               const std::vector<std::size_t>& b) {
+              return a.front() < b.front();
+            });
+  return comps;
+}
+
+void expect_same_partition(const Digraph& graph, std::size_t threads) {
+  ThreadPool pool(threads);
+  const SccResult parallel = parallel_scc(graph, pool);
+  const SccResult sequential = tarjan_scc(graph);
+  ASSERT_EQ(parallel.component.size(), graph.vertex_count());
+  EXPECT_EQ(canonical(parallel), canonical(sequential));
+  // The parallel ids ARE canonical: component i holds the i-th smallest
+  // leading vertex, and component[v] points into it.
+  EXPECT_EQ(parallel.components, canonical(parallel));
+  for (std::size_t i = 0; i < parallel.components.size(); ++i) {
+    for (const std::size_t v : parallel.components[i]) {
+      EXPECT_EQ(parallel.component[v], i);
+    }
+  }
+  EXPECT_EQ(has_nontrivial_scc(graph, pool), has_nontrivial_scc(graph));
+}
+
+Digraph random_digraph(std::size_t vertices, std::size_t edges,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph graph(vertices);
+  for (std::size_t i = 0; i < edges; ++i) {
+    graph.add_edge(rng.below(vertices), rng.below(vertices));
+  }
+  graph.finalize();
+  return graph;
+}
+
+TEST(ParallelScc, HandGraphs) {
+  {
+    Digraph empty(0);
+    empty.finalize();
+    ThreadPool pool(2);
+    EXPECT_TRUE(parallel_scc(empty, pool).components.empty());
+  }
+  {
+    Digraph single(1);
+    single.finalize();
+    expect_same_partition(single, 2);
+  }
+  {
+    Digraph self_loop(2);  // 0->0 survives the trim as a non-trivial SCC
+    self_loop.add_edge(0, 0);
+    self_loop.add_edge(0, 1);
+    self_loop.finalize();
+    expect_same_partition(self_loop, 2);
+    ThreadPool pool(2);
+    EXPECT_TRUE(has_nontrivial_scc(self_loop, pool));
+  }
+  {
+    Digraph path(6);  // pure DAG: fully trimmed
+    for (std::size_t v = 0; v + 1 < 6; ++v) {
+      path.add_edge(v, v + 1);
+    }
+    path.finalize();
+    expect_same_partition(path, 2);
+    ThreadPool pool(2);
+    EXPECT_FALSE(has_nontrivial_scc(path, pool));
+  }
+  {
+    // Two 3-cycles joined by a bridge, plus a dangling tail: trim peels
+    // the tail, the bridge keeps both cycles in one weak bucket.
+    Digraph g(8);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    g.add_edge(2, 3);
+    g.add_edge(3, 4);
+    g.add_edge(4, 5);
+    g.add_edge(5, 3);
+    g.add_edge(5, 6);
+    g.add_edge(6, 7);
+    g.finalize();
+    expect_same_partition(g, 2);
+  }
+}
+
+TEST(ParallelScc, RandomDigraphs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Digraph sparse = random_digraph(3000, 4500, seed);
+    SCOPED_TRACE(seed);
+    expect_same_partition(sparse, 4);
+  }
+  // Dense enough for a giant SCC: the bucket crosses the FW-BW threshold,
+  // so the recursion (median pivot, region relabeling) gets real coverage.
+  const Digraph giant = random_digraph(12000, 30000, 2010);
+  expect_same_partition(giant, 4);
+  expect_same_partition(giant, 1);
+}
+
+TEST(ParallelScc, DependencyGraphs) {
+  {
+    const Mesh2D mesh(16, 16);
+    const XYRouting xy(mesh);
+    const PortDepGraph dep = build_dep_graph_fast(xy);
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+      expect_same_partition(dep.graph, threads);
+    }
+  }
+  {
+    const Mesh2D torus(8, 8, true, true);
+    const TorusXYRouting routing(torus);
+    const PortDepGraph dep = build_dep_graph_fast(routing);  // cyclic rings
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+      expect_same_partition(dep.graph, threads);
+    }
+  }
+  {
+    const Mesh2D mesh(8, 8);
+    const FullyAdaptiveRouting adaptive(mesh);
+    const PortDepGraph dep = build_dep_graph_fast(adaptive);  // big SCC
+    expect_same_partition(dep.graph, 4);
+  }
+}
+
+TEST(ParallelScc, SixtyFourBySixtyFourMatchesTarjan) {
+  const Mesh2D mesh(64, 64);
+  const XYRouting xy(mesh);
+  const PortDepGraph dep = build_dep_graph_fast(xy);
+  expect_same_partition(dep.graph, 8);
+}
+
+TEST(ParallelScc, AnalyzeDependenciesSameVerdictWithPool) {
+  // The SCC-checker entry point the verify pipeline uses: the pooled
+  // analysis must agree with the sequential one on every aggregate (the
+  // sampled cycles may differ — component order is canonical vs DFS).
+  const Mesh2D torus(8, 8, true, true);
+  const TorusXYRouting routing(torus);
+  const PortDepGraph dep = build_dep_graph_fast(routing);
+  const SccAnalysis sequential = analyze_dependencies(dep, 4);
+  ThreadPool pool(4);
+  const SccAnalysis pooled = analyze_dependencies(dep, 4, &pool);
+  EXPECT_EQ(pooled.deadlock_free, sequential.deadlock_free);
+  EXPECT_EQ(pooled.scc_count, sequential.scc_count);
+  EXPECT_EQ(pooled.nontrivial_scc_count, sequential.nontrivial_scc_count);
+  EXPECT_EQ(pooled.largest_scc_size, sequential.largest_scc_size);
+  EXPECT_EQ(pooled.ports_in_cycles, sequential.ports_in_cycles);
+  EXPECT_EQ(pooled.sample_cycles.size(), sequential.sample_cycles.size());
+}
+
+TEST(ParallelScc, IdenticalAcrossThreadCounts) {
+  const Mesh2D torus(16, 16, true, true);
+  const TorusXYRouting routing(torus);
+  const PortDepGraph dep = build_dep_graph_fast(routing);
+  ThreadPool one(1);
+  const SccResult base = parallel_scc(dep.graph, one);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const SccResult again = parallel_scc(dep.graph, pool);
+    EXPECT_EQ(again.component, base.component) << threads << " threads";
+    EXPECT_EQ(again.components, base.components) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace genoc

@@ -20,9 +20,9 @@ Digraph sample() {
 TEST(Reach, MaskFromSource) {
   const Digraph g = sample();
   const auto mask = reachable_from(g, 0);
-  EXPECT_EQ(mask, (std::vector<bool>{true, true, true, true, false}));
+  EXPECT_EQ(mask, (std::vector<std::uint8_t>{1, 1, 1, 1, 0}));
   const auto mask1 = reachable_from(g, 1);
-  EXPECT_EQ(mask1, (std::vector<bool>{false, true, true, false, false}));
+  EXPECT_EQ(mask1, (std::vector<std::uint8_t>{0, 1, 1, 0, 0}));
 }
 
 TEST(Reach, IsReachable) {

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Perf regression guard for the dependency-graph builders.
+
+Reads the BENCH_*.json artifacts `genoc bench --json` wrote into the given
+directory and fails (exit 1) when depgraph_fast_8x8 is slower than 10% of
+the depgraph_generic_8x8 oracle measured in the same run — i.e. when the
+per-destination builder has lost its >= 10x advantage and re-quadraticized.
+
+Usage: tools/check_bench_guard.py [bench-results-dir]
+"""
+import json
+import pathlib
+import sys
+
+FAST = "depgraph_fast_8x8"
+GENERIC = "depgraph_generic_8x8"
+# The fast builder must finish within this fraction of the generic oracle's
+# time. The measured ratio is ~15x (fast <= 0.07 * generic); 0.10 leaves
+# room for runner noise without letting a real regression through.
+LIMIT_FRACTION = 0.10
+
+
+def ns_per_op(directory: pathlib.Path, name: str) -> float:
+    path = directory / f"BENCH_{name}.json"
+    if not path.is_file():
+        sys.exit(f"check_bench_guard: missing {path} — run "
+                 f"`genoc bench --json --filter depgraph` first")
+    return float(json.loads(path.read_text())["ns_per_op"])
+
+
+def main() -> int:
+    directory = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else
+                             "bench-results")
+    fast = ns_per_op(directory, FAST)
+    generic = ns_per_op(directory, GENERIC)
+    limit = LIMIT_FRACTION * generic
+    ratio = generic / fast if fast > 0 else float("inf")
+    print(f"{FAST}: {fast:,.0f} ns/op, {GENERIC}: {generic:,.0f} ns/op "
+          f"({ratio:.1f}x, limit {limit:,.0f} ns/op)")
+    if fast > limit:
+        print(f"FAIL: {FAST} exceeds {LIMIT_FRACTION:.0%} of the generic "
+              "baseline — the per-destination builder re-quadraticized")
+        return 1
+    print("OK: fast builder holds its >= 10x advantage")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
