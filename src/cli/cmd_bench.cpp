@@ -20,10 +20,12 @@
 #include "cli/json_writer.hpp"
 #include "core/obligations.hpp"
 #include "deadlock/depgraph.hpp"
+#include "deadlock/escape.hpp"
 #include "graph/cycle.hpp"
 #include "graph/tarjan.hpp"
 #include "instance/batch_runner.hpp"
 #include "instance/registry.hpp"
+#include "routing/torus_xy.hpp"
 #include "sim/simulator.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -38,7 +40,9 @@ constexpr const char* kUsage =
     "  --json          write one BENCH_<name>.json per benchmark\n"
     "  --out-dir DIR   directory for the JSON files (default: cwd)\n"
     "  --filter STR    only run benchmarks whose name contains STR\n"
-    "  --min-ms N      minimum measured time per benchmark (default 100)\n";
+    "  --min-ms N      minimum measured time per benchmark (default 100)\n"
+    "  --threads N     pool size for the *_parallel benchmarks\n"
+    "                  (default 0 = hardware concurrency)\n";
 
 /// Opaque sink defeating dead-code elimination of benchmark bodies.
 std::atomic<std::uint64_t> g_sink{0};
@@ -92,7 +96,7 @@ BenchResult run_bench(const MicroBench& bench, double min_ms) {
   return result;
 }
 
-std::vector<MicroBench> build_suite() {
+std::vector<MicroBench> build_suite(std::size_t threads) {
   std::vector<MicroBench> suite;
 
   suite.push_back({"mesh_construct_16x16", "Mesh2D(16,16) construction", [] {
@@ -129,7 +133,7 @@ std::vector<MicroBench> build_suite() {
     // baseline (~1.2 ms/op); these trace the per-destination fast builder
     // sequentially and destination-sharded up to 64x64, plus the parallel
     // SCC stage that keeps the cycle check linear at that scale.
-    auto pool = std::make_shared<BatchRunner>();
+    auto pool = std::make_shared<BatchRunner>(threads);
     auto mesh16 = std::make_shared<Mesh2D>(16, 16);
     auto routing16 = std::make_shared<XYRouting>(*mesh16);
     suite.push_back({"depgraph_generic_16x16",
@@ -200,6 +204,47 @@ std::vector<MicroBench> build_suite() {
                            InstanceRegistry::global().sweep_presets(),
                            pool.get());
                        keep(verdicts.size());
+                     }});
+
+    // This PR's perf pass: the escape-lane analysis — the 64x64-torus
+    // bottleneck — sequential vs destination-sharded, and the
+    // level-synchronous trim rounds on the torus dependency graph (wrap
+    // rings survive the trim, so this exercises every parallel_scc stage).
+    // CI guards the parallel/sequential escape ratio on multicore runners
+    // (tools/check_bench_guard.py --escape-speedup).
+    auto torus64 = std::make_shared<Mesh2D>(64, 64, true, true);
+    auto torus64_routing = std::make_shared<TorusXYRouting>(*torus64);
+    auto torus64_escape = std::make_shared<XYRouting>(*torus64);
+    suite.push_back({"escape_sequential_64x64",
+                     "escape-lane analysis on the 64x64 torus, sequential",
+                     [torus64, torus64_routing, torus64_escape] {
+                       const EscapeAnalysis analysis = analyze_escape(
+                           *torus64_routing, *torus64_escape);
+                       keep(analysis.deadlock_free ? 1 : 0);
+                     }});
+    suite.push_back({"escape_parallel_64x64",
+                     "escape-lane analysis on the 64x64 torus, "
+                     "destination-sharded",
+                     [torus64, torus64_routing, torus64_escape, pool] {
+                       const EscapeAnalysis analysis = analyze_escape(
+                           *torus64_routing, *torus64_escape, pool.get());
+                       keep(analysis.deadlock_free ? 1 : 0);
+                     }});
+    auto torus_dep = std::make_shared<std::optional<PortDepGraph>>();
+    auto torus_dep_graph =
+        [torus64, torus64_routing, torus_dep]() -> const Digraph& {
+      if (!torus_dep->has_value()) {
+        *torus_dep = build_dep_graph_fast(*torus64_routing);
+      }
+      return (*torus_dep)->graph;
+    };
+    suite.push_back({"trim_parallel_64x64",
+                     "parallel SCC (level-synchronous trim rounds) on the "
+                     "64x64 torus dep graph",
+                     [torus_dep_graph, pool] {
+                       const SccResult scc =
+                           parallel_scc(torus_dep_graph(), *pool);
+                       keep(scc.components.size());
                      }});
   }
 
@@ -284,6 +329,8 @@ int cmd_bench(const Args& args) {
   const std::string out_dir = args.get("out-dir", "");
   const std::string filter = args.get("filter", "");
   const double min_ms = args.get_double("min-ms", 100.0);
+  const auto threads =
+      static_cast<std::size_t>(args.get_int_in("threads", 0, 0, 256));
   if (const int rc = finish_args(args, kUsage)) {
     return rc;
   }
@@ -304,7 +351,7 @@ int cmd_bench(const Args& args) {
     }
   }
 
-  std::vector<MicroBench> suite = build_suite();
+  std::vector<MicroBench> suite = build_suite(threads);
   if (!filter.empty()) {
     std::erase_if(suite, [&filter](const MicroBench& bench) {
       return bench.name.find(filter) == std::string::npos;

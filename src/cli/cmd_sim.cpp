@@ -5,6 +5,7 @@
 ///        torus topologies, turn-model/adaptive routing, store-and-forward
 ///        switching — all through the same audited pipeline.
 #include <iostream>
+#include <limits>
 #include <optional>
 
 #include "cli/commands.hpp"
@@ -114,7 +115,8 @@ int cmd_sim(const Args& args) {
   const bool pattern_given = args.has("pattern");
   const std::string pattern_name = args.get("pattern", "uniform");
   const bool seed_given = args.has("seed");
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2010));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_in(
+      "seed", 2010, 0, std::numeric_limits<std::int64_t>::max()));
   const bool as_json = args.has("json");
   if (const int rc = finish_args(args, kUsage)) {
     return rc;

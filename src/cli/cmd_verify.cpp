@@ -9,6 +9,7 @@
 ///   --all            every registered instance, verified on the shared
 ///                    BatchRunner pool, as a per-instance matrix report.
 #include <iostream>
+#include <limits>
 #include <optional>
 
 #include "cli/commands.hpp"
@@ -34,9 +35,9 @@ constexpr const char* kUsage =
     "Instance mode:\n"
     "  --instance X   verify a registered instance (see `genoc list`) or an\n"
     "                 ad-hoc spec: \"topology=torus size=16x16 routing=odd_even\"\n"
-    "  --all          verify every registered instance (matrix report;\n"
-    "                 heavy presets like mesh128-xy need --heavy to join)\n"
-    "  --heavy        include the heavy presets in --all\n"
+    "  --all          verify every registered instance (matrix report)\n"
+    "  --heavy        include presets tagged heavy in --all (none today:\n"
+    "                 the sharded escape/trim stages retired the jail)\n"
     "  --threads N    BatchRunner threads (default 0 = hardware concurrency)\n"
     "  --sequential   disable the parallel BatchRunner\n"
     "  --constraints  additionally discharge (C-1)/(C-2) per instance\n"
@@ -235,7 +236,10 @@ int cmd_verify(const Args& args) {
       static_cast<std::size_t>(args.get_int_in("workloads", 3, 1, 1000));
   options.messages_per_workload =
       static_cast<std::size_t>(args.get_int_in("messages", 24, 1, 100000));
-  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 2010));
+  // Range-checked like every integer flag: a negative or garbage seed must
+  // exit 2, not wrap around into a silently different workload.
+  options.seed = static_cast<std::uint64_t>(args.get_int_in(
+      "seed", 2010, 0, std::numeric_limits<std::int64_t>::max()));
   const std::string instance = args.get("instance", "");
   const bool all = args.has("all");
   const auto threads =

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace genoc::cli {
 
@@ -42,8 +43,19 @@ std::string json_number(double value) {
   if (!std::isfinite(value)) {
     return "0";
   }
+  // Round-trip precision with the shortest representation that achieves
+  // it: %.6g truncated every value needing more than 6 significant digits
+  // (ns/op >= 1e6 — i.e. every 64x64-class benchmark — lost its low
+  // digits in BENCH_*.json, corrupting the perf trajectory). 17 significant
+  // digits always round-trip an IEEE-754 double; prefer fewer when the
+  // shorter form parses back exactly.
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6g", value);
+  for (const int precision : {6, 15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
   return buf;
 }
 

@@ -1,9 +1,12 @@
 #include "deadlock/escape.hpp"
 
+#include <limits>
 #include <sstream>
+#include <utility>
 
 #include "routing/sweep.hpp"
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace genoc {
 
@@ -11,16 +14,138 @@ std::string EscapeAnalysis::summary() const {
   std::ostringstream os;
   os << (deadlock_free ? "deadlock-free with escape lane"
                        : "NOT proven deadlock-free")
-     << ": escape available on " << states_checked << " states ("
-     << (escape_always_available ? "all" : ("missing at " + missing_escape))
-     << "), escape graph " << escape_graph.graph.vertex_count() << " ports / "
+     << ": escape available on " << states_checked << " states (";
+  if (escape_always_available) {
+    os << "all";
+  } else {
+    // Bounded on purpose: the first witness in canonical sweep order plus
+    // the total count — never one entry per missing state (a broken escape
+    // formula on a 64x64 torus misses tens of thousands of states).
+    os << "missing at " << missing_escape;
+    if (missing_states > 1) {
+      os << " and " << (missing_states - 1) << " more";
+    }
+  }
+  os << "), escape graph " << escape_graph.graph.vertex_count() << " ports / "
      << escape_graph.graph.edge_count() << " edges, "
      << (escape_graph_acyclic ? "acyclic" : "CYCLIC");
   return os.str();
 }
 
+namespace {
+
+/// Scratch + partial results of one shard of the destination-sharded escape
+/// sweep. Every member is private to the shard's worker, so the sweep body
+/// runs lock-free; the deterministic merge happens after the fan-in.
+struct EscapeShard {
+  explicit EscapeShard(std::size_t port_count)
+      : stamp(port_count, 0), emitted(port_count) {}
+
+  // Flat per-destination scratch: epoch stamps instead of a rebuilt hash
+  // set, an index-walked frontier instead of std::queue, one reused hop
+  // vector instead of a fresh allocation per next_hops call.
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+  std::vector<PortId> frontier;
+  std::vector<Port> hops;
+  // Escape-graph edges repeat across destinations (the lane is the same
+  // deterministic function every time); the sweep engines' shared filter
+  // keeps each shard's edge buffer near the final edge count. Shards may
+  // re-emit edges another shard saw — Digraph::finalize (sort + dedup)
+  // erases both the duplicates and the merge order.
+  EdgeDedupCache emitted;
+
+  std::vector<std::pair<PortId, PortId>> edges;
+  std::uint64_t states_checked = 0;
+  std::uint64_t missing_states = 0;
+  // The shard's FIRST missing-escape state in (destination, in-port) sweep
+  // order; dests/ports are indices into the canonical enumeration, so the
+  // global minimum over shards is exactly the sequential witness.
+  std::size_t missing_dest = std::numeric_limits<std::size_t>::max();
+  std::size_t missing_port = std::numeric_limits<std::size_t>::max();
+  std::string missing_witness;
+};
+
+/// Explores every escape-lane state for destination \p d (index
+/// \p dest_index): availability of the escape entries from the
+/// adaptive-reachable in-ports, then the lane's own closure and dependency
+/// edges. Identical to one iteration of the original sequential loop.
+void sweep_escape_destination(const RoutingFunction& adaptive,
+                              const RoutingFunction& escape, const Mesh2D& mesh,
+                              const std::vector<Port>& in_ports,
+                              std::size_t dest_index, const Port& d,
+                              EscapeShard& shard) {
+  ++shard.epoch;
+  shard.frontier.clear();
+  const std::uint32_t epoch = shard.epoch;
+  auto seed = [&shard, epoch](PortId pid) {
+    if (shard.stamp[pid] != epoch) {
+      shard.stamp[pid] = epoch;
+      shard.frontier.push_back(pid);
+    }
+  };
+
+  // Escape entries: every adaptive-reachable in-port state. A packet
+  // transfers into the escape lane at the out-port the escape function
+  // picks from its current (adaptive-lane) in-port; that transfer is not a
+  // dependency between escape resources — the escape-lane graph contains
+  // only the dependencies among escape-lane ports themselves, which is
+  // what Duato's condition constrains. The entry hops seed the closure.
+  for (std::size_t pi = 0; pi < in_ports.size(); ++pi) {
+    const Port& p = in_ports[pi];
+    if (!adaptive.reachable(p, d)) {
+      continue;
+    }
+    ++shard.states_checked;
+    shard.hops.clear();
+    escape.append_next_hops(p, d, shard.hops);
+    bool available = false;
+    for (const Port& hop : shard.hops) {
+      const std::int32_t hid = mesh.try_id(hop);
+      if (hid >= 0) {
+        available = true;
+        seed(static_cast<PortId>(hid));
+      }
+    }
+    if (!available) {
+      ++shard.missing_states;
+      if (shard.missing_witness.empty()) {
+        shard.missing_dest = dest_index;
+        shard.missing_port = pi;
+        shard.missing_witness = to_string(p) + " / " + to_string(d);
+      }
+    }
+  }
+
+  // Escape continuation: follow the (deterministic) escape function from
+  // every escape-lane state until consumption, collecting the lane's own
+  // dependency edges.
+  for (std::size_t head = 0; head < shard.frontier.size(); ++head) {
+    const PortId pid = shard.frontier[head];
+    const Port& p = mesh.port(pid);
+    if (p.name == PortName::kLocal && p.dir == Direction::kOut) {
+      continue;  // consumed
+    }
+    shard.hops.clear();
+    escape.append_next_hops(p, d, shard.hops);
+    for (const Port& hop : shard.hops) {
+      const std::int32_t hid = mesh.try_id(hop);
+      if (hid < 0) {
+        continue;  // malformed mid-lane hop: surfaces as missing edge
+      }
+      if (shard.emitted.fresh(pid, static_cast<PortId>(hid))) {
+        shard.edges.emplace_back(pid, static_cast<PortId>(hid));
+      }
+      seed(static_cast<PortId>(hid));
+    }
+  }
+}
+
+}  // namespace
+
 EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
-                              const RoutingFunction& escape) {
+                              const RoutingFunction& escape,
+                              ThreadPool* pool) {
   GENOC_REQUIRE(&adaptive.mesh() == &escape.mesh(),
                 "adaptive and escape functions must share a mesh");
   GENOC_REQUIRE(escape.is_deterministic(),
@@ -31,12 +156,9 @@ EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
   EscapeAnalysis result;
   result.escape_graph.mesh = &mesh;
   result.escape_graph.graph = Digraph(port_count);
-  result.escape_always_available = true;
 
-  // The adaptive-lane in-ports (the escape entry states) and the flat
-  // per-destination scratch: epoch stamps instead of a rebuilt hash set,
-  // an index-walked frontier instead of std::queue, one reused hop vector
-  // instead of a fresh allocation per next_hops call.
+  // The adaptive-lane in-ports (the escape entry states), shared read-only
+  // by every shard.
   std::vector<Port> in_ports;
   for (const Port& p : mesh.ports()) {
     if (p.dir == Direction::kIn) {
@@ -44,76 +166,59 @@ EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
     }
   }
   adaptive.prime();  // all reachable() queries below hit the bitset closure
-  std::vector<std::uint32_t> stamp(port_count, 0);
-  std::uint32_t epoch = 0;
-  std::vector<PortId> frontier;
-  std::vector<Port> hops;
-  // Escape-graph edges repeat across destinations (the lane is the same
-  // deterministic function every time); the sweep engines' shared filter
-  // keeps the Digraph build buffer near the final edge count.
-  EdgeDedupCache emitted(port_count);
 
-  // Explore, per destination, every state of the escape LANE. A packet
-  // transfers into the escape lane at the out-port the escape function
-  // picks from its current (adaptive-lane) in-port; that transfer is not a
-  // dependency between escape resources — the escape-lane graph contains
-  // only the dependencies among escape-lane ports themselves, which is
-  // what Duato's condition constrains. The entry hops seed the closure.
-  for (const Port& d : mesh.destinations()) {
-    ++epoch;
-    frontier.clear();
-    auto seed = [&](PortId pid) {
-      if (stamp[pid] != epoch) {
-        stamp[pid] = epoch;
-        frontier.push_back(pid);
-      }
-    };
-
-    // Escape entries: every adaptive-reachable in-port state. Availability
-    // means the escape formula yields an existing port.
-    for (const Port& p : in_ports) {
-      if (!adaptive.reachable(p, d)) {
-        continue;
-      }
-      ++result.states_checked;
-      hops.clear();
-      escape.append_next_hops(p, d, hops);
-      bool available = false;
-      for (const Port& hop : hops) {
-        const std::int32_t hid = mesh.try_id(hop);
-        if (hid >= 0) {
-          available = true;
-          seed(static_cast<PortId>(hid));
-        }
-      }
-      if (!available && result.escape_always_available) {
-        result.escape_always_available = false;
-        result.missing_escape = to_string(p) + " / " + to_string(d);
-      }
+  const std::vector<Port> dests = mesh.destinations();
+  std::vector<EscapeShard> shards;
+  if (pool == nullptr) {
+    // Sequential: one shard sweeps every destination in order.
+    shards.emplace_back(port_count);
+    for (std::size_t dest = 0; dest < dests.size(); ++dest) {
+      sweep_escape_destination(adaptive, escape, mesh, in_ports, dest,
+                               dests[dest], shards.front());
     }
-
-    // Escape continuation: follow the (deterministic) escape function from
-    // every escape-lane state until consumption, collecting the lane's own
-    // dependency edges.
-    for (std::size_t head = 0; head < frontier.size(); ++head) {
-      const PortId pid = frontier[head];
-      const Port& p = mesh.port(pid);
-      if (p.name == PortName::kLocal && p.dir == Direction::kOut) {
-        continue;  // consumed
-      }
-      hops.clear();
-      escape.append_next_hops(p, d, hops);
-      for (const Port& hop : hops) {
-        const std::int32_t hid = mesh.try_id(hop);
-        if (hid < 0) {
-          continue;  // malformed mid-lane hop: surfaces as missing edge
-        }
-        if (emitted.fresh(pid, static_cast<PortId>(hid))) {
-          result.escape_graph.graph.add_edge(pid, static_cast<PortId>(hid));
-        }
-        seed(static_cast<PortId>(hid));
-      }
+  } else {
+    const std::size_t grain = pool->recommended_grain(dests.size());
+    const std::size_t shard_total = (dests.size() + grain - 1) / grain;
+    shards.reserve(shard_total);
+    for (std::size_t i = 0; i < shard_total; ++i) {
+      shards.emplace_back(port_count);
     }
+    pool->parallel_for(
+        dests.size(), grain, [&](std::size_t begin, std::size_t end) {
+          EscapeShard& shard = shards[begin / grain];
+          for (std::size_t dest = begin; dest < end; ++dest) {
+            sweep_escape_destination(adaptive, escape, mesh, in_ports, dest,
+                                     dests[dest], shard);
+          }
+        });
+  }
+
+  // Deterministic merge: counters are sums, the witness is the minimum in
+  // (destination, in-port) order, and the edge union is canonicalized by
+  // finalize() — the result never depends on shard count or interleaving.
+  std::size_t total_edges = 0;
+  for (const EscapeShard& shard : shards) {
+    total_edges += shard.edges.size();
+  }
+  result.escape_graph.graph.reserve_edges(total_edges);
+  const EscapeShard* first_missing = nullptr;
+  for (const EscapeShard& shard : shards) {
+    result.states_checked += shard.states_checked;
+    result.missing_states += shard.missing_states;
+    for (const auto& [from, to] : shard.edges) {
+      result.escape_graph.graph.add_edge(from, to);
+    }
+    if (shard.missing_states != 0 &&
+        (first_missing == nullptr ||
+         std::pair(shard.missing_dest, shard.missing_port) <
+             std::pair(first_missing->missing_dest,
+                       first_missing->missing_port))) {
+      first_missing = &shard;
+    }
+  }
+  result.escape_always_available = result.missing_states == 0;
+  if (first_missing != nullptr) {
+    result.missing_escape = first_missing->missing_witness;
   }
 
   result.escape_graph.graph.finalize();

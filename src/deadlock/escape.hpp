@@ -24,6 +24,7 @@
 /// the escape function's own.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "deadlock/depgraph.hpp"
@@ -32,13 +33,20 @@
 
 namespace genoc {
 
+class ThreadPool;
+
 /// Outcome of the escape analysis.
 struct EscapeAnalysis {
   /// (1): every adaptive-reachable in-port state has an escape hop.
   bool escape_always_available = false;
   /// Number of (in-port, destination) states checked for availability.
   std::uint64_t states_checked = 0;
-  /// First state without an escape hop, if any ("<port> / <dest>").
+  /// Number of states WITHOUT an escape hop (0 when (1) holds).
+  std::uint64_t missing_states = 0;
+  /// The FIRST state without an escape hop in canonical (destination-major,
+  /// in-port-minor) sweep order, if any ("<port> / <dest>"). Sharding never
+  /// changes this witness: every shard reports its locally first state and
+  /// the merge keeps the globally smallest (destination, port) pair.
   std::string missing_escape;
   /// (2): the escape-lane dependency graph (over the escape closure).
   PortDepGraph escape_graph;
@@ -47,6 +55,8 @@ struct EscapeAnalysis {
   /// lane per port, regardless of cycles in the adaptive lanes.
   bool deadlock_free = false;
 
+  /// One bounded line: the verdict, the state counts, the first missing
+  /// witness (if any; never the full list) and the graph shape.
   std::string summary() const;
 };
 
@@ -54,7 +64,16 @@ struct EscapeAnalysis {
 /// packets normally use; \p escape is a deterministic function whose
 /// next-hop *formula* is total on in-ports (like the paper's Rxy case
 /// split). Both must live on the same mesh.
+///
+/// With a \p pool the per-destination sweeps are sharded across its
+/// threads, each shard on private scratch (stamp epochs, frontier, hop
+/// buffer, edge-dedup cache); the merged result is BIT-IDENTICAL to the
+/// sequential analysis at every thread count (Digraph::finalize
+/// canonicalizes the edge set, counters are order-free sums, and the
+/// missing-escape witness is the canonical minimum). pool == nullptr runs
+/// the classic sequential sweep.
 EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
-                              const RoutingFunction& escape);
+                              const RoutingFunction& escape,
+                              ThreadPool* pool = nullptr);
 
 }  // namespace genoc

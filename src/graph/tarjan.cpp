@@ -300,6 +300,145 @@ void fwbw_region(SccScratch& s, std::vector<std::uint32_t> verts,
   }
 }
 
+/// One level-synchronous Kahn peel over \p pool: every vertex whose live
+/// degree (out-degree when \p forward, else in-degree over live sources)
+/// reaches zero is trimmed. Each Kahn frontier round decrements degrees
+/// with a SHARDED pass over the current frontier instead of the classic
+/// single-threaded worklist walk: a vertex enters the next frontier exactly
+/// when its atomic degree makes the 1 -> 0 transition, so no vertex is
+/// trimmed twice and no locks are needed. Already-dead vertices sit at
+/// degree 0 and merely wrap around (defined for unsigned), never
+/// re-entering a frontier. Trimmed vertices are appended to *trimmed and
+/// their alive flag cleared (each vertex is written by exactly one chunk).
+void trim_peel_parallel(const Digraph& graph, const ReverseAdj& rev,
+                        ThreadPool& pool, bool forward,
+                        std::vector<std::uint8_t>& alive,
+                        std::vector<std::uint32_t>* trimmed) {
+  const std::size_t n = graph.vertex_count();
+  std::vector<std::atomic<std::uint32_t>> deg(n);
+
+  // Degree census + initial frontier, sharded over the vertex range. Only
+  // edges between live vertices count: a forward peel at entry sees every
+  // vertex alive (out_degree is exact), the backward peel must ignore the
+  // vertices the forward peel already stripped.
+  const std::size_t census_grain = pool.recommended_grain(n);
+  std::vector<std::vector<std::uint32_t>> seeds(
+      (n + census_grain - 1) / census_grain);
+  pool.parallel_for(n, census_grain, [&](std::size_t begin, std::size_t end) {
+    auto& local = seeds[begin / census_grain];
+    for (std::size_t v = begin; v < end; ++v) {
+      if (alive[v] == 0) {
+        deg[v].store(0, std::memory_order_relaxed);
+        continue;
+      }
+      std::uint32_t d = 0;
+      if (forward) {
+        d = static_cast<std::uint32_t>(graph.out_degree(v));
+      } else {
+        for (const std::uint32_t u : rev.in(v)) {
+          if (alive[u] != 0) {
+            ++d;
+          }
+        }
+      }
+      deg[v].store(d, std::memory_order_relaxed);
+      if (d == 0) {
+        local.push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+  });
+  std::vector<std::uint32_t> frontier;
+  for (const auto& local : seeds) {
+    frontier.insert(frontier.end(), local.begin(), local.end());
+  }
+
+  // Kahn rounds: each round retires the whole current frontier and collects
+  // the vertices its decrements drove to zero. The barrier between rounds
+  // is parallel_for's own completion — level-synchronous by construction.
+  while (!frontier.empty()) {
+    const std::size_t grain = pool.recommended_grain(frontier.size(), 4);
+    const std::size_t shard_total = (frontier.size() + grain - 1) / grain;
+    std::vector<std::vector<std::uint32_t>> next(shard_total);
+    pool.parallel_for(
+        frontier.size(), grain, [&](std::size_t begin, std::size_t end) {
+          auto& local = next[begin / grain];
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::uint32_t v = frontier[i];
+            alive[v] = 0;
+            const auto neighbours = forward ? rev.in(v) : graph.out(v);
+            for (const std::uint32_t u : neighbours) {
+              if (deg[u].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                local.push_back(u);
+              }
+            }
+          }
+        });
+    trimmed->insert(trimmed->end(), frontier.begin(), frontier.end());
+    frontier.clear();
+    for (auto& local : next) {
+      frontier.insert(frontier.end(), local.begin(), local.end());
+    }
+  }
+}
+
+/// The classic sequential dual peel (out-degree side, then in-degree side)
+/// — still the fastest shape for small graphs, and the oracle the parallel
+/// rounds must agree with.
+void trim_peel_sequential(const Digraph& graph, const ReverseAdj& rev,
+                          std::vector<std::uint8_t>& alive,
+                          std::vector<std::uint32_t>* trimmed) {
+  const std::size_t n = graph.vertex_count();
+  std::vector<std::uint32_t> deg(n);
+  std::vector<std::uint32_t> peel;
+  for (std::size_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::uint32_t>(graph.out_degree(v));
+    if (deg[v] == 0) {
+      peel.push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  for (std::size_t head = 0; head < peel.size(); ++head) {
+    const std::uint32_t v = peel[head];
+    alive[v] = 0;
+    trimmed->push_back(v);
+    for (const std::uint32_t u : rev.in(v)) {
+      if (alive[u] != 0 && --deg[u] == 0) {
+        peel.push_back(u);
+      }
+    }
+  }
+  std::fill(deg.begin(), deg.end(), 0);
+  peel.clear();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (alive[v] == 0) {
+      continue;
+    }
+    for (const std::uint32_t w : graph.out(v)) {
+      if (alive[w] != 0) {
+        ++deg[w];
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (alive[v] != 0 && deg[v] == 0) {
+      peel.push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  for (std::size_t head = 0; head < peel.size(); ++head) {
+    const std::uint32_t v = peel[head];
+    alive[v] = 0;
+    trimmed->push_back(v);
+    for (const std::uint32_t w : graph.out(v)) {
+      if (alive[w] != 0 && --deg[w] == 0) {
+        peel.push_back(w);
+      }
+    }
+  }
+}
+
+/// Below this vertex count the parallel trim's per-round parallel_for and
+/// atomic census cost more than the whole sequential peel.
+constexpr std::size_t kParallelTrimMin = 1 << 14;
+
 }  // namespace
 
 SccResult parallel_scc(const Digraph& graph, ThreadPool& pool) {
@@ -317,51 +456,20 @@ SccResult parallel_scc(const Digraph& graph, ThreadPool& pool) {
   // Stage 1 — TRIM. A vertex whose live out-degree (then: in-degree) hits
   // zero cannot lie on a cycle: it is a singleton SCC. Self-loops keep
   // their vertex's degree positive, so they survive to the Tarjan stage.
+  // Every trimmed vertex is a singleton component regardless of the order
+  // it peeled in, so the level-synchronous rounds and the sequential
+  // worklist produce the same decomposition (ids are canonicalized below).
   {
-    std::vector<std::uint32_t> deg(n);
-    std::vector<std::uint32_t> peel;
-    for (std::size_t v = 0; v < n; ++v) {
-      deg[v] = static_cast<std::uint32_t>(graph.out_degree(v));
-      if (deg[v] == 0) {
-        peel.push_back(static_cast<std::uint32_t>(v));
-      }
+    std::vector<std::uint32_t> trimmed;
+    trimmed.reserve(n);
+    if (pool.thread_count() > 1 && n >= kParallelTrimMin) {
+      trim_peel_parallel(graph, rev, pool, /*forward=*/true, alive, &trimmed);
+      trim_peel_parallel(graph, rev, pool, /*forward=*/false, alive, &trimmed);
+    } else {
+      trim_peel_sequential(graph, rev, alive, &trimmed);
     }
-    for (std::size_t head = 0; head < peel.size(); ++head) {
-      const std::uint32_t v = peel[head];
-      alive[v] = 0;
+    for (const std::uint32_t v : trimmed) {
       comps.push_back({v});
-      for (const std::uint32_t u : rev.in(v)) {
-        if (alive[u] != 0 && --deg[u] == 0) {
-          peel.push_back(u);
-        }
-      }
-    }
-    std::fill(deg.begin(), deg.end(), 0);
-    peel.clear();
-    for (std::size_t v = 0; v < n; ++v) {
-      if (alive[v] == 0) {
-        continue;
-      }
-      for (const std::uint32_t w : graph.out(v)) {
-        if (alive[w] != 0) {
-          ++deg[w];
-        }
-      }
-    }
-    for (std::size_t v = 0; v < n; ++v) {
-      if (alive[v] != 0 && deg[v] == 0) {
-        peel.push_back(static_cast<std::uint32_t>(v));
-      }
-    }
-    for (std::size_t head = 0; head < peel.size(); ++head) {
-      const std::uint32_t v = peel[head];
-      alive[v] = 0;
-      comps.push_back({v});
-      for (const std::uint32_t w : graph.out(v)) {
-        if (alive[w] != 0 && --deg[w] == 0) {
-          peel.push_back(w);
-        }
-      }
     }
   }
 

@@ -37,6 +37,11 @@ bool has_nontrivial_scc(const Digraph& graph);
 ///   1. TRIM: Kahn-style peels from the zero-out-degree and then the
 ///      zero-in-degree side strip every vertex that cannot lie on a cycle
 ///      (for an acyclic graph this is the whole decomposition), O(V + E).
+///      Above a size threshold the peels run LEVEL-SYNCHRONOUSLY: each
+///      Kahn frontier round is a sharded atomic degree-decrement pass over
+///      \p pool instead of a single-threaded worklist walk, so the trim —
+///      formerly the sequential prefix of every large acyclic
+///      verification — scales with the pool too.
 ///   2. The cyclic remainder splits into weakly-connected components,
 ///      sharded across \p pool.
 ///   3. Each component runs iterative Tarjan; components too large for one

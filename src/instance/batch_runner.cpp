@@ -12,8 +12,7 @@ PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
                                       BatchRunner& runner) {
   const Mesh2D& mesh = routing.mesh();
   const std::size_t dest_count = mesh.node_count();
-  const std::size_t grain = std::max<std::size_t>(
-      1, dest_count / (runner.thread_count() * 8));
+  const std::size_t grain = runner.recommended_grain(dest_count);
   const std::size_t shard_total = (dest_count + grain - 1) / grain;
   std::vector<std::vector<RouteSweeper::Edge>> shards(shard_total);
 

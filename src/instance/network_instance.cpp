@@ -128,7 +128,10 @@ InstanceVerdict NetworkInstance::verify(
     verdict.method = "Theorem 1 (C-3)";
     verdict.note = "dependency graph acyclic";
   } else if (escape_ != nullptr) {
-    const EscapeAnalysis analysis = analyze_escape(*routing_, *escape_);
+    // The escape sweep shards over destinations on the same pool as the
+    // graph build and the SCC stage; verdicts are bit-identical either way.
+    const EscapeAnalysis analysis =
+        analyze_escape(*routing_, *escape_, options.runner);
     verdict.deadlock_free = analysis.deadlock_free;
     verdict.method = "escape(" + spec_.escape + ")";
     verdict.note = analysis.summary();

@@ -37,9 +37,9 @@ std::unique_ptr<SwitchingPolicy> make_switching(const std::string& name);
 
 /// Options for NetworkInstance::verify().
 struct InstanceVerifyOptions {
-  /// Shard the dependency-graph construction (per destination) and the SCC
-  /// stage across this pool; nullptr runs sequentially. Results are
-  /// bit-identical either way.
+  /// Shard the dependency-graph construction (per destination), the SCC
+  /// stage and the escape-lane analysis across this pool; nullptr runs
+  /// sequentially. Results are bit-identical either way.
   BatchRunner* runner = nullptr;
   /// Additionally discharge (C-1)/(C-2) (quadratic-ish; off for sweeps).
   bool check_constraints = false;

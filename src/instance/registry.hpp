@@ -21,6 +21,14 @@ namespace genoc {
 
 class InstanceRegistry {
  public:
+  /// The node count of the largest preset (the 64x64 scale) whose
+  /// quadratic-oracle cross-checks and demo sweeps stay smoke-friendly;
+  /// tests and examples bound their populations with
+  /// `spec.node_count() <= kOracleNodeLimit` so the boundary lives in one
+  /// place. Presets above it (mesh128-xy) are vouched for by
+  /// fast-vs-parallel cross-checks instead of oracle runs.
+  static constexpr std::size_t kOracleNodeLimit = 64 * 64;
+
   /// The process-wide registry (immutable after construction).
   static const InstanceRegistry& global();
 

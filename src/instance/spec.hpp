@@ -42,6 +42,12 @@ struct InstanceSpec {
   std::uint32_t flits = 4;
   std::uint64_t seed = 2010;
 
+  /// Nodes of the spec'd mesh — the size tests/examples bound sweep
+  /// populations by (e.g. "everything up to 64x64").
+  std::size_t node_count() const {
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+
   bool wrap_x() const { return topology == "torus" || topology == "ring"; }
   bool wrap_y() const { return topology == "torus"; }
 

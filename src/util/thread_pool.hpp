@@ -42,6 +42,16 @@ class ThreadPool {
       std::size_t count, std::size_t grain,
       const std::function<void(std::size_t, std::size_t)>& body);
 
+  /// The grain every destination-sharded stage uses: ~\p chunks_per_thread
+  /// chunks per thread (load balance against uneven per-item cost) but
+  /// never below 1. Centralized so the dep-graph build, the escape sweep
+  /// and the trim rounds shard consistently.
+  std::size_t recommended_grain(std::size_t count,
+                                std::size_t chunks_per_thread = 8) const {
+    const std::size_t chunks = thread_count() * chunks_per_thread;
+    return count < chunks ? 1 : count / chunks;
+  }
+
  private:
   void worker_loop();
   void enqueue(std::function<void()> task);

@@ -120,10 +120,14 @@ TEST(BatchRunner, RepeatedParallelBuildsAreStable) {
 }
 
 TEST(BatchRunner, BatchVerifyMatchesSequentialVerdicts) {
-  // The sweep population (heavy presets excluded): mesh128-xy alone costs
-  // ~10 s per sequential+parallel pass and adds no determinism coverage
+  // The sweep population, capped at the 64x64 scale: mesh128-xy (now in
+  // the default sweep — the heavy jail is retired) costs ~10 s per
+  // sequential+parallel pass under ASan and adds no determinism coverage
   // the 64x64 presets don't already provide.
-  const auto presets = InstanceRegistry::global().sweep_presets();
+  auto presets = InstanceRegistry::global().sweep_presets();
+  std::erase_if(presets, [](const InstanceSpec& spec) {
+    return spec.node_count() > InstanceRegistry::kOracleNodeLimit;
+  });
   BatchRunner runner(4);
   const std::vector<InstanceVerdict> parallel =
       verify_instances(presets, &runner);

@@ -72,14 +72,15 @@ TEST(DepGraphFast, BitIdenticalToGenericAt64x64Torus) {
   expect_fast_equals_generic(*spec);
 }
 
-TEST(DepGraphFast, HeavyPresetFastMatchesParallel) {
+TEST(DepGraphFast, LargestPresetFastMatchesParallel) {
   // The 128x128 oracle run costs minutes even in release; the fast
   // builder is instead cross-checked against the sharded build, and both
   // sweep modes (size-generic code) agree with the oracle on every other
-  // preset up to 64x64.
+  // preset up to 64x64. (Selected by size, not by the heavy tag — the
+  // heavy jail is retired and the tag list is empty today.)
   const InstanceRegistry& registry = InstanceRegistry::global();
   for (const InstanceSpec& spec : registry.presets()) {
-    if (!registry.heavy(spec.name)) {
+    if (spec.node_count() <= InstanceRegistry::kOracleNodeLimit) {
       continue;
     }
     SCOPED_TRACE(spec.name);
@@ -99,7 +100,7 @@ TEST(DepGraphFast, PortModeSweepMatchesGenericOnEveryPreset) {
   // whose oracle run is skipped above.
   const InstanceRegistry& registry = InstanceRegistry::global();
   for (const InstanceSpec& spec : registry.presets()) {
-    if (registry.heavy(spec.name)) {
+    if (spec.node_count() > InstanceRegistry::kOracleNodeLimit) {
       // A 128x128 port-level BFS costs ~20 s for no extra code coverage:
       // both sweep modes are size-generic and already agree at 64x64.
       continue;

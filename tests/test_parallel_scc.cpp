@@ -155,6 +155,21 @@ TEST(ParallelScc, SixtyFourBySixtyFourMatchesTarjan) {
   expect_same_partition(dep.graph, 8);
 }
 
+TEST(ParallelScc, LevelSynchronousTrimOnCyclicTorus64) {
+  // Above kParallelTrimMin the trim peels run as level-synchronous
+  // sharded frontier rounds instead of the single-threaded worklist; the
+  // 64x64 torus graph is the scale that path targets, and its wrap rings
+  // are vertices the trim must NOT strip (they survive to the
+  // Tarjan/FW-BW stage). The acyclic 64x64 mesh above covers the
+  // everything-trims case.
+  const Mesh2D torus(64, 64, true, true);
+  const TorusXYRouting routing(torus);
+  const PortDepGraph dep = build_dep_graph_fast(routing);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    expect_same_partition(dep.graph, threads);
+  }
+}
+
 TEST(ParallelScc, AnalyzeDependenciesSameVerdictWithPool) {
   // The SCC-checker entry point the verify pipeline uses: the pooled
   // analysis must agree with the sequential one on every aggregate (the

@@ -1,13 +1,23 @@
 #!/usr/bin/env python3
-"""Perf regression guard for the dependency-graph builders.
+"""Perf regression guards over the BENCH_*.json artifacts.
 
-Reads the BENCH_*.json artifacts `genoc bench --json` wrote into the given
-directory and fails (exit 1) when depgraph_fast_8x8 is slower than 10% of
-the depgraph_generic_8x8 oracle measured in the same run — i.e. when the
-per-destination builder has lost its >= 10x advantage and re-quadraticized.
+Reads the artifacts `genoc bench --json` wrote into the given directory and
+fails (exit 1) when a guarded ratio regresses:
 
-Usage: tools/check_bench_guard.py [bench-results-dir]
+  1. Always: depgraph_fast_8x8 must finish within 10% of the
+     depgraph_generic_8x8 oracle measured in the same run — i.e. the
+     per-destination builder keeps its >= 10x advantage and has not
+     re-quadraticized.
+  2. With --escape-speedup X (multicore CI only): escape_parallel_64x64
+     must be at least X times faster than escape_sequential_64x64 from the
+     same run — the destination-sharded escape sweep actually beats the
+     sequential lane walk. Skipped by default because the ratio is
+     meaningless on single-core runners, where the sharded sweep can only
+     tie the sequential one.
+
+Usage: tools/check_bench_guard.py [bench-results-dir] [--escape-speedup X]
 """
+import argparse
 import json
 import pathlib
 import sys
@@ -19,18 +29,19 @@ GENERIC = "depgraph_generic_8x8"
 # room for runner noise without letting a real regression through.
 LIMIT_FRACTION = 0.10
 
+ESCAPE_PARALLEL = "escape_parallel_64x64"
+ESCAPE_SEQUENTIAL = "escape_sequential_64x64"
+
 
 def ns_per_op(directory: pathlib.Path, name: str) -> float:
     path = directory / f"BENCH_{name}.json"
     if not path.is_file():
         sys.exit(f"check_bench_guard: missing {path} — run "
-                 f"`genoc bench --json --filter depgraph` first")
+                 f"`genoc bench --json` first")
     return float(json.loads(path.read_text())["ns_per_op"])
 
 
-def main() -> int:
-    directory = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else
-                             "bench-results")
+def check_depgraph(directory: pathlib.Path) -> bool:
     fast = ns_per_op(directory, FAST)
     generic = ns_per_op(directory, GENERIC)
     limit = LIMIT_FRACTION * generic
@@ -40,9 +51,42 @@ def main() -> int:
     if fast > limit:
         print(f"FAIL: {FAST} exceeds {LIMIT_FRACTION:.0%} of the generic "
               "baseline — the per-destination builder re-quadraticized")
-        return 1
+        return False
     print("OK: fast builder holds its >= 10x advantage")
-    return 0
+    return True
+
+
+def check_escape(directory: pathlib.Path, min_speedup: float) -> bool:
+    parallel = ns_per_op(directory, ESCAPE_PARALLEL)
+    sequential = ns_per_op(directory, ESCAPE_SEQUENTIAL)
+    speedup = sequential / parallel if parallel > 0 else float("inf")
+    print(f"{ESCAPE_PARALLEL}: {parallel:,.0f} ns/op, "
+          f"{ESCAPE_SEQUENTIAL}: {sequential:,.0f} ns/op "
+          f"({speedup:.2f}x, required >= {min_speedup:.2f}x)")
+    if speedup < min_speedup:
+        print(f"FAIL: the destination-sharded escape sweep is only "
+              f"{speedup:.2f}x the sequential analysis — the parallel "
+              "escape lane regressed")
+        return False
+    print("OK: sharded escape sweep beats the sequential analysis")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("directory", nargs="?", default="bench-results",
+                        type=pathlib.Path)
+    parser.add_argument("--escape-speedup", type=float, default=None,
+                        metavar="X",
+                        help="additionally require escape_parallel_64x64 to "
+                             "be >= X times faster than the sequential "
+                             "escape bench (use on multicore runners only)")
+    args = parser.parse_args()
+
+    ok = check_depgraph(args.directory)
+    if args.escape_speedup is not None:
+        ok = check_escape(args.directory, args.escape_speedup) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
