@@ -29,6 +29,7 @@
 #include "sim/simulator.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "verify/artifacts.hpp"
 #include "workload/traffic.hpp"
 
 namespace genoc::cli {
@@ -203,6 +204,23 @@ std::vector<MicroBench> build_suite(std::size_t threads) {
                        const auto verdicts = verify_instances(
                            InstanceRegistry::global().sweep_presets(),
                            pool.get());
+                       keep(verdicts.size());
+                     }});
+    // Batch-wide artifact reuse, steady state: the store persists across
+    // iterations, so after the first pass every dependency graph, primed
+    // closure, SCC verdict and escape analysis is a cache hit — the
+    // re-verification cost of a trend sweep (`verify --all --baseline`)
+    // over unchanged instances.
+    auto store = std::make_shared<ArtifactStore>();
+    suite.push_back({"registry_verify_all_cached",
+                     "verify --all with a persistent batch artifact store "
+                     "(steady-state re-verification)",
+                     [pool, store] {
+                       InstanceVerifyOptions options;
+                       options.artifacts = store.get();
+                       const auto verdicts = verify_instances(
+                           InstanceRegistry::global().sweep_presets(),
+                           pool.get(), options);
                        keep(verdicts.size());
                      }});
 

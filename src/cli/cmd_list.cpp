@@ -7,6 +7,7 @@
 #include "cli/json_writer.hpp"
 #include "instance/registry.hpp"
 #include "util/table.hpp"
+#include "verify/check.hpp"
 
 namespace genoc::cli {
 
@@ -14,10 +15,41 @@ namespace {
 
 constexpr const char* kUsage =
     "Usage: genoc list [options]\n"
-    "  --json    emit the registry as JSON instead of the table\n"
+    "  --checks  list the registered verify check stages (the names\n"
+    "            `genoc verify --stages` accepts) instead of the instances\n"
+    "  --json    emit the listing as JSON instead of the table\n"
     "\n"
     "Any listed name works wherever --instance is accepted; so does an\n"
     "ad-hoc spec like \"topology=torus size=16x16 routing=odd_even\".\n";
+
+int list_checks(bool as_json) {
+  const CheckRegistry& registry = CheckRegistry::global();
+
+  if (as_json) {
+    std::vector<std::string> rows;
+    for (const Check* check : registry.checks()) {
+      JsonObject obj;
+      obj.add("name", check->name()).add("description", check->description());
+      rows.push_back(obj.to_string());
+    }
+    JsonObject report;
+    report.add("command", "list")
+        .add("count", static_cast<std::uint64_t>(registry.checks().size()))
+        .add_raw("checks", json_array(rows));
+    std::cout << report.to_string();
+    return 0;
+  }
+
+  Table table({"Stage", "Description"});
+  for (const Check* check : registry.checks()) {
+    table.add_row({check->name(), check->description()});
+  }
+  std::cout << registry.checks().size()
+            << " registered verify check stages (selectable via `genoc "
+               "verify --stages a,b,...`, run in the given order):\n\n"
+            << table.render() << "\n";
+  return 0;
+}
 
 }  // namespace
 
@@ -27,8 +59,12 @@ int cmd_list(const Args& args) {
     return 0;
   }
   const bool as_json = args.has("json");
+  const bool checks = args.has("checks");
   if (const int rc = finish_args(args, kUsage)) {
     return rc;
+  }
+  if (checks) {
+    return list_checks(as_json);
   }
   const InstanceRegistry& registry = InstanceRegistry::global();
 

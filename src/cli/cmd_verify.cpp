@@ -5,19 +5,35 @@
 ///   (default)        the classic parametric-HERMES obligation suite with
 ///                    the Table-I-shaped effort report;
 ///   --instance X     one registered instance (or ad-hoc key=value spec)
-///                    through the generic Theorem-1 / escape-lane pipeline;
+///                    through the VerifyPipeline (Theorem-1 / escape-lane
+///                    stages over the shared artifact cache);
 ///   --all            every registered instance, verified on the shared
-///                    BatchRunner pool, as a per-instance matrix report.
+///                    BatchRunner pool with batch-wide artifact reuse, as a
+///                    per-instance matrix report.
+///
+/// Instance-mode JSON reports are schema-versioned (schema_version) and
+/// carry the pipeline's typed output: per-stage stats, Diagnostics and
+/// artifact-cache counters. `--baseline prev.json` appends a trend section
+/// comparing verdicts and cpu_ms against a previous run's artifact and
+/// fails (exit 1) on any verdict regression.
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "cli/commands.hpp"
+#include "cli/json_reader.hpp"
 #include "cli/json_writer.hpp"
+#include "cli/verify_json.hpp"
 #include "core/obligations.hpp"
 #include "instance/batch_runner.hpp"
 #include "instance/registry.hpp"
 #include "util/table.hpp"
+#include "verify/pipeline.hpp"
 
 namespace genoc::cli {
 
@@ -42,8 +58,25 @@ constexpr const char* kUsage =
     "  --sequential   disable the parallel BatchRunner\n"
     "  --constraints  additionally discharge (C-1)/(C-2) per instance\n"
     "  --generic      build graphs with the quadratic oracle builder\n"
+    "  --stages A,B   run only the named check stages, in order (see\n"
+    "                 `genoc list --checks`); naming 'constraints' implies\n"
+    "                 --constraints; without a deciding stage the verdict\n"
+    "                 is reported as 'undecided' (exit 1)\n"
+    "  --baseline F   compare verdicts/cpu_ms against a previous\n"
+    "                 `verify ... --json` artifact F; any verdict\n"
+    "                 regression fails the run (exit 1)\n"
     "Common:\n"
     "  --json         emit a JSON report on stdout instead of the table\n";
+
+/// json_array() takes pre-serialized elements; this wraps raw strings.
+std::string json_string_array(const std::vector<std::string>& strings) {
+  std::vector<std::string> elements;
+  elements.reserve(strings.size());
+  for (const std::string& s : strings) {
+    elements.push_back("\"" + json_escape(s) + "\"");
+  }
+  return json_array(elements);
+}
 
 std::string paper_column(const PaperEffortRow& ref) {
   return std::to_string(ref.lines) + "/" + std::to_string(ref.theorems) + "/" +
@@ -54,79 +87,305 @@ std::string verdict_word(const InstanceVerdict& verdict) {
   if (verdict.deadlock_free) {
     return "DEADLOCK-FREE";
   }
+  if (verdict.method == "undecided") {
+    return "UNDECIDED";
+  }
   return verdict.constraints_ok ? "DEADLOCK-PRONE" : "CONSTRAINT-VIOLATED";
 }
 
-std::string verdict_json(const InstanceVerdict& verdict) {
+/// One baseline row parsed out of a previous run's JSON artifact.
+struct BaselineRow {
+  bool deadlock_free = false;
+  bool constraints_ok = true;
+  double cpu_ms = 0.0;
+};
+
+/// The verdict trend against a previous artifact.
+struct BaselineComparison {
+  std::string file;
+  std::size_t compared = 0;
+  std::vector<std::string> regressions;   ///< verdict went free -> not free
+  std::vector<std::string> improvements;  ///< verdict went not free -> free
+  std::vector<std::string> added;         ///< not in the baseline
+  std::vector<std::string> removed;       ///< in the baseline, not in this run
+  double cpu_ms_before = 0.0;
+  double cpu_ms_now = 0.0;
+  std::vector<std::string> rows_json;     ///< per-instance trend rows
+
+  /// The documented failure condition: a verdict that regressed. Instances
+  /// merely absent from this run (comparing a single-instance run against
+  /// an --all artifact) are reported as `removed` but do not fail it.
+  bool failed() const { return !regressions.empty(); }
+};
+
+/// Loads and validates a previous `verify --json` artifact. Returns nullopt
+/// with a complaint on unreadable files, malformed JSON, a schema_version
+/// this build does not speak, or a pipeline configuration (stage selection,
+/// --constraints) differing from this run's — comparing a partial-pipeline
+/// artifact against a full one would flag every instance as a spurious
+/// regression.
+std::optional<std::map<std::string, BaselineRow>> load_baseline(
+    const std::string& path, const std::vector<std::string>& stage_names,
+    bool run_constraints, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read baseline file '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  const std::optional<JsonValue> doc =
+      JsonValue::parse(buffer.str(), &parse_error);
+  if (!doc || !doc->is_object()) {
+    *error = "baseline '" + path + "' is not valid JSON" +
+             (parse_error.empty() ? "" : ": " + parse_error);
+    return std::nullopt;
+  }
+  const std::optional<double> schema = doc->get_number("schema_version");
+  if (!schema || static_cast<std::int64_t>(*schema) !=
+                     VerifyReport::kSchemaVersion) {
+    *error = "baseline '" + path + "' has schema_version " +
+             (schema ? std::to_string(static_cast<std::int64_t>(*schema))
+                     : std::string("<missing>")) +
+             "; this build speaks " +
+             std::to_string(VerifyReport::kSchemaVersion);
+    return std::nullopt;
+  }
+  const JsonValue* stages = doc->find("stages");
+  std::vector<std::string> baseline_stages;
+  if (stages != nullptr && stages->is_array()) {
+    for (const JsonValue& name : stages->as_array()) {
+      if (name.is_string()) {
+        baseline_stages.push_back(name.as_string());
+      }
+    }
+  }
+  if (baseline_stages != stage_names) {
+    *error = "baseline '" + path +
+             "' was produced by a different stage selection";
+    for (const std::string& name : baseline_stages) {
+      *error += " " + name;
+    }
+    *error += " — verdicts are not comparable across pipelines (rerun the "
+              "baseline with the same --stages)";
+    return std::nullopt;
+  }
+  // Same guard for --constraints: the stage is always listed but self-skips
+  // without the opt-in, so the stage list alone cannot tell the runs apart.
+  if (doc->get_bool("constraints").value_or(false) != run_constraints) {
+    *error = "baseline '" + path + "' was produced with" +
+             (run_constraints ? "out" : "") +
+             " --constraints and this run " +
+             (run_constraints ? "discharges" : "skips") +
+             " them — verdicts are not comparable (rerun the baseline with "
+             "the same options)";
+    return std::nullopt;
+  }
+  const JsonValue* instances = doc->find("instances");
+  if (instances == nullptr || !instances->is_array()) {
+    *error = "baseline '" + path + "' has no \"instances\" array";
+    return std::nullopt;
+  }
+  std::map<std::string, BaselineRow> rows;
+  for (const JsonValue& row : instances->as_array()) {
+    if (!row.is_object()) {
+      continue;
+    }
+    const std::optional<std::string> name = row.get_string("instance");
+    const std::optional<bool> free = row.get_bool("deadlock_free");
+    if (!name || !free) {
+      *error = "baseline '" + path +
+               "' row missing instance/deadlock_free fields";
+      return std::nullopt;
+    }
+    BaselineRow entry;
+    entry.deadlock_free = *free;
+    entry.constraints_ok = row.get_bool("constraints_ok").value_or(true);
+    entry.cpu_ms = row.get_number("cpu_ms").value_or(0.0);
+    rows[*name] = entry;
+  }
+  return rows;
+}
+
+BaselineComparison compare_against_baseline(
+    const std::vector<VerifyReport>& reports,
+    const std::map<std::string, BaselineRow>& baseline,
+    const std::string& file) {
+  BaselineComparison trend;
+  trend.file = file;
+  std::map<std::string, bool> seen;
+  for (const VerifyReport& report : reports) {
+    const InstanceVerdict& verdict = report.verdict;
+    const auto it = baseline.find(verdict.instance);
+    if (it == baseline.end()) {
+      trend.added.push_back(verdict.instance);
+      continue;
+    }
+    seen[verdict.instance] = true;
+    ++trend.compared;
+    const BaselineRow& before = it->second;
+    const bool was_ok = before.deadlock_free && before.constraints_ok;
+    const bool now_ok = verdict.deadlock_free && verdict.constraints_ok;
+    if (was_ok && !now_ok) {
+      trend.regressions.push_back(verdict.instance);
+    } else if (!was_ok && now_ok) {
+      trend.improvements.push_back(verdict.instance);
+    }
+    trend.cpu_ms_before += before.cpu_ms;
+    trend.cpu_ms_now += verdict.cpu_ms;
+    JsonObject row;
+    row.add("instance", verdict.instance)
+        .add("deadlock_free_before", before.deadlock_free)
+        .add("deadlock_free_now", verdict.deadlock_free)
+        .add("constraints_ok_before", before.constraints_ok)
+        .add("constraints_ok_now", verdict.constraints_ok)
+        .add("cpu_ms_before", before.cpu_ms)
+        .add("cpu_ms_now", verdict.cpu_ms)
+        .add("cpu_ms_delta", verdict.cpu_ms - before.cpu_ms);
+    trend.rows_json.push_back(row.to_string());
+  }
+  for (const auto& [name, row] : baseline) {
+    if (!seen.count(name)) {
+      trend.removed.push_back(name);
+    }
+  }
+  return trend;
+}
+
+std::string baseline_json(const BaselineComparison& trend) {
   JsonObject obj;
-  obj.add("instance", verdict.instance)
-      .add("spec", verdict.spec)
-      .add("topology", verdict.topology)
-      .add("routing", verdict.routing)
-      .add("switching", verdict.switching)
-      .add("nodes", static_cast<std::uint64_t>(verdict.nodes))
-      .add("ports", static_cast<std::uint64_t>(verdict.ports))
-      .add("dep_edges", static_cast<std::uint64_t>(verdict.edges))
-      .add("deterministic", verdict.deterministic)
-      .add("dep_acyclic", verdict.dep_acyclic)
-      .add("method", verdict.method)
-      .add("deadlock_free", verdict.deadlock_free)
-      .add("constraints_ok", verdict.constraints_ok)
-      .add("checks", verdict.checks)
-      .add("cpu_ms", verdict.cpu_ms)
-      .add("note", verdict.note);
+  obj.add("file", trend.file)
+      .add("instances_compared", static_cast<std::uint64_t>(trend.compared))
+      .add("verdict_regression", trend.failed())
+      .add_raw("regressions", json_string_array(trend.regressions))
+      .add_raw("improvements", json_string_array(trend.improvements))
+      .add_raw("added", json_string_array(trend.added))
+      .add_raw("removed", json_string_array(trend.removed))
+      .add("cpu_ms_before", trend.cpu_ms_before)
+      .add("cpu_ms_now", trend.cpu_ms_now)
+      .add("cpu_ms_delta", trend.cpu_ms_now - trend.cpu_ms_before)
+      .add_raw("rows", json_array(trend.rows_json));
   return obj.to_string();
 }
 
-int report_instances(const std::vector<InstanceVerdict>& verdicts,
-                     bool as_json, const std::string& mode,
-                     std::size_t threads) {
-  bool all_free = true;
-  for (const InstanceVerdict& verdict : verdicts) {
-    all_free = all_free && verdict.deadlock_free && verdict.constraints_ok;
+void print_baseline_table(const BaselineComparison& trend) {
+  std::cout << "Trend vs baseline " << trend.file << ": " << trend.compared
+            << " instances compared, " << trend.regressions.size()
+            << " verdict regressions, " << trend.improvements.size()
+            << " improvements, cpu " << format_double(trend.cpu_ms_before, 1)
+            << " -> " << format_double(trend.cpu_ms_now, 1) << " ms\n";
+  for (const std::string& name : trend.regressions) {
+    std::cout << "  REGRESSION: " << name
+              << " was verified in the baseline and is not anymore\n";
   }
+  for (const std::string& name : trend.removed) {
+    std::cout << "  not compared: " << name
+              << " is in the baseline but not in this run\n";
+  }
+  for (const std::string& name : trend.added) {
+    std::cout << "  new instance: " << name << " (not in the baseline)\n";
+  }
+  std::cout << "\n";
+}
+
+int report_instances(const std::vector<VerifyReport>& reports,
+                     const VerifyPipeline& pipeline, bool constraints,
+                     const ArtifactCacheStats& cache, bool as_json,
+                     const std::string& mode, std::size_t threads,
+                     const std::optional<BaselineComparison>& trend) {
+  bool all_free = true;
+  for (const VerifyReport& report : reports) {
+    all_free = all_free && report.verdict.deadlock_free &&
+               report.verdict.constraints_ok;
+  }
+  const bool trend_failed = trend.has_value() && trend->failed();
 
   if (as_json) {
     std::vector<std::string> rows;
-    rows.reserve(verdicts.size());
-    for (const InstanceVerdict& verdict : verdicts) {
-      rows.push_back(verdict_json(verdict));
+    rows.reserve(reports.size());
+    for (const VerifyReport& report : reports) {
+      rows.push_back(report_json(report));
     }
     JsonObject report;
     report.add("command", "verify")
+        .add("schema_version", VerifyReport::kSchemaVersion)
         .add("mode", mode)
         .add("threads", static_cast<std::uint64_t>(threads))
-        .add("instances_total", static_cast<std::uint64_t>(verdicts.size()))
+        .add_raw("stages", json_string_array(pipeline.stage_names()))
+        .add("constraints", constraints)
+        .add("instances_total", static_cast<std::uint64_t>(reports.size()))
         .add("all_deadlock_free", all_free)
+        .add_raw("cache", cache_stats_json(cache))
         .add_raw("instances", json_array(rows));
+    if (trend.has_value()) {
+      report.add_raw("baseline", baseline_json(*trend));
+    }
     std::cout << report.to_string();
-    return all_free ? 0 : 1;
+    return all_free && !trend_failed ? 0 : 1;
   }
 
   Table table({"Instance", "Topology", "Routing", "Switching", "Ports",
                "Dep edges", "Method", "Verdict", "CPU ms"});
-  for (const InstanceVerdict& verdict : verdicts) {
+  for (const VerifyReport& report : reports) {
+    const InstanceVerdict& verdict = report.verdict;
     table.add_row({verdict.instance, verdict.topology, verdict.routing,
                    verdict.switching, format_count(verdict.ports),
                    format_count(verdict.edges), verdict.method,
                    verdict_word(verdict), format_double(verdict.cpu_ms, 2)});
   }
   std::cout << "Per-instance deadlock-freedom verification (" << threads
-            << " thread" << (threads == 1 ? "" : "s") << "):\n\n"
-            << table.render() << "\n";
-  for (const InstanceVerdict& verdict : verdicts) {
-    std::cout << "  " << verdict.instance << ": " << verdict.note << "\n";
+            << " thread" << (threads == 1 ? "" : "s") << ", stages: ";
+  const std::vector<std::string> names = pipeline.stage_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::cout << (i == 0 ? "" : ",") << names[i];
   }
-  std::cout << "\n"
-            << (all_free ? "Every instance verified deadlock-free."
+  std::cout << "):\n\n" << table.render() << "\n";
+  for (const VerifyReport& report : reports) {
+    std::cout << "  " << report.verdict.instance << ": "
+              << report.verdict.note << "\n";
+  }
+  // Misses are the meaningful sharing metric (one compute per distinct
+  // context); raw hit counts also include intra-pipeline re-reads.
+  std::cout << "  artifact cache: " << cache.contexts.misses
+            << " distinct contexts for " << reports.size() << " instances — "
+            << cache.dep_graph.misses << " graph builds, "
+            << cache.primed.misses << " closures primed\n\n";
+  if (trend.has_value()) {
+    print_baseline_table(*trend);
+  }
+  std::cout << (all_free ? "Every instance verified deadlock-free."
                          : "INSTANCE NOT VERIFIED — see the rows above.")
             << "\n";
-  return all_free ? 0 : 1;
+  return all_free && !trend_failed ? 0 : 1;
+}
+
+/// Splits --stages' comma-separated value; empty tokens rejected upstream
+/// by from_stage_names (empty selection).
+std::vector<std::string> split_stages(const std::string& text) {
+  std::vector<std::string> names;
+  std::string current;
+  for (const char c : text) {
+    if (c == ',') {
+      if (!current.empty()) {
+        names.push_back(current);
+        current.clear();
+      }
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) {
+    names.push_back(current);
+  }
+  return names;
 }
 
 int run_instance_mode(const std::string& instance, bool all, bool heavy,
                       bool sequential, std::size_t threads, bool constraints,
-                      bool generic, bool as_json) {
+                      bool generic, bool stages_given,
+                      const std::string& stages,
+                      const std::string& baseline_path, bool as_json) {
   const InstanceRegistry& registry = InstanceRegistry::global();
   std::vector<InstanceSpec> specs;
   if (all) {
@@ -141,17 +400,61 @@ int run_instance_mode(const std::string& instance, bool all, bool heavy,
     specs.push_back(*spec);
   }
 
+  const VerifyPipeline* pipeline = &VerifyPipeline::standard();
+  std::optional<VerifyPipeline> custom;
+  // Keyed off the flag's presence, not the value: `--stages=` must hit the
+  // empty-selection error below, not silently run the full pipeline.
+  bool run_constraints = constraints;
+  if (stages_given) {
+    std::string error;
+    custom = VerifyPipeline::from_stage_names(split_stages(stages), &error);
+    if (!custom) {
+      std::cerr << "genoc verify: " << error << "\n";
+      return 2;
+    }
+    pipeline = &*custom;
+    // Explicitly selecting the constraints stage IS the opt-in: a user who
+    // typed `--stages ...,constraints` wants (C-1)/(C-2) discharged, not a
+    // silently skipped stage.
+    for (const std::string& name : pipeline->stage_names()) {
+      run_constraints = run_constraints || name == "constraints";
+    }
+  }
+
+  std::map<std::string, BaselineRow> baseline;
+  if (!baseline_path.empty()) {
+    std::string error;
+    const auto loaded = load_baseline(baseline_path, pipeline->stage_names(),
+                                      run_constraints, &error);
+    if (!loaded) {
+      std::cerr << "genoc verify: " << error << "\n";
+      return 2;
+    }
+    baseline = *loaded;
+  }
+
   InstanceVerifyOptions options;
-  options.check_constraints = constraints;
+  options.check_constraints = run_constraints;
   options.generic_builder = generic;
+  // The batch-wide artifact store: every distinct topology x routing x
+  // escape prefix in the sweep is analyzed exactly once; the CLI report
+  // surfaces the cache counters so the reuse is visible.
+  ArtifactStore store;
+  options.artifacts = &store;
   std::optional<BatchRunner> runner;
   if (!sequential) {
     runner.emplace(threads);
   }
-  const std::vector<InstanceVerdict> verdicts =
-      verify_instances(specs, runner ? &*runner : nullptr, options);
-  return report_instances(verdicts, as_json, all ? "all" : "instance",
-                          runner ? runner->thread_count() : 1);
+  const std::vector<VerifyReport> reports = verify_instance_reports(
+      specs, *pipeline, runner ? &*runner : nullptr, options);
+
+  std::optional<BaselineComparison> trend;
+  if (!baseline_path.empty()) {
+    trend = compare_against_baseline(reports, baseline, baseline_path);
+  }
+  return report_instances(reports, *pipeline, run_constraints, store.stats(),
+                          as_json, all ? "all" : "instance",
+                          runner ? runner->thread_count() : 1, trend);
 }
 
 int run_hermes_mode(std::int32_t width, std::int32_t height,
@@ -175,6 +478,7 @@ int run_hermes_mode(std::int32_t width, std::int32_t height,
     }
     JsonObject report;
     report.add("command", "verify")
+        .add("schema_version", VerifyReport::kSchemaVersion)
         .add("mode", "hermes")
         .add("width", static_cast<std::int64_t>(width))
         .add("height", static_cast<std::int64_t>(height))
@@ -248,6 +552,8 @@ int cmd_verify(const Args& args) {
   const bool constraints = args.has("constraints");
   const bool heavy = args.has("heavy");
   const bool generic = args.has("generic");
+  const std::string stages = args.get("stages", "");
+  const std::string baseline_path = args.get("baseline", "");
   const bool as_json = args.has("json");
   if (const int rc = finish_args(args, kUsage)) {
     return rc;
@@ -258,7 +564,7 @@ int cmd_verify(const Args& args) {
   const char* classic_flags[] = {"width",   "height",    "buffers",
                                  "workloads", "messages", "seed"};
   const char* instance_flags[] = {"threads", "sequential", "constraints",
-                                  "heavy", "generic"};
+                                  "heavy", "generic", "stages", "baseline"};
   if (instance_mode) {
     for (const char* flag : classic_flags) {
       if (args.has(flag)) {
@@ -279,7 +585,8 @@ int cmd_verify(const Args& args) {
   }
   if (instance_mode) {
     return run_instance_mode(instance, all, heavy, sequential, threads,
-                             constraints, generic, as_json);
+                             constraints, generic, args.has("stages"), stages,
+                             baseline_path, as_json);
   }
   return run_hermes_mode(width, height, buffers, options, as_json);
 }

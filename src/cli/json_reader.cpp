@@ -1,0 +1,374 @@
+#include "cli/json_reader.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/require.hpp"
+
+namespace genoc::cli {
+
+/// Recursive-descent parser over one in-memory document. A named (not
+/// anonymous-namespace) class so the header can befriend it.
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> run() {
+    skip_whitespace();
+    JsonValue value;
+    if (!parse_value(value, 0)) {
+      return std::nullopt;
+    }
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      return fail("trailing garbage after the document"), std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  // Far beyond the writer's nesting depth — a stack-overflow guard, not a
+  // limit real artifacts approach.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  void fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::size_t length) {
+    if (text_.compare(pos_, length, word) != 0) {
+      fail(std::string("invalid literal (expected '") + word + "')");
+      return false;
+    }
+    pos_ += length;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting deeper than " + std::to_string(kMaxDepth));
+      return false;
+    }
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of document");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case 'n':
+        out.kind_ = JsonValue::Kind::kNull;
+        return literal("null", 4);
+      case 't':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = true;
+        return literal("true", 4);
+      case 'f':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = false;
+        return literal("false", 5);
+      case '"':
+        out.kind_ = JsonValue::Kind::kString;
+        return parse_string(out.string_);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      fail("invalid number");
+      return false;
+    }
+    // Grammar check (no leading zeros, one dot, sane exponent), then one
+    // strtod over the validated span.
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid number (digit required after '.')");
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid number (digit required in exponent)");
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out.kind_ = JsonValue::Kind::kNumber;
+    out.number_ = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      switch (text_[pos_]) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 >= text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 1; i <= 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid hex digit in \\u escape");
+              return false;
+            }
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            fail("surrogate \\u escapes are unsupported");
+            return false;
+          }
+          // UTF-8 encode the BMP code point.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          pos_ += 4;
+          break;
+        }
+        default:
+          fail("invalid escape character");
+          return false;
+      }
+      ++pos_;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    out.kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      skip_whitespace();
+      if (!parse_value(element, depth + 1)) {
+        return false;
+      }
+      out.array_.push_back(std::move(element));
+      skip_whitespace();
+      if (pos_ >= text_.size()) {
+        fail("unterminated array");
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    out.kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_whitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected a quoted member name");
+        return false;
+      }
+      std::string key;
+      if (!parse_string(key)) {
+        return false;
+      }
+      skip_whitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        fail("expected ':' after member name");
+        return false;
+      }
+      ++pos_;
+      skip_whitespace();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) {
+        return false;
+      }
+      out.object_.emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (pos_ >= text_.size()) {
+        fail("unterminated object");
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<JsonValue> JsonValue::parse(const std::string& text,
+                                          std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  return JsonParser(text, error).run();
+}
+
+bool JsonValue::as_bool() const {
+  GENOC_REQUIRE(is_bool(), "JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  GENOC_REQUIRE(is_number(), "JsonValue: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  GENOC_REQUIRE(is_string(), "JsonValue: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  GENOC_REQUIRE(is_array(), "JsonValue: not an array");
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  GENOC_REQUIRE(is_object(), "JsonValue: not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [name, value] : members()) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<bool> JsonValue::get_bool(const std::string& key) const {
+  const JsonValue* value = find(key);
+  return value != nullptr && value->is_bool()
+             ? std::optional<bool>(value->as_bool())
+             : std::nullopt;
+}
+
+std::optional<double> JsonValue::get_number(const std::string& key) const {
+  const JsonValue* value = find(key);
+  return value != nullptr && value->is_number()
+             ? std::optional<double>(value->as_number())
+             : std::nullopt;
+}
+
+std::optional<std::string> JsonValue::get_string(const std::string& key) const {
+  const JsonValue* value = find(key);
+  return value != nullptr && value->is_string()
+             ? std::optional<std::string>(value->as_string())
+             : std::nullopt;
+}
+
+}  // namespace genoc::cli

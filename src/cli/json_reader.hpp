@@ -1,0 +1,70 @@
+/// \file json_reader.hpp
+/// \brief Minimal JSON parser — the read half of the driver's
+///        machine-readable interface.
+///
+/// The writer (json_writer.hpp) emits the verify/bench artifacts; this
+/// parser reads them back for the `verify --baseline` trend report and the
+/// Diagnostic round-trip tests. Scope-matched on purpose: full JSON value
+/// model (null/bool/number/string/array/object), UTF-8 passed through
+/// verbatim, \uXXXX escapes decoded for the BMP (surrogate pairs rejected —
+/// the writer never emits them), numbers as double (the writer's own
+/// round-trip precision). Dependency-free like the writer: the container
+/// bakes no JSON library.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace genoc::cli {
+
+/// One parsed JSON value. Object member order is preserved (the writer is
+/// insertion-ordered; trend diffs want stable iteration).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses \p text as one JSON document (trailing whitespace allowed,
+  /// trailing garbage rejected). On failure returns nullopt and stores a
+  /// message with the byte offset in *error.
+  static std::optional<JsonValue> parse(const std::string& text,
+                                        std::string* error);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; each requires the matching kind (ContractViolation
+  /// otherwise — probe with the predicates first).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  /// Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// The member named \p key, or nullptr (requires is_object()).
+  const JsonValue* find(const std::string& key) const;
+
+  /// Convenience lookups returning nullopt on missing key or kind mismatch.
+  std::optional<bool> get_bool(const std::string& key) const;
+  std::optional<double> get_number(const std::string& key) const;
+  std::optional<std::string> get_string(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace genoc::cli

@@ -1,0 +1,40 @@
+/// \file verify_json.hpp
+/// \brief JSON rendering of the VerifyPipeline's typed output — verdict
+///        rows, per-stage stats, Diagnostics, artifact-cache counters — and
+///        the inverse parsers backing the Diagnostic round-trip and the
+///        `--baseline` trend report.
+///
+/// Lives in genoc_cli_support (not the driver) so the test suite covers the
+/// exact serialization `genoc verify --json` ships; the schema is versioned
+/// by VerifyReport::kSchemaVersion, which cmd_verify stamps at the top
+/// level and tools/check_verify_schema.py validates in CI.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cli/json_reader.hpp"
+#include "verify/report.hpp"
+
+namespace genoc::cli {
+
+/// One verdict row: the legacy fields, unchanged names and order (tooling
+/// compatibility), plus the typed "stages" and "diagnostics" arrays.
+std::string report_json(const genoc::VerifyReport& report);
+
+std::string diagnostic_json(const genoc::Diagnostic& diagnostic);
+std::string stage_stats_json(const genoc::StageStats& stats);
+std::string cache_stats_json(const genoc::ArtifactCacheStats& stats);
+
+/// Inverse of diagnostic_json: rebuilds the typed record (stage, severity,
+/// code, message, witness in document order). Returns nullopt with a
+/// message in *error on a malformed or non-object value.
+std::optional<genoc::Diagnostic> diagnostic_from_json(const JsonValue& value,
+                                                      std::string* error);
+
+/// Inverse of stage_stats_json (cpu_ms round-trips through json_number's
+/// shortest-precision doubles).
+std::optional<genoc::StageStats> stage_stats_from_json(const JsonValue& value,
+                                                       std::string* error);
+
+}  // namespace genoc::cli

@@ -3,6 +3,7 @@
 #include "routing/sweep.hpp"
 #include "util/dot.hpp"
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace genoc {
 
@@ -54,6 +55,44 @@ PortDepGraph build_dep_graph_fast(const RoutingFunction& routing) {
   result.graph.reserve_edges(edges.size());
   for (const auto& [from, to] : edges) {
     result.graph.add_edge(from, to);
+  }
+  result.graph.finalize();
+  return result;
+}
+
+PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
+                                      ThreadPool& pool) {
+  const Mesh2D& mesh = routing.mesh();
+  const std::size_t dest_count = mesh.node_count();
+  const std::size_t grain = pool.recommended_grain(dest_count);
+  const std::size_t shard_total = (dest_count + grain - 1) / grain;
+  std::vector<std::vector<RouteSweeper::Edge>> shards(shard_total);
+
+  pool.parallel_for(
+      dest_count, grain, [&](std::size_t begin, std::size_t end) {
+        auto& local = shards[begin / grain];
+        // A sweeper per shard: the emitted-edge dedup cache is sweeper-
+        // local, so shards may re-emit edges another shard saw — merge
+        // order and duplicates are both erased by finalize().
+        RouteSweeper sweeper(routing);
+        local.reserve(mesh.port_count() / 2);
+        for (std::size_t dest = begin; dest < end; ++dest) {
+          sweeper.sweep(dest, &local, nullptr);
+        }
+      });
+
+  PortDepGraph result;
+  result.mesh = &mesh;
+  result.graph = Digraph(mesh.port_count());
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    total += shard.size();
+  }
+  result.graph.reserve_edges(total);
+  for (const auto& shard : shards) {
+    for (const auto& [from, to] : shard) {
+      result.graph.add_edge(from, to);
+    }
   }
   result.graph.finalize();
   return result;

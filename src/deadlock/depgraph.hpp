@@ -28,6 +28,8 @@
 
 namespace genoc {
 
+class ThreadPool;
+
 /// A dependency graph whose vertex v is the port mesh.port(v).
 struct PortDepGraph {
   const Mesh2D* mesh = nullptr;
@@ -65,6 +67,16 @@ PortDepGraph build_dep_graph(const RoutingFunction& routing);
 /// build_dep_graph()'s on every routing function (the test suite checks
 /// all registry presets).
 PortDepGraph build_dep_graph_fast(const RoutingFunction& routing);
+
+/// The destination-sharded fast construction: per-destination RouteSweeper
+/// sweeps fanned over \p pool, each shard collecting its edge list locally;
+/// the shards are merged and canonicalized by Digraph::finalize() (sort +
+/// dedup), so the result is BIT-IDENTICAL to build_dep_graph_fast() and to
+/// the generic oracle. Each shard owns its RouteSweeper, so the routing
+/// function is only entered through its stateless const interface
+/// (node_out_mask / append_next_hops) — no prime() warm-up needed.
+PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
+                                      ThreadPool& pool);
 
 /// The paper's function next_outs(p): the set of out-ports an in-port p
 /// depends on under XY routing (Sec. V.6), filtered to existing ports.

@@ -15,6 +15,8 @@
 
 namespace genoc {
 
+class ThreadPool;
+
 /// A cycle witness: the vertex sequence v0 -> v1 -> ... -> vk -> v0.
 /// The closing edge back to front() is implicit (not repeated).
 using CycleWitness = std::vector<std::size_t>;
@@ -22,6 +24,14 @@ using CycleWitness = std::vector<std::size_t>;
 /// Finds some cycle via iterative DFS (white/grey/black colouring).
 /// Returns std::nullopt iff the graph is acyclic. O(V + E).
 std::optional<CycleWitness> find_cycle(const Digraph& graph);
+
+/// Pool-aware acyclicity-with-witness: with a \p pool, decides acyclicity
+/// through the parallel SCC decomposition first and only runs the witness
+/// DFS on cyclic graphs; without one it is plain find_cycle(). Either way
+/// the returned witness is find_cycle()'s — identical at every thread
+/// count — so callers get one deterministic (C-3) artifact regardless of
+/// execution mode.
+std::optional<CycleWitness> find_cycle(const Digraph& graph, ThreadPool* pool);
 
 /// Verifies that \p cycle is a genuine cycle of \p graph: non-empty, every
 /// consecutive pair (and the closing pair) is an edge, vertices distinct.

@@ -1,70 +1,58 @@
 #include "instance/batch_runner.hpp"
 
-#include <algorithm>
+#include <memory>
 #include <utility>
 
-#include "routing/sweep.hpp"
-#include "util/require.hpp"
+#include "verify/artifacts.hpp"
 
 namespace genoc {
 
-PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
-                                      BatchRunner& runner) {
-  const Mesh2D& mesh = routing.mesh();
-  const std::size_t dest_count = mesh.node_count();
-  const std::size_t grain = runner.recommended_grain(dest_count);
-  const std::size_t shard_total = (dest_count + grain - 1) / grain;
-  std::vector<std::vector<RouteSweeper::Edge>> shards(shard_total);
+std::vector<VerifyReport> verify_instance_reports(
+    const std::vector<InstanceSpec>& specs, const VerifyPipeline& pipeline,
+    BatchRunner* runner, const InstanceVerifyOptions& base) {
+  std::vector<VerifyReport> reports(specs.size());
+  InstanceVerifyOptions options = base;
+  options.runner = runner;
+  // Batch-wide artifact sharing: default to a store scoped to this sweep so
+  // duplicate topology x routing x escape prefixes are analyzed once even
+  // when the caller did not bring a store of its own.
+  ArtifactStore local_store;
+  ArtifactStore* store =
+      base.artifacts != nullptr ? base.artifacts : &local_store;
+  options.artifacts = store;
 
-  runner.parallel_for(
-      dest_count, grain, [&](std::size_t begin, std::size_t end) {
-        auto& local = shards[begin / grain];
-        // A sweeper per shard: the emitted-edge dedup cache is sweeper-
-        // local, so shards may re-emit edges another shard saw — merge
-        // order and duplicates are both erased by finalize().
-        RouteSweeper sweeper(routing);
-        local.reserve(mesh.port_count() / 2);
-        for (std::size_t dest = begin; dest < end; ++dest) {
-          sweeper.sweep(dest, &local, nullptr);
-        }
-      });
+  const auto verify_one = [&](std::size_t i) {
+    const NetworkInstance instance(specs[i]);
+    const std::shared_ptr<AnalysisArtifacts> artifacts =
+        store->acquire(specs[i]);
+    reports[i] = pipeline.run(instance, *artifacts, options);
+  };
 
-  PortDepGraph result;
-  result.mesh = &mesh;
-  result.graph = Digraph(mesh.port_count());
-  std::size_t total = 0;
-  for (const auto& shard : shards) {
-    total += shard.size();
-  }
-  result.graph.reserve_edges(total);
-  for (const auto& shard : shards) {
-    for (const auto& [from, to] : shard) {
-      result.graph.add_edge(from, to);
+  if (runner == nullptr) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      verify_one(i);
     }
+    return reports;
   }
-  result.graph.finalize();
-  return result;
+  runner->parallel_for(specs.size(), 1,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           verify_one(i);
+                         }
+                       });
+  return reports;
 }
 
 std::vector<InstanceVerdict> verify_instances(
     const std::vector<InstanceSpec>& specs, BatchRunner* runner,
     const InstanceVerifyOptions& base) {
-  std::vector<InstanceVerdict> verdicts(specs.size());
-  InstanceVerifyOptions options = base;
-  options.runner = runner;
-  if (runner == nullptr) {
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      verdicts[i] = NetworkInstance(specs[i]).verify(options);
-    }
-    return verdicts;
+  std::vector<VerifyReport> reports =
+      verify_instance_reports(specs, VerifyPipeline::standard(), runner, base);
+  std::vector<InstanceVerdict> verdicts;
+  verdicts.reserve(reports.size());
+  for (VerifyReport& report : reports) {
+    verdicts.push_back(std::move(report.verdict));
   }
-  runner->parallel_for(specs.size(), 1,
-                       [&](std::size_t begin, std::size_t end) {
-                         for (std::size_t i = begin; i < end; ++i) {
-                           verdicts[i] =
-                               NetworkInstance(specs[i]).verify(options);
-                         }
-                       });
   return verdicts;
 }
 

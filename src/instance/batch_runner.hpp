@@ -4,15 +4,22 @@
 ///
 /// Two axes parallelize independently and compose:
 ///
-///   1. WITHIN one instance: build_dep_graph_parallel shards the
-///      per-DESTINATION route sweeps (RouteSweeper) across the pool, each
-///      shard collecting its edge list locally; the shards are merged and
-///      canonicalized by Digraph::finalize() (sort + dedup), so the
-///      parallel graph is BIT-IDENTICAL to the sequential one — and to the
-///      generic oracle's.
+///   1. WITHIN one instance: build_dep_graph_parallel (deadlock/depgraph.hpp)
+///      shards the per-DESTINATION route sweeps (RouteSweeper) across the
+///      pool, each shard collecting its edge list locally; the shards are
+///      merged and canonicalized by Digraph::finalize() (sort + dedup), so
+///      the parallel graph is BIT-IDENTICAL to the sequential one — and to
+///      the generic oracle's.
 ///   2. ACROSS instances: `genoc verify --all` verifies every registered
 ///      instance, each writing its verdict into a fixed slot, so the
 ///      report order is deterministic too.
+///
+/// The sweep additionally shares analysis ARTIFACTS across instances: every
+/// batch threads an ArtifactStore (verify/artifacts.hpp) keyed by the
+/// canonical topology x routing x escape spec prefix, so two instances that
+/// differ only in workload or switching (mesh8-xy vs mesh8-xy-sf) build the
+/// dependency graph, prime the reachability closure and decide acyclicity
+/// exactly once between them.
 ///
 /// The pool mechanics live in util/ThreadPool (so graph-level algorithms
 /// like parallel_scc can run on the same pool without depending on this
@@ -27,6 +34,8 @@
 #include "instance/network_instance.hpp"
 #include "instance/spec.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/pipeline.hpp"
+#include "verify/report.hpp"
 
 namespace genoc {
 
@@ -35,18 +44,19 @@ class BatchRunner : public ThreadPool {
   using ThreadPool::ThreadPool;
 };
 
-/// The destination-sharded fast construction (axis 1 above). Each shard
-/// owns a RouteSweeper, so the routing function is only entered through
-/// its stateless const interface (node_out_mask / append_next_hops) —
-/// no prime() warm-up needed. The result is bit-identical to
-/// build_dep_graph(routing) and build_dep_graph_fast(routing).
-PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
-                                      BatchRunner& runner);
+/// The instance sweep: runs \p pipeline over every spec — each instance's
+/// own graph build sharded on the same pool — and returns full reports in
+/// spec order. \p runner == nullptr degrades to the sequential loop.
+/// Artifacts are acquired from base.artifacts when set, else from a
+/// store local to this call, so duplicate spec prefixes are computed once
+/// either way. Verdicts are identical to per-instance
+/// NetworkInstance::verify() modulo cpu_ms.
+std::vector<VerifyReport> verify_instance_reports(
+    const std::vector<InstanceSpec>& specs, const VerifyPipeline& pipeline,
+    BatchRunner* runner, const InstanceVerifyOptions& base = {});
 
-/// The instance sweep (axis 2): verifies every spec — each instance's own
-/// graph build sharded on the same pool — and returns verdicts in spec
-/// order. \p runner == nullptr degrades to the sequential loop. Verdicts
-/// are identical to per-instance NetworkInstance::verify() modulo cpu_ms.
+/// Verdict-only convenience over verify_instance_reports with the standard
+/// pipeline (the pre-pipeline API, kept source-compatible).
 std::vector<InstanceVerdict> verify_instances(
     const std::vector<InstanceSpec>& specs, BatchRunner* runner,
     const InstanceVerifyOptions& base = {});

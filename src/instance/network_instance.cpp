@@ -1,10 +1,5 @@
 #include "instance/network_instance.hpp"
 
-#include "deadlock/constraints.hpp"
-#include "deadlock/escape.hpp"
-#include "graph/cycle.hpp"
-#include "graph/tarjan.hpp"
-#include "instance/batch_runner.hpp"
 #include "routing/fully_adaptive.hpp"
 #include "routing/negative_first.hpp"
 #include "routing/north_last.hpp"
@@ -16,7 +11,8 @@
 #include "switching/store_forward.hpp"
 #include "switching/wormhole.hpp"
 #include "util/require.hpp"
-#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/pipeline.hpp"
 
 namespace genoc {
 
@@ -82,82 +78,14 @@ std::vector<TrafficPair> NetworkInstance::make_traffic() const {
   return generate_traffic(*pattern, *mesh_, spec_.messages, rng);
 }
 
-PortDepGraph NetworkInstance::dependency_graph(BatchRunner* runner) const {
+PortDepGraph NetworkInstance::dependency_graph(ThreadPool* runner) const {
   return runner != nullptr ? build_dep_graph_parallel(*routing_, *runner)
                            : build_dep_graph_fast(*routing_);
 }
 
 InstanceVerdict NetworkInstance::verify(
     const InstanceVerifyOptions& options) const {
-  Stopwatch timer;
-  InstanceVerdict verdict;
-  verdict.instance = display_name_;
-  verdict.spec = to_spec_string(spec_);
-  verdict.topology = spec_.topology;
-  verdict.routing = routing_->name();
-  verdict.switching = switching_->name();
-  verdict.nodes = mesh_->node_count();
-  verdict.ports = mesh_->port_count();
-  verdict.deterministic = routing_->is_deterministic();
-
-  const PortDepGraph dep = options.generic_builder
-                               ? build_dep_graph(*routing_)
-                               : dependency_graph(options.runner);
-  verdict.edges = dep.graph.edge_count();
-  // The enumeration domain of the generic construction plus one check per
-  // produced edge: a deterministic count, independent of sharding and of
-  // which (bit-identical) builder produced the graph.
-  verdict.checks = static_cast<std::uint64_t>(mesh_->port_count()) *
-                       mesh_->node_count() +
-                   verdict.edges;
-
-  // Acyclicity: parallel SCC when a pool is available, else the linear
-  // DFS. On a cyclic graph find_cycle supplies the witness either way, so
-  // the verdict and note are identical across all modes.
-  std::optional<CycleWitness> cycle;
-  if (options.runner != nullptr) {
-    if (has_nontrivial_scc(dep.graph, *options.runner)) {
-      cycle = find_cycle(dep.graph);
-    }
-  } else {
-    cycle = find_cycle(dep.graph);
-  }
-  verdict.dep_acyclic = !cycle.has_value();
-  if (verdict.dep_acyclic) {
-    verdict.deadlock_free = true;
-    verdict.method = "Theorem 1 (C-3)";
-    verdict.note = "dependency graph acyclic";
-  } else if (escape_ != nullptr) {
-    // The escape sweep shards over destinations on the same pool as the
-    // graph build and the SCC stage; verdicts are bit-identical either way.
-    const EscapeAnalysis analysis =
-        analyze_escape(*routing_, *escape_, options.runner);
-    verdict.deadlock_free = analysis.deadlock_free;
-    verdict.method = "escape(" + spec_.escape + ")";
-    verdict.note = analysis.summary();
-    verdict.checks += analysis.states_checked;
-  } else {
-    verdict.deadlock_free = false;
-    verdict.method = "cycle";
-    verdict.note = "dependency cycle of length " +
-                   std::to_string(cycle->size()) + " through " +
-                   dep.label(cycle->front()) +
-                   " and no escape lane (Theorem 1: deadlock reachable)";
-  }
-
-  if (options.check_constraints) {
-    const ConstraintReport c1 = check_c1(*routing_, dep);
-    const ConstraintReport c2 = check_c2(*routing_, dep);
-    verdict.constraints_ok = c1.satisfied && c2.satisfied;
-    verdict.checks += c1.checks + c2.checks;
-    if (!verdict.constraints_ok) {
-      verdict.deadlock_free = false;
-      verdict.note += "; constraint violation: " +
-                      (c1.satisfied ? c2.summary() : c1.summary());
-    }
-  }
-  verdict.cpu_ms = timer.elapsed_ms();
-  return verdict;
+  return VerifyPipeline::standard().run(*this, options).verdict;
 }
 
 SimulationReport NetworkInstance::simulate(

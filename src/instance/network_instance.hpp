@@ -21,11 +21,12 @@
 #include "sim/simulator.hpp"
 #include "switching/policy.hpp"
 #include "topology/mesh.hpp"
+#include "verify/verdict.hpp"
 #include "workload/traffic.hpp"
 
 namespace genoc {
 
-class BatchRunner;
+class ThreadPool;
 
 /// Routing-function factory over the canonical names of known_routings().
 /// Throws ContractViolation on unknown names — validate specs first.
@@ -34,43 +35,6 @@ std::unique_ptr<RoutingFunction> make_routing(const std::string& name,
 
 /// Switching-policy factory over known_switchings().
 std::unique_ptr<SwitchingPolicy> make_switching(const std::string& name);
-
-/// Options for NetworkInstance::verify().
-struct InstanceVerifyOptions {
-  /// Shard the dependency-graph construction (per destination), the SCC
-  /// stage and the escape-lane analysis across this pool; nullptr runs
-  /// sequentially. Results are bit-identical either way.
-  BatchRunner* runner = nullptr;
-  /// Additionally discharge (C-1)/(C-2) (quadratic-ish; off for sweeps).
-  bool check_constraints = false;
-  /// Build the graph with the quadratic generic oracle instead of the
-  /// per-destination fast builder (cross-check escape hatch; the two are
-  /// bit-identical, so verdicts never differ).
-  bool generic_builder = false;
-};
-
-/// Verdict of one instance verification — one row of the `genoc verify
-/// --all` matrix (the Table-I-per-instance shape).
-struct InstanceVerdict {
-  std::string instance;   ///< display name
-  std::string spec;       ///< canonical spec string
-  std::string topology;
-  std::string routing;    ///< human-readable routing name
-  std::string switching;
-  std::size_t nodes = 0;
-  std::size_t ports = 0;
-  std::size_t edges = 0;  ///< dependency-graph edges
-  bool deterministic = false;
-  bool dep_acyclic = false;
-  /// The headline: deadlock-free, either via Theorem 1 directly or via the
-  /// escape-lane analysis when the primary graph is cyclic.
-  bool deadlock_free = false;
-  std::string method;  ///< "Theorem 1 (C-3)" | "escape(<name>)" | "cycle"
-  std::string note;    ///< evidence summary / first counterexample
-  bool constraints_ok = true;  ///< (C-1)/(C-2), when requested
-  std::uint64_t checks = 0;    ///< elementary checks (deterministic count)
-  double cpu_ms = 0.0;
-};
 
 class NetworkInstance {
  public:
@@ -96,11 +60,17 @@ class NetworkInstance {
   /// The port dependency graph of the instance's routing function, built
   /// by the per-destination fast builder — sharded over destinations on
   /// \p runner when given. Bit-identical to the generic construction.
-  PortDepGraph dependency_graph(BatchRunner* runner = nullptr) const;
+  PortDepGraph dependency_graph(ThreadPool* runner = nullptr) const;
 
   /// Verifies deadlock freedom: builds the dependency graph, checks (C-3);
   /// on a cyclic graph falls back to the Duato escape-lane analysis when
   /// the spec names an escape routing. Deterministic modulo cpu_ms.
+  ///
+  /// Compatibility wrapper: runs VerifyPipeline::standard() (verify/) over
+  /// this instance's constituents — or over options.artifacts' shared
+  /// context when a batch store is given — and returns the verdict row.
+  /// Callers that want the typed Diagnostics, per-stage stats or cache
+  /// counters use VerifyPipeline::run directly.
   InstanceVerdict verify(const InstanceVerifyOptions& options = {}) const;
 
   /// Simulates \p pairs under the instance's switching policy (adaptive

@@ -1,0 +1,205 @@
+/// \file artifacts.hpp
+/// \brief AnalysisArtifacts: the compute-once cache the VerifyPipeline's
+///        stages communicate through, and ArtifactStore: the batch-wide map
+///        that shares one cache across every instance with the same
+///        topology x routing x escape prefix.
+///
+/// Every stage consumes artifacts (the dependency graph, the primed
+/// reachability closure, the SCC/acyclicity verdict, the escape analysis,
+/// the (C-1)/(C-2) reports) and none of them may be rebuilt once they
+/// exist: a stage that needs an artifact another stage already produced —
+/// or a SECOND instance in a batch sweep sharing the same prefix — gets the
+/// cached object and a `hits` tick instead of a recompute. The counters
+/// make the reuse observable, so tests assert "verify --all primes each
+/// distinct closure exactly once" instead of trusting it.
+///
+/// Thread-safety: accessors take one internal lock for the whole compute,
+/// so two batch tasks acquiring the same shared artifacts serialize on the
+/// first compute and both read the same object afterwards. A compute may
+/// itself shard over the pool (nested parallel_for is work-sharing — the
+/// lock holder participates in its own chunks, so a blocked sibling task
+/// can never deadlock it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "deadlock/constraints.hpp"
+#include "deadlock/depgraph.hpp"
+#include "deadlock/escape.hpp"
+#include "graph/cycle.hpp"
+#include "instance/spec.hpp"
+
+namespace genoc {
+
+class ThreadPool;
+
+/// Compute-once bookkeeping of one artifact kind: `misses` counts the
+/// computes (the guarantee under test: one per distinct context), `hits`
+/// every access that found the artifact cached — later stages of the same
+/// run included, so hits measure cache traffic, not sharing alone.
+struct ArtifactCounter {
+  std::uint64_t misses = 0;
+  std::uint64_t hits = 0;
+
+  ArtifactCounter& operator+=(const ArtifactCounter& other) {
+    misses += other.misses;
+    hits += other.hits;
+    return *this;
+  }
+  friend bool operator==(const ArtifactCounter&,
+                         const ArtifactCounter&) = default;
+};
+
+/// Per-kind counters of one AnalysisArtifacts (or, aggregated, of a whole
+/// ArtifactStore — see ArtifactStore::stats()).
+struct ArtifactCacheStats {
+  ArtifactCounter contexts;     ///< store-level: acquire() builds vs reuses
+  ArtifactCounter primed;       ///< reachability-closure prime() passes
+  ArtifactCounter dep_graph;    ///< dependency-graph builds
+  ArtifactCounter acyclicity;   ///< SCC / cycle-witness decisions
+  ArtifactCounter escape;       ///< escape-lane analyses
+  ArtifactCounter constraints;  ///< (C-1)/(C-2) discharges
+
+  ArtifactCacheStats& operator+=(const ArtifactCacheStats& other) {
+    contexts += other.contexts;
+    primed += other.primed;
+    dep_graph += other.dep_graph;
+    acyclicity += other.acyclicity;
+    escape += other.escape;
+    constraints += other.constraints;
+    return *this;
+  }
+};
+
+/// The acyclicity artifact: the (C-3) verdict plus the DFS cycle witness
+/// backing the "dependency cycle of length N" evidence when it fails.
+struct AcyclicityArtifact {
+  bool acyclic = false;
+  std::optional<CycleWitness> cycle;
+};
+
+/// The (C-1)/(C-2) artifact.
+struct ConstraintsArtifact {
+  ConstraintReport c1;
+  ConstraintReport c2;
+};
+
+/// The shared artifact cache of one analysis context (a mesh + routing +
+/// optional escape lane). Two modes:
+///
+///   - BORROWING an existing instance's constituents (the
+///     NetworkInstance::verify compatibility path): nothing is owned, the
+///     cache lives for one verification.
+///   - OWNING a context built from a spec's analysis prefix (the
+///     ArtifactStore path): the artifacts own mesh/routing/escape, so the
+///     cached dependency graph (whose PortDepGraph points at that mesh)
+///     stays valid across every instance of the batch that borrows it.
+class AnalysisArtifacts {
+ public:
+  /// Borrowing constructor. \p escape may be nullptr.
+  AnalysisArtifacts(const Mesh2D& mesh, const RoutingFunction& routing,
+                    const RoutingFunction* escape);
+
+  /// Owning constructor: builds mesh/routing/escape from the spec's
+  /// analysis prefix (topology, size, routing, escape). Requires a valid
+  /// spec; throws ContractViolation otherwise.
+  explicit AnalysisArtifacts(const InstanceSpec& spec);
+
+  AnalysisArtifacts(const AnalysisArtifacts&) = delete;
+  AnalysisArtifacts& operator=(const AnalysisArtifacts&) = delete;
+
+  /// The canonical sharing key: the fields the analysis artifacts actually
+  /// depend on — topology, dimensions, routing, escape — in spec-string
+  /// order. Workload, switching and buffers are deliberately absent: two
+  /// presets differing only there (mesh8-xy vs mesh8-xy-sf) share every
+  /// artifact.
+  static std::string key(const InstanceSpec& spec);
+
+  const Mesh2D& mesh() const { return *mesh_; }
+  const RoutingFunction& routing() const { return *routing_; }
+  /// The escape-lane routing, or nullptr when the context has none.
+  const RoutingFunction* escape_routing() const { return escape_; }
+
+  /// The port dependency graph. \p generic_builder selects the quadratic
+  /// oracle (bit-identical to the fast builder, so a cached graph is reused
+  /// regardless of which builder produced it); \p pool shards the fast
+  /// build over destinations.
+  const PortDepGraph& dep_graph(bool generic_builder, ThreadPool* pool);
+
+  /// The (C-3) verdict with cycle witness; computes dep_graph on demand.
+  const AcyclicityArtifact& acyclicity(bool generic_builder, ThreadPool* pool);
+
+  /// The Duato escape-lane analysis. Requires escape_routing() != nullptr.
+  const EscapeAnalysis& escape_analysis(ThreadPool* pool);
+
+  /// The (C-1)/(C-2) reports; computes dep_graph and the closure on demand.
+  const ConstraintsArtifact& constraints(bool generic_builder,
+                                         ThreadPool* pool);
+
+  /// Snapshot of this cache's hit/miss counters (`contexts` is always zero
+  /// here; only the store tracks acquisitions).
+  ArtifactCacheStats stats() const;
+
+ private:
+  const PortDepGraph& dep_graph_locked(bool generic_builder, ThreadPool* pool);
+  const AcyclicityArtifact& acyclicity_locked(bool generic_builder,
+                                              ThreadPool* pool);
+  /// Primes the routing's (and escape lane's) lazily built reachability
+  /// closure exactly once, so subsequent reachable() queries are read-only
+  /// and shareable across threads. No-op-cheap for closed-form routings.
+  void ensure_primed_locked();
+
+  // Owning-mode storage (null in borrowing mode); the raw pointers below
+  // are the single source of truth either way.
+  std::unique_ptr<Mesh2D> owned_mesh_;
+  std::unique_ptr<RoutingFunction> owned_routing_;
+  std::unique_ptr<RoutingFunction> owned_escape_;
+  const Mesh2D* mesh_ = nullptr;
+  const RoutingFunction* routing_ = nullptr;
+  const RoutingFunction* escape_ = nullptr;
+
+  mutable std::mutex mutex_;
+  bool primed_ = false;
+  std::optional<PortDepGraph> dep_;
+  std::optional<AcyclicityArtifact> acyclicity_;
+  std::optional<EscapeAnalysis> escape_analysis_;
+  std::optional<ConstraintsArtifact> constraints_;
+  ArtifactCacheStats stats_;
+};
+
+/// The batch-wide sharing map: one AnalysisArtifacts per distinct
+/// AnalysisArtifacts::key() in the sweep. verify_instances() threads a
+/// store through every instance so `genoc verify --all` builds each
+/// distinct closure/graph exactly once.
+class ArtifactStore {
+ public:
+  ArtifactStore() = default;
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  /// The artifacts for \p spec's analysis prefix, building the owned
+  /// context on first sight of the key. Thread-safe; the returned pointer
+  /// stays valid for the life of the store.
+  std::shared_ptr<AnalysisArtifacts> acquire(const InstanceSpec& spec);
+
+  /// Number of distinct analysis contexts materialized so far.
+  std::size_t context_count() const;
+
+  /// Aggregated counters: `contexts` from the store's acquire() ledger,
+  /// everything else summed over the per-context caches.
+  ArtifactCacheStats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::shared_ptr<AnalysisArtifacts>>>
+      entries_;
+  ArtifactCounter contexts_;
+};
+
+}  // namespace genoc

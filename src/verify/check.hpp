@@ -1,0 +1,81 @@
+/// \file check.hpp
+/// \brief The Check interface — one named, registrable stage of the
+///        VerifyPipeline — and the global registry the CLI's `--stages` /
+///        `list --checks` resolve against.
+///
+/// The shape follows the exemplars the ROADMAP points at: booksim2 wires
+/// components from config-named factories, chuffed registers propagator
+/// engines once and looks them up by name. Here every stage of the paper's
+/// decision procedure (build the channel-dependency graph, decide
+/// acyclicity per Theorem 1/(C-3), fall back to the escape-lane argument,
+/// discharge (C-1)/(C-2)) is a Check with a stable registry name, and a
+/// pipeline is an ordered selection of them. Stages communicate exclusively
+/// through the AnalysisArtifacts cache, so their order constraints are data
+/// dependencies, not call-site wiring: a stage that needs the dependency
+/// graph gets it from the cache, computing it only if no earlier stage (or
+/// batch sibling) already did.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "instance/spec.hpp"
+#include "verify/artifacts.hpp"
+#include "verify/report.hpp"
+#include "verify/verdict.hpp"
+
+namespace genoc {
+
+class ThreadPool;
+
+/// Everything a stage may read or write while running.
+struct CheckContext {
+  const InstanceSpec& spec;
+  AnalysisArtifacts& artifacts;
+  const InstanceVerifyOptions& options;
+  ThreadPool* pool = nullptr;  ///< options.runner, for sharded computes
+  /// The report under construction: stages update report.verdict and append
+  /// to report.diagnostics. (report.stages is managed by the pipeline.)
+  VerifyReport& report;
+};
+
+/// One pipeline stage. Implementations are stateless singletons owned by
+/// the registry; run() decides applicability itself (returning ran == false
+/// with a skip reason), so a pipeline never needs conditional wiring.
+class Check {
+ public:
+  virtual ~Check() = default;
+
+  /// Stable registry name (`--stages` token): "build_depgraph",
+  /// "scc_acyclicity", "escape", "constraints", ...
+  virtual const char* name() const = 0;
+
+  /// One-line description for `genoc list --checks`.
+  virtual const char* description() const = 0;
+
+  /// Runs the stage (or records why it did not apply). The returned stats
+  /// carry ran/passed/checks/skip_reason; the pipeline fills cpu_ms.
+  virtual StageStats run(CheckContext& ctx) const = 0;
+};
+
+/// The process-wide stage registry (immutable after construction; built-in
+/// checks register in its constructor, mirroring InstanceRegistry).
+class CheckRegistry {
+ public:
+  static const CheckRegistry& global();
+
+  const std::vector<const Check*>& checks() const { return views_; }
+  std::vector<std::string> names() const;
+
+  /// The check named \p name, or nullptr.
+  const Check* find(const std::string& name) const;
+
+ private:
+  CheckRegistry();
+
+  std::vector<std::unique_ptr<Check>> owned_;
+  std::vector<const Check*> views_;
+};
+
+}  // namespace genoc

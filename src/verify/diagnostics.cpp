@@ -1,0 +1,30 @@
+#include "verify/diagnostics.hpp"
+
+namespace genoc {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "info";
+}
+
+bool parse_severity(const std::string& name, Severity* out) {
+  if (name == "info") {
+    *out = Severity::kInfo;
+  } else if (name == "warning") {
+    *out = Severity::kWarning;
+  } else if (name == "error") {
+    *out = Severity::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace genoc

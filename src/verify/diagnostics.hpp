@@ -1,0 +1,61 @@
+/// \file diagnostics.hpp
+/// \brief Typed diagnostics and per-stage statistics for the VerifyPipeline.
+///
+/// The pre-pipeline verifier reported its evidence through two free-text
+/// fields (`method`, `note`) that tooling had to regex apart. A Diagnostic
+/// is the typed replacement: the stage that spoke, a severity, a stable
+/// machine-readable code, the human message, and a key/value witness
+/// payload (cycle length, missing-escape state, ...) that survives a JSON
+/// round trip. The legacy strings are still rendered — from these records —
+/// so existing callers keep bit-identical verdicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace genoc {
+
+/// Weight of a Diagnostic. kError findings refute the property under check;
+/// kWarning findings are verdict-relevant but non-final (e.g. a cyclic
+/// primary graph that the escape stage may still cure); kInfo records the
+/// positive evidence.
+enum class Severity { kInfo, kWarning, kError };
+
+/// Stable lower-case name ("info" | "warning" | "error") — the JSON form.
+const char* severity_name(Severity severity);
+
+/// Inverse of severity_name(); false on an unknown name.
+bool parse_severity(const std::string& name, Severity* out);
+
+/// One typed finding of a pipeline stage.
+struct Diagnostic {
+  std::string stage;     ///< registry name of the emitting stage
+  Severity severity = Severity::kInfo;
+  /// Machine-readable code, stable across releases: "dep-acyclic",
+  /// "dep-cyclic", "no-escape-lane", "escape-verified", "escape-refuted",
+  /// "constraint-violated", "constraints-discharged", "undecided".
+  std::string code;
+  std::string message;   ///< human-readable finding (the old `note` content)
+  /// Witness payload: ordered key/value pairs ("cycle_length" -> "32",
+  /// "missing_state" -> "<1,0,N,IN> / <5,2,L,OUT>", ...). Strings on
+  /// purpose: the payload is evidence for reports, not an API.
+  std::vector<std::pair<std::string, std::string>> witness;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Execution record of one pipeline stage.
+struct StageStats {
+  std::string stage;
+  bool ran = false;     ///< false when the stage decided it did not apply
+  bool passed = true;   ///< the stage's own property held (meaningless if !ran)
+  std::string skip_reason;    ///< why the stage did not run (when !ran)
+  std::uint64_t checks = 0;   ///< elementary checks this stage performed
+  double cpu_ms = 0.0;
+
+  friend bool operator==(const StageStats&, const StageStats&) = default;
+};
+
+}  // namespace genoc

@@ -1,0 +1,69 @@
+/// \file pipeline.hpp
+/// \brief VerifyPipeline: an ordered selection of registered Check stages
+///        run over one shared AnalysisArtifacts cache.
+///
+/// The standard pipeline is the paper's decision procedure in stage form:
+///
+///   build_depgraph  — materialize the channel-dependency graph (Sec. IV.A)
+///   scc_acyclicity  — Theorem 1 / (C-3): acyclic => deadlock-free
+///   escape          — the Duato escape-lane fallback for cyclic graphs
+///   constraints     — (C-1)/(C-2), when requested
+///
+/// `NetworkInstance::verify` is a thin wrapper over run(); `genoc verify
+/// --stages a,b,c` builds a custom selection through from_stage_names().
+/// Stages pull their inputs from the artifact cache, so a subset pipeline
+/// stays sound — it computes what it needs and skips what does not apply —
+/// but only a pipeline containing a deciding stage can conclude
+/// deadlock-freedom; otherwise the verdict is "undecided".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/check.hpp"
+#include "verify/report.hpp"
+
+namespace genoc {
+
+class NetworkInstance;
+
+class VerifyPipeline {
+ public:
+  /// The standard stage order above (every registered built-in).
+  static const std::vector<std::string>& default_stage_names();
+
+  /// The default pipeline over the global registry.
+  static const VerifyPipeline& standard();
+
+  /// A pipeline of the named stages, in the given order. Unknown names
+  /// yield nullopt with a message listing the registered stages in *error.
+  static std::optional<VerifyPipeline> from_stage_names(
+      const std::vector<std::string>& names, std::string* error);
+
+  /// The configured stages, in run order.
+  const std::vector<const Check*>& stages() const { return stages_; }
+  std::vector<std::string> stage_names() const;
+
+  /// Runs every stage over \p artifacts and renders the report. The
+  /// verdict's header fields (names, dimensions, determinism) come from
+  /// \p instance; the analysis runs on the artifact context (identical
+  /// semantics — for store-shared artifacts, a different but spec-equal
+  /// object). cache counters are the DELTA this run caused.
+  VerifyReport run(const NetworkInstance& instance,
+                   AnalysisArtifacts& artifacts,
+                   const InstanceVerifyOptions& options) const;
+
+  /// Convenience: run over the instance's own constituents (or the
+  /// options.artifacts store when set) — exactly NetworkInstance::verify
+  /// but returning the full report.
+  VerifyReport run(const NetworkInstance& instance,
+                   const InstanceVerifyOptions& options) const;
+
+ private:
+  explicit VerifyPipeline(std::vector<const Check*> stages);
+
+  std::vector<const Check*> stages_;
+};
+
+}  // namespace genoc

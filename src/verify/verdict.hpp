@@ -1,0 +1,68 @@
+/// \file verdict.hpp
+/// \brief The per-instance verification verdict and options — the plain-data
+///        interface between the VerifyPipeline and its callers.
+///
+/// InstanceVerdict is the one-row summary every driver renders (`genoc
+/// verify --all` matrix rows, the batch sweep, the test oracles). The
+/// pipeline's richer output — typed Diagnostics, per-stage stats, artifact
+/// cache counters — lives in VerifyReport (report.hpp); the verdict keeps
+/// the legacy `method`/`note` strings, rendered from the same stage
+/// decisions, so pre-pipeline callers see bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace genoc {
+
+class ThreadPool;
+class ArtifactStore;
+
+/// Options for one instance verification (NetworkInstance::verify and the
+/// VerifyPipeline behind it).
+struct InstanceVerifyOptions {
+  /// Shard the dependency-graph construction (per destination), the SCC
+  /// stage and the escape-lane analysis across this pool; nullptr runs
+  /// sequentially. Results are bit-identical either way. (BatchRunner IS-A
+  /// ThreadPool, so batch callers pass their runner unchanged.)
+  ThreadPool* runner = nullptr;
+  /// Additionally discharge (C-1)/(C-2) (quadratic-ish; off for sweeps).
+  bool check_constraints = false;
+  /// Build the graph with the quadratic generic oracle instead of the
+  /// per-destination fast builder (cross-check escape hatch; the two are
+  /// bit-identical, so verdicts never differ).
+  bool generic_builder = false;
+  /// Batch-wide artifact sharing: when set, the analysis artifacts (dep
+  /// graph, primed closure, SCC verdict, escape analysis) are acquired from
+  /// this store, keyed by the spec's topology x routing x escape prefix, so
+  /// a second instance sharing the prefix reuses them instead of
+  /// recomputing. nullptr analyzes the instance's own constituents.
+  ArtifactStore* artifacts = nullptr;
+};
+
+/// Verdict of one instance verification — one row of the `genoc verify
+/// --all` matrix (the Table-I-per-instance shape).
+struct InstanceVerdict {
+  std::string instance;   ///< display name
+  std::string spec;       ///< canonical spec string
+  std::string topology;
+  std::string routing;    ///< human-readable routing name
+  std::string switching;
+  std::size_t nodes = 0;
+  std::size_t ports = 0;
+  std::size_t edges = 0;  ///< dependency-graph edges
+  bool deterministic = false;
+  bool dep_acyclic = false;
+  /// The headline: deadlock-free, either via Theorem 1 directly or via the
+  /// escape-lane analysis when the primary graph is cyclic.
+  bool deadlock_free = false;
+  /// Rendered from the deciding stage's Diagnostics: "Theorem 1 (C-3)" |
+  /// "escape(<name>)" | "cycle" | "undecided" (partial --stages runs).
+  std::string method;
+  std::string note;    ///< evidence summary / first counterexample
+  bool constraints_ok = true;  ///< (C-1)/(C-2), when requested
+  std::uint64_t checks = 0;    ///< elementary checks (deterministic count)
+  double cpu_ms = 0.0;
+};
+
+}  // namespace genoc
