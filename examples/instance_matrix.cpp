@@ -29,21 +29,28 @@ int main(int argc, char** argv) {
 
   genoc::Table table({"Instance", "Topology", "Routing", "Ports", "Dep edges",
                       "Method", "Verdict"});
-  bool all_free = true;
+  bool all_expected = true;
   for (const genoc::InstanceVerdict& verdict : verdicts) {
-    all_free = all_free && verdict.deadlock_free;
+    all_expected = all_expected && verdict.as_expected();
+    // A negative fixture (dragonfly-minimal without VCs) registers the
+    // deadlock: finding the cycle is its pass.
+    std::string word = verdict.deadlock_free ? "deadlock-free"
+                                             : "deadlock-PRONE";
+    if (!verdict.as_expected()) {
+      word = "NOT AS REGISTERED";
+    }
     table.add_row({verdict.instance, verdict.topology, verdict.routing,
                    genoc::format_count(verdict.ports),
-                   genoc::format_count(verdict.edges), verdict.method,
-                   verdict.deadlock_free ? "deadlock-free" : "NOT VERIFIED"});
+                   genoc::format_count(verdict.edges), verdict.method, word});
   }
   std::cout << "Registered instances verified on " << runner.thread_count()
             << " thread(s):\n\n"
             << table.render() << "\n";
-  std::cout << (all_free
-                    ? "Every registered instance discharges its deadlock-"
-                      "freedom obligation (Theorem 1 or escape-lane)."
+  std::cout << (all_expected
+                    ? "Every registered instance discharges its registered "
+                      "obligation (Theorem 1, escape-lane, or an expected "
+                      "cycle witness)."
                     : "Some instance failed — see the matrix.")
             << "\n";
-  return all_free ? 0 : 1;
+  return all_expected ? 0 : 1;
 }

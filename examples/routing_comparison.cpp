@@ -25,6 +25,11 @@ int main(int argc, char** argv) {
                       "Evacuated", "Steps", "Mean latency"});
 
   for (const std::string& routing_name : genoc::known_routings()) {
+    // The concentrated-mesh and dragonfly functions route their own
+    // topologies, not the grid this comparison sweeps.
+    if (routing_name == "cmesh_dor" || routing_name == "dragonfly_min") {
+      continue;
+    }
     genoc::InstanceSpec spec;
     // torus_xy is the one family member that needs wrap links.
     spec.topology = routing_name == "torus_xy" ? "torus" : "mesh";

@@ -25,6 +25,7 @@
 #include "graph/tarjan.hpp"
 #include "instance/batch_runner.hpp"
 #include "instance/registry.hpp"
+#include "routing/cmesh_dor.hpp"
 #include "routing/torus_xy.hpp"
 #include "sim/simulator.hpp"
 #include "util/stopwatch.hpp"
@@ -124,6 +125,28 @@ std::vector<MicroBench> build_suite(std::size_t threads) {
     suite.push_back({"depgraph_fast_8x8",
                      "per-destination build_dep_graph_fast on 8x8",
                      [mesh, routing] {
+                       const PortDepGraph dep = build_dep_graph_fast(*routing);
+                       keep(dep.graph.edge_count());
+                     }});
+  }
+
+  {
+    // The same fast-vs-generic guard on the first non-grid family: an
+    // 8x8 c=4 concentrated mesh (the cmesh8-dor preset's network, 960
+    // ports, 256 destinations). The fast builder takes the id-native
+    // sweep here — no Port-tuple BFS — so this pins the dialect the
+    // grid benches above never touch.
+    auto cmesh = std::make_shared<CMeshTopology>(8, 8, 4);
+    auto routing = std::make_shared<CMeshDORRouting>(*cmesh);
+    suite.push_back({"depgraph_generic_cmesh",
+                     "generic build_dep_graph on the 8x8 c=4 cmesh",
+                     [cmesh, routing] {
+                       const PortDepGraph dep = build_dep_graph(*routing);
+                       keep(dep.graph.edge_count());
+                     }});
+    suite.push_back({"depgraph_fast_cmesh",
+                     "id-native build_dep_graph_fast on the 8x8 c=4 cmesh",
+                     [cmesh, routing] {
                        const PortDepGraph dep = build_dep_graph_fast(*routing);
                        keep(dep.graph.edge_count());
                      }});

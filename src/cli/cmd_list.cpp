@@ -1,11 +1,13 @@
 /// \file cmd_list.cpp
 /// \brief `genoc list` — the registered network instances: name, canonical
-///        spec string, and what each one demonstrates.
+///        spec string, and what each one demonstrates. `--topologies` lists
+///        the topology families the spec grammar can instantiate instead.
 #include <iostream>
 
 #include "cli/commands.hpp"
 #include "cli/json_writer.hpp"
 #include "instance/registry.hpp"
+#include "topology/topology.hpp"
 #include "util/table.hpp"
 #include "verify/check.hpp"
 
@@ -15,12 +17,45 @@ namespace {
 
 constexpr const char* kUsage =
     "Usage: genoc list [options]\n"
-    "  --checks  list the registered verify check stages (the names\n"
-    "            `genoc verify --stages` accepts) instead of the instances\n"
-    "  --json    emit the listing as JSON instead of the table\n"
+    "  --checks      list the registered verify check stages (the names\n"
+    "                `genoc verify --stages` accepts) instead of the instances\n"
+    "  --topologies  list the registered topology families and their\n"
+    "                spec-grammar parameters instead of the instances\n"
+    "  --json        emit the listing as JSON instead of the table\n"
     "\n"
     "Any listed name works wherever --instance is accepted; so does an\n"
     "ad-hoc spec like \"topology=torus size=16x16 routing=odd_even\".\n";
+
+int list_topologies(bool as_json) {
+  const std::vector<TopologyFamilyInfo>& families = topology_families();
+
+  if (as_json) {
+    std::vector<std::string> rows;
+    for (const TopologyFamilyInfo& family : families) {
+      JsonObject obj;
+      obj.add("name", family.name)
+          .add("parameters", family.params)
+          .add("summary", family.summary);
+      rows.push_back(obj.to_string());
+    }
+    JsonObject report;
+    report.add("command", "list")
+        .add("count", static_cast<std::uint64_t>(families.size()))
+        .add_raw("topologies", json_array(rows));
+    std::cout << report.to_string();
+    return 0;
+  }
+
+  Table table({"Family", "Parameters", "Summary"});
+  for (const TopologyFamilyInfo& family : families) {
+    table.add_row({family.name, family.params, family.summary});
+  }
+  std::cout << families.size()
+            << " registered topology families (usable as `topology=<name>` "
+               "in an instance spec):\n\n"
+            << table.render() << "\n";
+  return 0;
+}
 
 int list_checks(bool as_json) {
   const CheckRegistry& registry = CheckRegistry::global();
@@ -60,11 +95,15 @@ int cmd_list(const Args& args) {
   }
   const bool as_json = args.has("json");
   const bool checks = args.has("checks");
+  const bool topologies = args.has("topologies");
   if (const int rc = finish_args(args, kUsage)) {
     return rc;
   }
   if (checks) {
     return list_checks(as_json);
+  }
+  if (topologies) {
+    return list_topologies(as_json);
   }
   const InstanceRegistry& registry = InstanceRegistry::global();
 
@@ -75,6 +114,7 @@ int cmd_list(const Args& args) {
       obj.add("name", spec.name)
           .add("summary", spec.summary)
           .add("spec", to_spec_string(spec))
+          .add("topology", spec.topology)
           .add("heavy", registry.heavy(spec.name));
       rows.push_back(obj.to_string());
     }
@@ -86,10 +126,10 @@ int cmd_list(const Args& args) {
     return 0;
   }
 
-  Table table({"Instance", "Spec", "Summary"});
+  Table table({"Instance", "Family", "Spec", "Summary"});
   for (const InstanceSpec& spec : registry.presets()) {
     table.add_row({spec.name + (registry.heavy(spec.name) ? " (heavy)" : ""),
-                   to_spec_string(spec), spec.summary});
+                   spec.topology, to_spec_string(spec), spec.summary});
   }
   std::cout << registry.presets().size()
             << " registered instances (usable as `--instance <name>`; "

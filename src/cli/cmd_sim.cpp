@@ -167,6 +167,12 @@ int cmd_sim(const Args& args) {
       return 2;
     }
   }
+  if (!spec.is_grid()) {
+    std::cerr << "genoc sim: the simulator runs the grid families only; "
+                 "topology " << spec.topology
+              << " is verification-only for now (see ROADMAP)\n";
+    return 2;
+  }
 
   const NetworkInstance network(spec);
   const std::vector<TrafficPair> pairs = network.make_traffic();

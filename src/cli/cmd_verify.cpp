@@ -90,14 +90,27 @@ std::string verdict_word(const InstanceVerdict& verdict) {
   if (verdict.method == "undecided") {
     return "UNDECIDED";
   }
-  return verdict.constraints_ok ? "DEADLOCK-PRONE" : "CONSTRAINT-VIOLATED";
+  if (!verdict.constraints_ok) {
+    return "CONSTRAINT-VIOLATED";
+  }
+  // Negative fixtures (expect=deadlock) REGISTER the deadlock: finding the
+  // cycle is the pass, so the row says so instead of looking like a failure.
+  return verdict.expected_deadlock_free ? "DEADLOCK-PRONE"
+                                        : "DEADLOCK-PRONE (expected)";
 }
 
 /// One baseline row parsed out of a previous run's JSON artifact.
 struct BaselineRow {
   bool deadlock_free = false;
+  /// Artifacts predating the expectation field carry only positive
+  /// fixtures, so defaulting to "expected free" keeps them comparable.
+  bool expected_deadlock_free = true;
   bool constraints_ok = true;
   double cpu_ms = 0.0;
+
+  bool as_expected() const {
+    return deadlock_free == expected_deadlock_free;
+  }
 };
 
 /// The verdict trend against a previous artifact.
@@ -201,6 +214,8 @@ std::optional<std::map<std::string, BaselineRow>> load_baseline(
     }
     BaselineRow entry;
     entry.deadlock_free = *free;
+    entry.expected_deadlock_free =
+        row.get_bool("expected_deadlock_free").value_or(true);
     entry.constraints_ok = row.get_bool("constraints_ok").value_or(true);
     entry.cpu_ms = row.get_number("cpu_ms").value_or(0.0);
     rows[*name] = entry;
@@ -225,8 +240,10 @@ BaselineComparison compare_against_baseline(
     seen[verdict.instance] = true;
     ++trend.compared;
     const BaselineRow& before = it->second;
-    const bool was_ok = before.deadlock_free && before.constraints_ok;
-    const bool now_ok = verdict.deadlock_free && verdict.constraints_ok;
+    // "ok" means the verdict matches the registered expectation: a negative
+    // fixture regressing is it silently becoming deadlock-free.
+    const bool was_ok = before.as_expected() && before.constraints_ok;
+    const bool now_ok = verdict.as_expected() && verdict.constraints_ok;
     if (was_ok && !now_ok) {
       trend.regressions.push_back(verdict.instance);
     } else if (!was_ok && now_ok) {
@@ -295,9 +312,16 @@ int report_instances(const std::vector<VerifyReport>& reports,
                      const std::string& mode, std::size_t threads,
                      const std::optional<BaselineComparison>& trend) {
   bool all_free = true;
+  bool all_expected = true;
+  std::size_t expected_prone = 0;
   for (const VerifyReport& report : reports) {
     all_free = all_free && report.verdict.deadlock_free &&
                report.verdict.constraints_ok;
+    all_expected = all_expected && report.verdict.as_expected() &&
+                   report.verdict.constraints_ok;
+    if (!report.verdict.expected_deadlock_free) {
+      ++expected_prone;
+    }
   }
   const bool trend_failed = trend.has_value() && trend->failed();
 
@@ -316,13 +340,14 @@ int report_instances(const std::vector<VerifyReport>& reports,
         .add("constraints", constraints)
         .add("instances_total", static_cast<std::uint64_t>(reports.size()))
         .add("all_deadlock_free", all_free)
+        .add("all_as_expected", all_expected)
         .add_raw("cache", cache_stats_json(cache))
         .add_raw("instances", json_array(rows));
     if (trend.has_value()) {
       report.add_raw("baseline", baseline_json(*trend));
     }
     std::cout << report.to_string();
-    return all_free && !trend_failed ? 0 : 1;
+    return all_expected && !trend_failed ? 0 : 1;
   }
 
   Table table({"Instance", "Topology", "Routing", "Switching", "Ports",
@@ -354,10 +379,15 @@ int report_instances(const std::vector<VerifyReport>& reports,
   if (trend.has_value()) {
     print_baseline_table(*trend);
   }
-  std::cout << (all_free ? "Every instance verified deadlock-free."
-                         : "INSTANCE NOT VERIFIED — see the rows above.")
-            << "\n";
-  return all_free && !trend_failed ? 0 : 1;
+  if (all_free) {
+    std::cout << "Every instance verified deadlock-free.\n";
+  } else if (all_expected) {
+    std::cout << "Every instance matches its registered verdict ("
+              << expected_prone << " expected deadlock-prone).\n";
+  } else {
+    std::cout << "INSTANCE NOT VERIFIED — see the rows above.\n";
+  }
+  return all_expected && !trend_failed ? 0 : 1;
 }
 
 /// Splits --stages' comma-separated value; empty tokens rejected upstream

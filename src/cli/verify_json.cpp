@@ -29,6 +29,8 @@ void add_verdict_fields(JsonObject& obj, const genoc::InstanceVerdict& verdict) 
       .add("dep_acyclic", verdict.dep_acyclic)
       .add("method", verdict.method)
       .add("deadlock_free", verdict.deadlock_free)
+      .add("expected_deadlock_free", verdict.expected_deadlock_free)
+      .add("as_expected", verdict.as_expected())
       .add("constraints_ok", verdict.constraints_ok)
       .add("checks", verdict.checks)
       .add("cpu_ms", verdict.cpu_ms)

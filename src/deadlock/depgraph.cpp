@@ -7,8 +7,20 @@
 
 namespace genoc {
 
+namespace {
+
+/// Stamps the vertex-naming references of a result graph: the topology
+/// always, the grid view when the topology is one (Port-tuple consumers —
+/// constraints, witness replay, flows — stay grid-only).
+void bind_topology(PortDepGraph& result, const Topology& topo) {
+  result.topo = &topo;
+  result.mesh = dynamic_cast<const Mesh2D*>(&topo);
+}
+
+}  // namespace
+
 std::string PortDepGraph::to_dot(const std::string& name) const {
-  GENOC_REQUIRE(mesh != nullptr, "uninitialized dependency graph");
+  GENOC_REQUIRE(topo != nullptr, "uninitialized dependency graph");
   DotOptions options;
   options.graph_name = name;
   return genoc::to_dot(
@@ -17,21 +29,27 @@ std::string PortDepGraph::to_dot(const std::string& name) const {
 }
 
 PortDepGraph build_dep_graph(const RoutingFunction& routing) {
-  const Mesh2D& mesh = routing.mesh();
+  const Topology& topo = routing.topology();
   PortDepGraph result;
-  result.mesh = &mesh;
-  result.graph = Digraph(mesh.port_count());
-  for (const Port& p : mesh.ports()) {
-    for (const Port& d : mesh.destinations()) {
-      if (!routing.reachable(p, d)) {
+  bind_topology(result, topo);
+  result.graph = Digraph(topo.port_count());
+  std::vector<PortId> hop_ids;
+  std::vector<Port> scratch;
+  for (PortId p = 0; p < topo.port_count(); ++p) {
+    for (std::size_t di = 0; di < topo.destination_count(); ++di) {
+      // reachable_id dispatches through the virtual reachable() on grids,
+      // so closed-form (and deliberately broken) overrides stay
+      // authoritative — this is what makes the generic build the oracle.
+      if (!routing.reachable_id(p, di)) {
         continue;
       }
-      for (const Port& q : routing.next_hops(p, d)) {
-        // Existence of every hop for reachable inputs is a (C-1) concern;
-        // the generic graph only ranges over real ports.
-        if (mesh.exists(q)) {
-          result.graph.add_edge(mesh.id(p), mesh.id(q));
-        }
+      hop_ids.clear();
+      // Existence of every hop for reachable inputs is a (C-1) concern;
+      // the generic graph only ranges over real ports (the id layer
+      // filters non-existent hops).
+      routing.next_hop_ids_into(p, di, hop_ids, scratch);
+      for (const PortId q : hop_ids) {
+        result.graph.add_edge(p, q);
       }
     }
   }
@@ -40,18 +58,18 @@ PortDepGraph build_dep_graph(const RoutingFunction& routing) {
 }
 
 PortDepGraph build_dep_graph_fast(const RoutingFunction& routing) {
-  const Mesh2D& mesh = routing.mesh();
+  const Topology& topo = routing.topology();
   RouteSweeper sweeper(routing);
   std::vector<RouteSweeper::Edge> edges;
   // The sweeper suppresses repeat emissions, so the buffer stays near the
   // final edge count; ~3 edges per port covers every routing here.
-  edges.reserve(mesh.port_count() * 3);
-  for (std::size_t dest = 0; dest < mesh.node_count(); ++dest) {
+  edges.reserve(topo.port_count() * 3);
+  for (std::size_t dest = 0; dest < topo.destination_count(); ++dest) {
     sweeper.sweep(dest, &edges, nullptr);
   }
   PortDepGraph result;
-  result.mesh = &mesh;
-  result.graph = Digraph(mesh.port_count());
+  bind_topology(result, topo);
+  result.graph = Digraph(topo.port_count());
   result.graph.reserve_edges(edges.size());
   for (const auto& [from, to] : edges) {
     result.graph.add_edge(from, to);
@@ -62,8 +80,8 @@ PortDepGraph build_dep_graph_fast(const RoutingFunction& routing) {
 
 PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
                                       ThreadPool& pool) {
-  const Mesh2D& mesh = routing.mesh();
-  const std::size_t dest_count = mesh.node_count();
+  const Topology& topo = routing.topology();
+  const std::size_t dest_count = topo.destination_count();
   const std::size_t grain = pool.recommended_grain(dest_count);
   const std::size_t shard_total = (dest_count + grain - 1) / grain;
   std::vector<std::vector<RouteSweeper::Edge>> shards(shard_total);
@@ -75,15 +93,15 @@ PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
         // local, so shards may re-emit edges another shard saw — merge
         // order and duplicates are both erased by finalize().
         RouteSweeper sweeper(routing);
-        local.reserve(mesh.port_count() / 2);
+        local.reserve(topo.port_count() / 2);
         for (std::size_t dest = begin; dest < end; ++dest) {
           sweeper.sweep(dest, &local, nullptr);
         }
       });
 
   PortDepGraph result;
-  result.mesh = &mesh;
-  result.graph = Digraph(mesh.port_count());
+  bind_topology(result, topo);
+  result.graph = Digraph(topo.port_count());
   std::size_t total = 0;
   for (const auto& shard : shards) {
     total += shard.size();
@@ -132,7 +150,7 @@ std::vector<Port> next_outs_xy(const Mesh2D& mesh, const Port& p) {
 
 PortDepGraph build_exy_dep(const Mesh2D& mesh) {
   PortDepGraph result;
-  result.mesh = &mesh;
+  bind_topology(result, mesh);
   result.graph = Digraph(mesh.port_count());
   for (const Port& p : mesh.ports()) {
     if (p.dir == Direction::kIn) {

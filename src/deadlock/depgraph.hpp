@@ -30,16 +30,21 @@ namespace genoc {
 
 class ThreadPool;
 
-/// A dependency graph whose vertex v is the port mesh.port(v).
+/// A dependency graph whose vertex v is the port topo->port_label(v) names.
 struct PortDepGraph {
+  const Topology* topo = nullptr;
+  /// The topology as a grid, for the Port-tuple consumers (constraints,
+  /// witness replay, flows); nullptr for non-grid families.
   const Mesh2D* mesh = nullptr;
   Digraph graph;
 
-  /// Port of vertex \p v.
+  /// Port tuple of vertex \p v. Grid graphs only.
   const Port& port_of(std::size_t v) const { return mesh->port(static_cast<PortId>(v)); }
 
-  /// Human-readable vertex label ("<x,y,P,D>").
-  std::string label(std::size_t v) const { return to_string(port_of(v)); }
+  /// Human-readable vertex label ("<x,y,P,D>" on grids).
+  std::string label(std::size_t v) const {
+    return topo->port_label(static_cast<PortId>(v));
+  }
 
   /// Graphviz rendering (reproduces the paper's Fig. 3 for a 2x2 mesh).
   std::string to_dot(const std::string& name) const;

@@ -47,7 +47,8 @@ struct EscapeShard {
   std::vector<std::uint32_t> stamp;
   std::uint32_t epoch = 0;
   std::vector<PortId> frontier;
-  std::vector<Port> hops;
+  std::vector<Port> hops;      // grid Port-tuple scratch
+  std::vector<PortId> hop_ids;  // next_hop_ids_into sink
   // Escape-graph edges repeat across destinations (the lane is the same
   // deterministic function every time); the sweep engines' shared filter
   // keeps each shard's edge buffer near the final edge count. Shards may
@@ -66,15 +67,15 @@ struct EscapeShard {
   std::string missing_witness;
 };
 
-/// Explores every escape-lane state for destination \p d (index
-/// \p dest_index): availability of the escape entries from the
-/// adaptive-reachable in-ports, then the lane's own closure and dependency
-/// edges. Identical to one iteration of the original sequential loop.
+/// Explores every escape-lane state for destination \p dest_index:
+/// availability of the escape entries from the adaptive-reachable in-ports,
+/// then the lane's own closure and dependency edges. Identical to one
+/// iteration of the original sequential loop.
 void sweep_escape_destination(const RoutingFunction& adaptive,
-                              const RoutingFunction& escape, const Mesh2D& mesh,
-                              const std::vector<Port>& in_ports,
-                              std::size_t dest_index, const Port& d,
-                              EscapeShard& shard) {
+                              const RoutingFunction& escape,
+                              const Topology& topo,
+                              const std::vector<PortId>& in_ports,
+                              std::size_t dest_index, EscapeShard& shard) {
   ++shard.epoch;
   shard.frontier.clear();
   const std::uint32_t epoch = shard.epoch;
@@ -92,27 +93,26 @@ void sweep_escape_destination(const RoutingFunction& adaptive,
   // only the dependencies among escape-lane ports themselves, which is
   // what Duato's condition constrains. The entry hops seed the closure.
   for (std::size_t pi = 0; pi < in_ports.size(); ++pi) {
-    const Port& p = in_ports[pi];
-    if (!adaptive.reachable(p, d)) {
+    const PortId p = in_ports[pi];
+    if (!adaptive.reachable_id(p, dest_index)) {
       continue;
     }
     ++shard.states_checked;
-    shard.hops.clear();
-    escape.append_next_hops(p, d, shard.hops);
-    bool available = false;
-    for (const Port& hop : shard.hops) {
-      const std::int32_t hid = mesh.try_id(hop);
-      if (hid >= 0) {
-        available = true;
-        seed(static_cast<PortId>(hid));
-      }
+    shard.hop_ids.clear();
+    // The id layer filters non-existent hops, so every returned id is an
+    // available escape entry.
+    escape.next_hop_ids_into(p, dest_index, shard.hop_ids, shard.hops);
+    for (const PortId hid : shard.hop_ids) {
+      seed(hid);
     }
-    if (!available) {
+    if (shard.hop_ids.empty()) {
       ++shard.missing_states;
       if (shard.missing_witness.empty()) {
         shard.missing_dest = dest_index;
         shard.missing_port = pi;
-        shard.missing_witness = to_string(p) + " / " + to_string(d);
+        shard.missing_witness =
+            topo.port_label(p) + " / " +
+            topo.port_label(topo.destination_id(dest_index));
       }
     }
   }
@@ -122,21 +122,19 @@ void sweep_escape_destination(const RoutingFunction& adaptive,
   // dependency edges.
   for (std::size_t head = 0; head < shard.frontier.size(); ++head) {
     const PortId pid = shard.frontier[head];
-    const Port& p = mesh.port(pid);
-    if (p.name == PortName::kLocal && p.dir == Direction::kOut) {
+    if (topo.dir_of(pid) == Direction::kOut &&
+        ((topo.terminal_name_mask() >> topo.name_of(pid)) & 1) != 0) {
       continue;  // consumed
     }
-    shard.hops.clear();
-    escape.append_next_hops(p, d, shard.hops);
-    for (const Port& hop : shard.hops) {
-      const std::int32_t hid = mesh.try_id(hop);
-      if (hid < 0) {
-        continue;  // malformed mid-lane hop: surfaces as missing edge
+    shard.hop_ids.clear();
+    // Malformed mid-lane hops (non-existent ports) are filtered by the id
+    // layer and surface as missing edges.
+    escape.next_hop_ids_into(pid, dest_index, shard.hop_ids, shard.hops);
+    for (const PortId hid : shard.hop_ids) {
+      if (shard.emitted.fresh(pid, hid)) {
+        shard.edges.emplace_back(pid, hid);
       }
-      if (shard.emitted.fresh(pid, static_cast<PortId>(hid))) {
-        shard.edges.emplace_back(pid, static_cast<PortId>(hid));
-      }
-      seed(static_cast<PortId>(hid));
+      seed(hid);
     }
   }
 }
@@ -146,49 +144,50 @@ void sweep_escape_destination(const RoutingFunction& adaptive,
 EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
                               const RoutingFunction& escape,
                               ThreadPool* pool) {
-  GENOC_REQUIRE(&adaptive.mesh() == &escape.mesh(),
-                "adaptive and escape functions must share a mesh");
+  GENOC_REQUIRE(&adaptive.topology() == &escape.topology(),
+                "adaptive and escape functions must share a topology");
   GENOC_REQUIRE(escape.is_deterministic(),
                 "the escape function must be deterministic");
-  const Mesh2D& mesh = adaptive.mesh();
-  const std::size_t port_count = mesh.port_count();
+  const Topology& topo = adaptive.topology();
+  const std::size_t port_count = topo.port_count();
 
   EscapeAnalysis result;
-  result.escape_graph.mesh = &mesh;
+  result.escape_graph.topo = &topo;
+  result.escape_graph.mesh = dynamic_cast<const Mesh2D*>(&topo);
   result.escape_graph.graph = Digraph(port_count);
 
   // The adaptive-lane in-ports (the escape entry states), shared read-only
   // by every shard.
-  std::vector<Port> in_ports;
-  for (const Port& p : mesh.ports()) {
-    if (p.dir == Direction::kIn) {
-      in_ports.push_back(p);
+  std::vector<PortId> in_ports;
+  for (PortId pid = 0; pid < port_count; ++pid) {
+    if (topo.dir_of(pid) == Direction::kIn) {
+      in_ports.push_back(pid);
     }
   }
   adaptive.prime();  // all reachable() queries below hit the bitset closure
 
-  const std::vector<Port> dests = mesh.destinations();
+  const std::size_t dest_count = topo.destination_count();
   std::vector<EscapeShard> shards;
   if (pool == nullptr) {
     // Sequential: one shard sweeps every destination in order.
     shards.emplace_back(port_count);
-    for (std::size_t dest = 0; dest < dests.size(); ++dest) {
-      sweep_escape_destination(adaptive, escape, mesh, in_ports, dest,
-                               dests[dest], shards.front());
+    for (std::size_t dest = 0; dest < dest_count; ++dest) {
+      sweep_escape_destination(adaptive, escape, topo, in_ports, dest,
+                               shards.front());
     }
   } else {
-    const std::size_t grain = pool->recommended_grain(dests.size());
-    const std::size_t shard_total = (dests.size() + grain - 1) / grain;
+    const std::size_t grain = pool->recommended_grain(dest_count);
+    const std::size_t shard_total = (dest_count + grain - 1) / grain;
     shards.reserve(shard_total);
     for (std::size_t i = 0; i < shard_total; ++i) {
       shards.emplace_back(port_count);
     }
     pool->parallel_for(
-        dests.size(), grain, [&](std::size_t begin, std::size_t end) {
+        dest_count, grain, [&](std::size_t begin, std::size_t end) {
           EscapeShard& shard = shards[begin / grain];
           for (std::size_t dest = begin; dest < end; ++dest) {
-            sweep_escape_destination(adaptive, escape, mesh, in_ports, dest,
-                                     dests[dest], shard);
+            sweep_escape_destination(adaptive, escape, topo, in_ports, dest,
+                                     shard);
           }
         });
   }

@@ -1,5 +1,7 @@
 #include "instance/network_instance.hpp"
 
+#include "routing/cmesh_dor.hpp"
+#include "routing/dragonfly_min.hpp"
 #include "routing/fully_adaptive.hpp"
 #include "routing/negative_first.hpp"
 #include "routing/north_last.hpp"
@@ -16,8 +18,48 @@
 
 namespace genoc {
 
+namespace {
+
+/// Downcast helper for the factory: each routing function routes exactly
+/// one topology family, so a mismatched spec is a contract violation.
+template <typename T>
+const T& family_cast(const Topology& topology, const std::string& name) {
+  const T* cast = dynamic_cast<const T*>(&topology);
+  GENOC_REQUIRE(cast != nullptr, "routing '" + name +
+                                     "' cannot route a " + topology.family() +
+                                     " topology");
+  return *cast;
+}
+
+}  // namespace
+
+std::unique_ptr<Topology> make_topology(const InstanceSpec& spec) {
+  if (spec.topology == "cmesh") {
+    return std::make_unique<CMeshTopology>(spec.width, spec.height,
+                                           spec.concentration);
+  }
+  if (spec.topology == "dragonfly") {
+    return std::make_unique<DragonflyTopology>(
+        spec.df_routers, spec.df_globals, spec.df_terminals,
+        spec.df_groups_resolved());
+  }
+  GENOC_REQUIRE(spec.is_grid(),
+                "unknown topology family '" + spec.topology + "'");
+  return std::make_unique<Mesh2D>(spec.width, spec.height, spec.wrap_x(),
+                                  spec.wrap_y());
+}
+
 std::unique_ptr<RoutingFunction> make_routing(const std::string& name,
-                                              const Mesh2D& mesh) {
+                                              const Topology& topology) {
+  if (name == "cmesh_dor") {
+    return std::make_unique<CMeshDORRouting>(
+        family_cast<CMeshTopology>(topology, name));
+  }
+  if (name == "dragonfly_min") {
+    return std::make_unique<DragonflyMinRouting>(
+        family_cast<DragonflyTopology>(topology, name));
+  }
+  const Mesh2D& mesh = family_cast<Mesh2D>(topology, name);
   if (name == "xy") {
     return std::make_unique<XYRouting>(mesh);
   }
@@ -61,13 +103,20 @@ NetworkInstance::NetworkInstance(const InstanceSpec& spec) : spec_(spec) {
   const std::string invalid = validate_spec(spec_);
   GENOC_REQUIRE(invalid.empty(), "invalid instance spec: " + invalid);
   display_name_ = spec_.name.empty() ? to_spec_string(spec_) : spec_.name;
-  mesh_ = std::make_unique<Mesh2D>(spec_.width, spec_.height, spec_.wrap_x(),
-                                   spec_.wrap_y());
-  routing_ = make_routing(spec_.routing, *mesh_);
+  topo_ = make_topology(spec_);
+  routing_ = make_routing(spec_.routing, *topo_);
   if (!spec_.escape.empty()) {
-    escape_ = make_routing(spec_.escape, *mesh_);
+    escape_ = make_routing(spec_.escape, *topo_);
   }
   switching_ = make_switching(spec_.switching);
+}
+
+const Mesh2D& NetworkInstance::mesh() const {
+  const Mesh2D* grid = dynamic_cast<const Mesh2D*>(topo_.get());
+  GENOC_REQUIRE(grid != nullptr, "instance '" + display_name_ +
+                                     "' is a " + topo_->family() +
+                                     ", not a grid");
+  return *grid;
 }
 
 std::vector<TrafficPair> NetworkInstance::make_traffic() const {
@@ -75,7 +124,7 @@ std::vector<TrafficPair> NetworkInstance::make_traffic() const {
   GENOC_REQUIRE(pattern.has_value(),
                 "invalid pattern survived validation: " + spec_.pattern);
   Rng rng(spec_.seed);
-  return generate_traffic(*pattern, *mesh_, spec_.messages, rng);
+  return generate_traffic(*pattern, mesh(), spec_.messages, rng);
 }
 
 PortDepGraph NetworkInstance::dependency_graph(ThreadPool* runner) const {
@@ -94,7 +143,7 @@ SimulationReport NetworkInstance::simulate(
   SimulationOptions opts = options;
   opts.flit_count = spec_.flits;
   Rng rng(spec_.seed);
-  return simulate_routing(*mesh_, *routing_, pairs, spec_.buffers, rng, opts,
+  return simulate_routing(mesh(), *routing_, pairs, spec_.buffers, rng, opts,
                           switching_.get());
 }
 

@@ -28,10 +28,17 @@ namespace genoc {
 
 class ThreadPool;
 
+/// Topology factory over the registered families of known_topologies():
+/// grids map to Mesh2D with the spec's wrap flags, cmesh/dragonfly to their
+/// own classes. Throws ContractViolation on invalid specs.
+std::unique_ptr<Topology> make_topology(const InstanceSpec& spec);
+
 /// Routing-function factory over the canonical names of known_routings().
-/// Throws ContractViolation on unknown names — validate specs first.
+/// Each function REQUIRE-downcasts \p topology to the family it routes
+/// (the eight grid functions need a Mesh2D, cmesh_dor a CMeshTopology,
+/// dragonfly_min a DragonflyTopology) — validate specs first.
 std::unique_ptr<RoutingFunction> make_routing(const std::string& name,
-                                              const Mesh2D& mesh);
+                                              const Topology& topology);
 
 /// Switching-policy factory over known_switchings().
 std::unique_ptr<SwitchingPolicy> make_switching(const std::string& name);
@@ -48,13 +55,18 @@ class NetworkInstance {
   const InstanceSpec& spec() const { return spec_; }
   /// spec().name for presets; the canonical spec string for ad-hoc specs.
   const std::string& name() const { return display_name_; }
-  const Mesh2D& mesh() const { return *mesh_; }
+  /// The port graph, whatever its family.
+  const Topology& topology() const { return *topo_; }
+  /// The grid view; REQUIREs spec().is_grid(). The Port-tuple consumers
+  /// (simulator, escape lanes, constraints) go through this accessor.
+  const Mesh2D& mesh() const;
   const RoutingFunction& routing() const { return *routing_; }
   /// The escape-lane routing, or nullptr when the spec has none.
   const RoutingFunction* escape() const { return escape_.get(); }
   const SwitchingPolicy& switching() const { return *switching_; }
 
   /// The spec's workload (pattern/messages/seed), deterministically.
+  /// Grid-only: the traffic patterns address the Port-tuple grid.
   std::vector<TrafficPair> make_traffic() const;
 
   /// The port dependency graph of the instance's routing function, built
@@ -81,7 +93,7 @@ class NetworkInstance {
  private:
   InstanceSpec spec_;
   std::string display_name_;
-  std::unique_ptr<Mesh2D> mesh_;
+  std::unique_ptr<Topology> topo_;
   std::unique_ptr<RoutingFunction> routing_;
   std::unique_ptr<RoutingFunction> escape_;
   std::unique_ptr<SwitchingPolicy> switching_;

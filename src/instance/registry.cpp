@@ -71,6 +71,20 @@ InstanceRegistry::InstanceRegistry() {
              "XY on a 128x128 mesh (the largest sweep preset)",
              "topology=mesh size=128x128 routing=xy pattern=uniform "
              "messages=512"),
+      preset("cmesh4-dor",
+             "concentrated 4x4 mesh, 4 cores per router, DOR",
+             "topology=cmesh size=4x4 concentration=4 routing=cmesh_dor"),
+      preset("cmesh8-dor",
+             "concentrated 8x8 mesh, 4 cores per router, DOR",
+             "topology=cmesh size=8x8 concentration=4 routing=cmesh_dor"),
+      preset("cmesh8-c2",
+             "concentrated 8x8 mesh, 2 cores per router, DOR",
+             "topology=cmesh size=8x8 concentration=2 routing=cmesh_dor"),
+      preset("dragonfly9-min",
+             "9-group dragonfly, minimal routing, no VCs: the flagship "
+             "negative fixture (Theorem 1 finds the l-g-l cycle)",
+             "topology=dragonfly routers=4 globals=2 terminals=2 groups=9 "
+             "routing=dragonfly_min expect=deadlock"),
   };
   // The heavy jail is retired: with every verify stage sharded over the
   // pool (dep-graph build, SCC trim rounds, escape sweep), even mesh128-xy

@@ -5,6 +5,7 @@
 #include <charconv>
 #include <sstream>
 
+#include "topology/topology.hpp"
 #include "workload/traffic.hpp"
 
 namespace genoc {
@@ -65,17 +66,36 @@ bool parse_size(const std::string& value, InstanceSpec* spec,
   return true;
 }
 
+/// The registered topology family names, comma-joined for error messages.
+std::string family_name_list() {
+  std::string joined;
+  for (const TopologyFamilyInfo& family : topology_families()) {
+    if (!joined.empty()) {
+      joined += ", ";
+    }
+    joined += family.name;
+  }
+  return joined;
+}
+
 }  // namespace
 
 const std::vector<std::string>& known_topologies() {
-  static const std::vector<std::string> values = {"mesh", "torus", "ring"};
+  static const std::vector<std::string> values = [] {
+    std::vector<std::string> names;
+    for (const TopologyFamilyInfo& family : topology_families()) {
+      names.push_back(family.name);
+    }
+    return names;
+  }();
   return values;
 }
 
 const std::vector<std::string>& known_routings() {
   static const std::vector<std::string> values = {
       "xy",         "yx",             "torus_xy", "west_first",
-      "north_last", "negative_first", "odd_even", "fully_adaptive"};
+      "north_last", "negative_first", "odd_even", "fully_adaptive",
+      "cmesh_dor",  "dragonfly_min"};
   return values;
 }
 
@@ -112,7 +132,8 @@ std::optional<InstanceSpec> parse_instance_spec(const std::string& text,
     if (key == "topology") {
       spec.topology = normalize(raw);
       if (!contains(known_topologies(), spec.topology)) {
-        *err = "unknown topology '" + raw + "' (try: mesh, torus, ring)";
+        *err = "unknown topology '" + raw +
+               "' (registered families: " + family_name_list() + ")";
         return std::nullopt;
       }
     } else if (key == "size") {
@@ -151,6 +172,41 @@ std::optional<InstanceSpec> parse_instance_spec(const std::string& text,
         return std::nullopt;
       }
       spec.buffers = static_cast<std::uint32_t>(number);
+    } else if (key == "concentration") {
+      if (!parse_uint(key, raw, 1, 8, &number, err)) {
+        return std::nullopt;
+      }
+      spec.concentration = static_cast<std::uint32_t>(number);
+    } else if (key == "routers") {
+      if (!parse_uint(key, raw, 2, 16, &number, err)) {
+        return std::nullopt;
+      }
+      spec.df_routers = static_cast<std::uint32_t>(number);
+    } else if (key == "globals") {
+      if (!parse_uint(key, raw, 1, 8, &number, err)) {
+        return std::nullopt;
+      }
+      spec.df_globals = static_cast<std::uint32_t>(number);
+    } else if (key == "terminals") {
+      if (!parse_uint(key, raw, 1, 8, &number, err)) {
+        return std::nullopt;
+      }
+      spec.df_terminals = static_cast<std::uint32_t>(number);
+    } else if (key == "groups") {
+      if (!parse_uint(key, raw, 2, 129, &number, err)) {
+        return std::nullopt;
+      }
+      spec.df_groups = static_cast<std::uint32_t>(number);
+    } else if (key == "expect") {
+      const std::string value = normalize(raw);
+      if (value == "free" || value == "deadlock_free") {
+        spec.expect_deadlock_free = true;
+      } else if (value == "deadlock" || value == "cycle") {
+        spec.expect_deadlock_free = false;
+      } else {
+        *err = "bad value for expect: '" + raw + "' (try: free, deadlock)";
+        return std::nullopt;
+      }
     } else if (key == "escape") {
       const std::string value = normalize(raw);
       spec.escape = value == "none" ? "" : value;
@@ -182,8 +238,9 @@ std::optional<InstanceSpec> parse_instance_spec(const std::string& text,
       spec.seed = number;
     } else {
       *err = "unknown key '" + key +
-             "' (known: topology size width height routing switching "
-             "buffers escape pattern messages flits seed)";
+             "' (known: topology size width height concentration routers "
+             "globals terminals groups routing switching buffers escape "
+             "expect pattern messages flits seed)";
       return std::nullopt;
     }
   }
@@ -201,11 +258,26 @@ std::optional<InstanceSpec> parse_instance_spec(const std::string& text,
 
 std::string to_spec_string(const InstanceSpec& spec) {
   std::ostringstream os;
-  os << "topology=" << spec.topology << " size=" << spec.width << "x"
-     << spec.height << " routing=" << spec.routing
-     << " switching=" << spec.switching << " buffers=" << spec.buffers;
+  os << "topology=" << spec.topology;
+  if (spec.topology == "dragonfly") {
+    os << " routers=" << spec.df_routers << " globals=" << spec.df_globals
+       << " terminals=" << spec.df_terminals;
+    if (spec.df_groups != 0) {
+      os << " groups=" << spec.df_groups;
+    }
+  } else {
+    os << " size=" << spec.width << "x" << spec.height;
+    if (spec.topology == "cmesh") {
+      os << " concentration=" << spec.concentration;
+    }
+  }
+  os << " routing=" << spec.routing << " switching=" << spec.switching
+     << " buffers=" << spec.buffers;
   if (!spec.escape.empty()) {
     os << " escape=" << spec.escape;
+  }
+  if (!spec.expect_deadlock_free) {
+    os << " expect=deadlock";
   }
   os << " pattern=" << spec.pattern << " messages=" << spec.messages
      << " flits=" << spec.flits << " seed=" << spec.seed;
@@ -214,14 +286,17 @@ std::string to_spec_string(const InstanceSpec& spec) {
 
 std::string validate_spec(const InstanceSpec& spec) {
   if (!contains(known_topologies(), spec.topology)) {
-    return "unknown topology '" + spec.topology + "'";
+    return "unknown topology '" + spec.topology +
+           "' (registered families: " + family_name_list() + ")";
   }
-  if (spec.width < 1 || spec.width > 512 || spec.height < 1 ||
-      spec.height > 512) {
-    return "dimensions must be within 1..512";
-  }
-  if (static_cast<std::int64_t>(spec.width) * spec.height < 2) {
-    return "a 1x1 network has no interconnect to verify";
+  if (spec.topology != "dragonfly") {
+    if (spec.width < 1 || spec.width > 512 || spec.height < 1 ||
+        spec.height > 512) {
+      return "dimensions must be within 1..512";
+    }
+    if (static_cast<std::int64_t>(spec.width) * spec.height < 2) {
+      return "a 1x1 network has no interconnect to verify";
+    }
   }
   if (spec.wrap_x() && spec.width < 2) {
     return "wrapping x requires width >= 2";
@@ -234,6 +309,45 @@ std::string validate_spec(const InstanceSpec& spec) {
   }
   if (spec.routing == "torus_xy" && !spec.wrap_x() && !spec.wrap_y()) {
     return "routing torus_xy requires a wrapped topology (torus or ring)";
+  }
+  // Each non-grid family pairs with its own routing function, and the grid
+  // functions speak the Port tuple only a grid provides.
+  if (spec.topology == "cmesh" && spec.routing != "cmesh_dor") {
+    return "topology cmesh requires routing cmesh_dor";
+  }
+  if (spec.topology == "dragonfly" && spec.routing != "dragonfly_min") {
+    return "topology dragonfly requires routing dragonfly_min";
+  }
+  if (spec.routing == "cmesh_dor" && spec.topology != "cmesh") {
+    return "routing cmesh_dor requires topology cmesh";
+  }
+  if (spec.routing == "dragonfly_min" && spec.topology != "dragonfly") {
+    return "routing dragonfly_min requires topology dragonfly";
+  }
+  if (spec.topology == "cmesh" &&
+      (spec.concentration < 1 || spec.concentration > 8)) {
+    return "concentration must be within 1..8";
+  }
+  if (spec.topology == "dragonfly") {
+    if (spec.df_routers < 2 || spec.df_routers > 16) {
+      return "routers must be within 2..16";
+    }
+    if (spec.df_globals < 1 || spec.df_globals > 8) {
+      return "globals must be within 1..8";
+    }
+    if (spec.df_terminals < 1 || spec.df_terminals > 8) {
+      return "terminals must be within 1..8";
+    }
+    const std::uint32_t max_groups = spec.df_routers * spec.df_globals + 1;
+    if (spec.df_groups_resolved() < 2 ||
+        spec.df_groups_resolved() > max_groups) {
+      return "groups must be within 2.." + std::to_string(max_groups) +
+             " (routers*globals+1)";
+    }
+  }
+  if (!spec.escape.empty() && !spec.is_grid()) {
+    return "escape lanes are grid-only (the Duato analysis runs over the "
+           "Port tuple)";
   }
   if (!spec.escape.empty() && spec.escape != "xy" && spec.escape != "yx") {
     return "escape must be a deterministic deadlock-free routing (xy or yx)";

@@ -25,7 +25,7 @@ struct InstanceSpec {
   std::string summary;  ///< one-line description (presets only)
 
   // ---- network -----------------------------------------------------------
-  std::string topology = "mesh";  ///< mesh | torus | ring (wrap-x only)
+  std::string topology = "mesh";  ///< see known_topologies()
   std::int32_t width = 4;
   std::int32_t height = 4;
   std::string routing = "xy";  ///< see known_routings()
@@ -36,15 +36,42 @@ struct InstanceSpec {
   /// adaptive); empty = no escape lane.
   std::string escape;
 
+  // ---- family parameters (non-grid topologies) ---------------------------
+  std::uint32_t concentration = 2;  ///< cmesh: terminals per router
+  std::uint32_t df_routers = 4;     ///< dragonfly: routers per group (a)
+  std::uint32_t df_globals = 2;     ///< dragonfly: globals per router (h)
+  std::uint32_t df_terminals = 2;   ///< dragonfly: terminals per router (p)
+  std::uint32_t df_groups = 0;      ///< dragonfly: groups (0 = a*h + 1)
+
+  /// The verdict this instance is REGISTERED to produce. Deadlock-free for
+  /// every positive fixture; negative fixtures (dragonfly-minimal without
+  /// VCs) set `expect=deadlock` and `verify --all` passes when the computed
+  /// verdict matches the expectation.
+  bool expect_deadlock_free = true;
+
+  /// groups with the canonical a*h + 1 default applied.
+  std::uint32_t df_groups_resolved() const {
+    return df_groups != 0 ? df_groups : df_routers * df_globals + 1;
+  }
+
+  /// True for the 2D-grid families (mesh/torus/ring) the Port-tuple API,
+  /// the escape lanes and the simulator are defined over.
+  bool is_grid() const {
+    return topology == "mesh" || topology == "torus" || topology == "ring";
+  }
+
   // ---- workload (genoc sim / the simulated verification rows) ------------
   std::string pattern = "uniform-random";  ///< see parse_traffic_pattern()
   std::uint32_t messages = 64;  ///< count for the randomized patterns
   std::uint32_t flits = 4;
   std::uint64_t seed = 2010;
 
-  /// Nodes of the spec'd mesh — the size tests/examples bound sweep
+  /// Routers of the spec'd network — the size tests/examples bound sweep
   /// populations by (e.g. "everything up to 64x64").
   std::size_t node_count() const {
+    if (topology == "dragonfly") {
+      return static_cast<std::size_t>(df_groups_resolved()) * df_routers;
+    }
     return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
   }
 

@@ -1,0 +1,57 @@
+#include "routing/cmesh_dor.hpp"
+
+namespace genoc {
+
+namespace {
+
+constexpr std::size_t kEast = 0;
+constexpr std::size_t kWest = 1;
+constexpr std::size_t kNorth = 2;
+constexpr std::size_t kSouth = 3;
+
+}  // namespace
+
+std::size_t CMeshDORRouting::route_name(std::size_t node, PortId dest) const {
+  const CMeshTopology& t = *cmesh_;
+  const std::size_t dnode = t.node_of(dest);
+  if (node == dnode) {
+    return t.name_of(dest);  // eject at the destination terminal
+  }
+  const std::size_t x = t.router_x(node);
+  const std::size_t dx = t.router_x(dnode);
+  if (x < dx) {
+    return kEast;
+  }
+  if (x > dx) {
+    return kWest;
+  }
+  // North decreases y, same convention as the grid.
+  return t.router_y(node) > t.router_y(dnode) ? kNorth : kSouth;
+}
+
+std::uint64_t CMeshDORRouting::out_mask_id(std::size_t node,
+                                           std::size_t dest_index) const {
+  return std::uint64_t{1}
+         << route_name(node, topology().destination_id(dest_index));
+}
+
+void CMeshDORRouting::append_next_hop_ids(PortId current,
+                                          std::size_t dest_index,
+                                          std::vector<PortId>& out) const {
+  const CMeshTopology& t = *cmesh_;
+  const PortId dest = t.destination_id(dest_index);
+  if (t.dir_of(current) == Direction::kOut) {
+    if (current != dest) {
+      const PortId target = t.link_target(current);
+      if (target != kInvalidPort) {
+        out.push_back(target);  // forward along the link
+      }
+    }
+    return;  // arrived, or a terminal out-port draining into its core
+  }
+  out.push_back(
+      t.slot_id(t.node_of(current), route_name(t.node_of(current), dest),
+                Direction::kOut));
+}
+
+}  // namespace genoc

@@ -1,0 +1,42 @@
+/// \file cmesh_dor.hpp
+/// \brief Dimension-ordered routing on the concentrated mesh.
+///
+/// The XY discipline lifted to cmesh: route X first, then Y, then eject at
+/// the destination terminal. Node-uniform and deterministic; because the
+/// dimension order forbids Y->X turns exactly like grid XY, the dependency
+/// graph stays acyclic — the terminals only contribute source/sink edges —
+/// and Theorem 1 applies directly. The first id-native RoutingFunction:
+/// it speaks PortIds and dest indices, never the grid Port tuple.
+#pragma once
+
+#include <string>
+
+#include "routing/routing.hpp"
+#include "topology/cmesh.hpp"
+
+namespace genoc {
+
+class CMeshDORRouting final : public RoutingFunction {
+ public:
+  explicit CMeshDORRouting(const CMeshTopology& topology)
+      : RoutingFunction(topology), cmesh_(&topology) {}
+
+  std::string name() const override { return "CMesh-DOR"; }
+  bool is_deterministic() const override { return true; }
+  bool id_native() const override { return true; }
+  bool node_uniform() const override { return true; }
+
+  std::uint64_t out_mask_id(std::size_t node,
+                            std::size_t dest_index) const override;
+  void append_next_hop_ids(PortId current, std::size_t dest_index,
+                           std::vector<PortId>& out) const override;
+
+ private:
+  /// The single out-port name chosen at \p node toward destination port
+  /// \p dest (X first, then Y, then the terminal).
+  std::size_t route_name(std::size_t node, PortId dest) const;
+
+  const CMeshTopology* cmesh_;
+};
+
+}  // namespace genoc

@@ -1,0 +1,49 @@
+#include "routing/dragonfly_min.hpp"
+
+namespace genoc {
+
+std::size_t DragonflyMinRouting::route_name(std::size_t node,
+                                            PortId dest) const {
+  const DragonflyTopology& t = *fly_;
+  const std::size_t dnode = t.node_of(dest);
+  if (node == dnode) {
+    return t.name_of(dest);  // eject at the destination terminal
+  }
+  const std::size_t group = t.group_of(node);
+  const std::size_t rr = t.router_of(node);
+  const std::size_t dgroup = t.group_of(dnode);
+  if (group == dgroup) {
+    return t.local_name(rr, t.router_of(dnode));
+  }
+  const std::size_t channel = t.channel_to(group, dgroup);
+  const std::size_t owner = t.channel_owner(channel);
+  if (rr == owner) {
+    return t.global_name(channel % t.global_ports());
+  }
+  return t.local_name(rr, owner);  // local hop to the channel's owner
+}
+
+std::uint64_t DragonflyMinRouting::out_mask_id(std::size_t node,
+                                               std::size_t dest_index) const {
+  return std::uint64_t{1}
+         << route_name(node, topology().destination_id(dest_index));
+}
+
+void DragonflyMinRouting::append_next_hop_ids(PortId current,
+                                              std::size_t dest_index,
+                                              std::vector<PortId>& out) const {
+  const DragonflyTopology& t = *fly_;
+  const PortId dest = t.destination_id(dest_index);
+  if (t.dir_of(current) == Direction::kOut) {
+    const PortId target = t.link_target(current);
+    if (target != kInvalidPort) {
+      out.push_back(target);  // forward along the (local or global) link
+    }
+    return;  // terminal out-ports drain into their core
+  }
+  out.push_back(
+      t.slot_id(t.node_of(current), route_name(t.node_of(current), dest),
+                Direction::kOut));
+}
+
+}  // namespace genoc

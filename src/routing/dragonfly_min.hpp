@@ -1,0 +1,44 @@
+/// \file dragonfly_min.hpp
+/// \brief Minimal hierarchical routing on the Dragonfly.
+///
+/// The canonical minimal route: local hop to the router owning the global
+/// channel toward the destination group, one global hop, local hop to the
+/// destination router, eject (at most l-g-l, <= 4 hops). Deterministic and
+/// node-uniform — but NOT deadlock-free without virtual channels: the
+/// local->global->local dependency chains close cycles through the groups,
+/// so Theorem 1 yields a cycle witness. That witness is this library's
+/// flagship negative fixture (registry preset dragonfly9-min) and the
+/// motivation for the ROADMAP's VC/dateline follow-up.
+#pragma once
+
+#include <string>
+
+#include "routing/routing.hpp"
+#include "topology/dragonfly.hpp"
+
+namespace genoc {
+
+class DragonflyMinRouting final : public RoutingFunction {
+ public:
+  explicit DragonflyMinRouting(const DragonflyTopology& topology)
+      : RoutingFunction(topology), fly_(&topology) {}
+
+  std::string name() const override { return "Dragonfly-minimal"; }
+  bool is_deterministic() const override { return true; }
+  bool id_native() const override { return true; }
+  bool node_uniform() const override { return true; }
+
+  std::uint64_t out_mask_id(std::size_t node,
+                            std::size_t dest_index) const override;
+  void append_next_hop_ids(PortId current, std::size_t dest_index,
+                           std::vector<PortId>& out) const override;
+
+ private:
+  /// The single out-port name chosen at \p node toward destination port
+  /// \p dest (eject / intra-group local / global / local-to-owner).
+  std::size_t route_name(std::size_t node, PortId dest) const;
+
+  const DragonflyTopology* fly_;
+};
+
+}  // namespace genoc

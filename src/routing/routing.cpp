@@ -6,8 +6,45 @@
 namespace genoc {
 
 bool RoutingFunction::valid_endpoints(const Port& s, const Port& d) const {
-  return mesh_->exists(s) && d.name == PortName::kLocal &&
-         d.dir == Direction::kOut && mesh_->exists(d);
+  const Mesh2D& m = mesh();
+  return m.exists(s) && d.name == PortName::kLocal &&
+         d.dir == Direction::kOut && m.exists(d);
+}
+
+void RoutingFunction::append_next_hops(const Port& /*current*/,
+                                       const Port& /*dest*/,
+                                       std::vector<Port>& /*out*/) const {
+  GENOC_REQUIRE(false, "append_next_hops is the grid Port-tuple API; " +
+                           name() + " is id-native — use append_next_hop_ids");
+}
+
+void RoutingFunction::append_next_hop_ids(PortId /*current*/,
+                                          std::size_t /*dest_index*/,
+                                          std::vector<PortId>& /*out*/) const {
+  GENOC_REQUIRE(false, "append_next_hop_ids must be implemented by id-native "
+                       "routing functions (" + name() + ")");
+}
+
+void RoutingFunction::next_hop_ids_into(PortId current, std::size_t dest_index,
+                                        std::vector<PortId>& out,
+                                        std::vector<Port>& scratch) const {
+  if (id_native()) {
+    append_next_hop_ids(current, dest_index, out);
+    return;
+  }
+  const Mesh2D& m = mesh();
+  scratch.clear();
+  append_next_hops(m.port(current), m.port(topo_->destination_id(dest_index)),
+                   scratch);
+  for (const Port& hop : scratch) {
+    // A routing function may only produce existing ports for reachable
+    // inputs; a violation is a (C-1)-detectable bug the id layer neither
+    // records nor propagates through.
+    const std::int32_t qid = m.try_id(hop);
+    if (qid >= 0) {
+      out.push_back(static_cast<PortId>(qid));
+    }
+  }
 }
 
 std::uint8_t RoutingFunction::node_out_mask(std::int32_t /*x*/,
@@ -18,18 +55,40 @@ std::uint8_t RoutingFunction::node_out_mask(std::int32_t /*x*/,
   return 0;
 }
 
+std::uint64_t RoutingFunction::out_mask_id(std::size_t node,
+                                           std::size_t dest_index) const {
+  const Mesh2D& m = mesh();  // id-native functions must override
+  const auto width = static_cast<std::size_t>(m.width());
+  return node_out_mask(static_cast<std::int32_t>(node % width),
+                       static_cast<std::int32_t>(node / width),
+                       m.port(topo_->destination_id(dest_index)));
+}
+
+bool RoutingFunction::reachable_id(PortId s, std::size_t dest_index) const {
+  if (!id_native() && grid_ != nullptr) {
+    return reachable(grid_->port(s),
+                     grid_->port(topo_->destination_id(dest_index)));
+  }
+  return closure_reachable_id(s, dest_index);
+}
+
 bool RoutingFunction::closure_reachable(const Port& s, const Port& d) const {
   if (!valid_endpoints(s, d)) {
     return false;
   }
-  build_closure();
+  // One terminal per node, enumerated node-major: the dest index of a grid
+  // Local OUT port is its row-major node index.
   const auto dest_index = static_cast<std::size_t>(d.y) *
-                              static_cast<std::size_t>(mesh_->width()) +
+                              static_cast<std::size_t>(grid_->width()) +
                           static_cast<std::size_t>(d.x);
-  const PortId sid = mesh_->id(s);
-  const std::uint64_t word =
-      closure_[dest_index * closure_words_ + (sid >> 6)];
-  return ((word >> (sid & 63)) & 1u) != 0;
+  return closure_reachable_id(grid_->id(s), dest_index);
+}
+
+bool RoutingFunction::closure_reachable_id(PortId s,
+                                           std::size_t dest_index) const {
+  build_closure();
+  const std::uint64_t word = closure_[dest_index * closure_words_ + (s >> 6)];
+  return ((word >> (s & 63)) & 1u) != 0;
 }
 
 void RoutingFunction::build_closure() const {
@@ -37,12 +96,12 @@ void RoutingFunction::build_closure() const {
     return;
   }
   // One per-destination sweep fills one bitset row; the sweep itself takes
-  // care of seeding at the Local IN ports and of skipping non-existent
+  // care of seeding at the terminal IN ports and of skipping non-existent
   // hops (a (C-1)-detectable bug the closure must not propagate through).
   RouteSweeper sweeper(*this);
   closure_words_ = sweeper.row_words();
-  closure_.assign(mesh_->node_count() * closure_words_, 0);
-  for (std::size_t dest = 0; dest < mesh_->node_count(); ++dest) {
+  closure_.assign(topo_->destination_count() * closure_words_, 0);
+  for (std::size_t dest = 0; dest < topo_->destination_count(); ++dest) {
     sweeper.sweep(dest, nullptr, closure_.data() + dest * closure_words_);
   }
   closure_built_ = true;

@@ -16,164 +16,137 @@ inline void set_bit(std::uint64_t* row, PortId pid) {
 
 RouteSweeper::RouteSweeper(const RoutingFunction& routing)
     : routing_(&routing),
-      mesh_(&routing.mesh()),
-      port_count_(routing.mesh().port_count()),
-      node_count_(routing.mesh().node_count()),
-      node_mode_(routing.node_uniform()) {
+      topo_(&routing.topology()),
+      port_count_(routing.topology().port_count()),
+      node_count_(routing.topology().node_count()),
+      // Node mode needs the whole per-node choice in one mask: one bit per
+      // port name. Topology caps name tables at 64, so this always holds
+      // today; the guard keeps a wider future family from corrupting masks.
+      node_mode_(routing.node_uniform() && topo_->name_count() <= 64) {
   stamp_.assign(port_count_, 0);
   emitted_.assign(port_count_, 0);
-  slot_ids_.assign(node_count_ * kPortSlotsPerNode, kNoPort);
-  link_to_.assign(port_count_, kNoPort);
-  exist_out_.assign(node_count_, 0);
   mask_.assign(node_count_, 0);
-  const std::size_t width = static_cast<std::size_t>(mesh_->width());
-  for (PortId pid = 0; pid < port_count_; ++pid) {
-    const Port& p = mesh_->port(pid);
-    const std::size_t node =
-        static_cast<std::size_t>(p.y) * width + static_cast<std::size_t>(p.x);
-    slot_ids_[node * kPortSlotsPerNode + port_slot(p.name, p.dir)] = pid;
-    if (p.dir == Direction::kOut) {
-      exist_out_[node] |= port_name_bit(p.name);
-      if (p.name != PortName::kLocal) {
-        link_to_[pid] = mesh_->id(mesh_->next_in(p));
-      }
-    }
-  }
 }
 
-void RouteSweeper::sweep(std::size_t dest_node, std::vector<Edge>* edges,
+void RouteSweeper::sweep(std::size_t dest_index, std::vector<Edge>* edges,
                          std::uint64_t* row) {
-  GENOC_REQUIRE(dest_node < node_count_, "destination node out of range");
-  const auto width = static_cast<std::size_t>(mesh_->width());
-  const Port dest = mesh_->local_out(
-      static_cast<std::int32_t>(dest_node % width),
-      static_cast<std::int32_t>(dest_node / width));
+  GENOC_REQUIRE(dest_index < topo_->destination_count(),
+                "destination index out of range");
   if (node_mode_) {
-    sweep_nodes(dest, edges, row);
+    sweep_nodes(dest_index, edges, row);
   } else {
-    sweep_ports(dest, edges, row);
+    sweep_ports(dest_index, edges, row);
   }
 }
 
 void RouteSweeper::emit_in_edges(PortId pid, const PortId* slots,
-                                 std::uint8_t mask,
+                                 std::uint64_t mask,
                                  std::vector<Edge>& edges) {
-  std::uint8_t fresh = mask & static_cast<std::uint8_t>(~emitted_[pid]);
+  std::uint64_t fresh = mask & ~emitted_[pid];
   if (fresh == 0) {
     return;
   }
   emitted_[pid] |= fresh;
   do {
-    const unsigned name = std::countr_zero(fresh);
+    const unsigned name = static_cast<unsigned>(std::countr_zero(fresh));
     edges.emplace_back(
         pid, slots[name * 2 + static_cast<std::size_t>(Direction::kOut)]);
-    fresh &= static_cast<std::uint8_t>(fresh - 1);
+    fresh &= fresh - 1;
   } while (fresh != 0);
 }
 
-void RouteSweeper::sweep_nodes(const Port& dest, std::vector<Edge>* edges,
-                               std::uint64_t* row) {
+void RouteSweeper::sweep_nodes(std::size_t dest_index,
+                               std::vector<Edge>* edges, std::uint64_t* row) {
   ++epoch_;
   frontier_.clear();
-  constexpr std::uint8_t kLocalBit = port_name_bit(PortName::kLocal);
+  const std::uint64_t terminal = topo_->terminal_name_mask();
+  const std::size_t spn = topo_->slots_per_node();
   constexpr auto kOut = static_cast<std::size_t>(Direction::kOut);
   constexpr auto kIn = static_cast<std::size_t>(Direction::kIn);
 
   // Pass 1: one mask per node decides the out-ports of every in-port of
-  // that node; selected cardinal out-ports mark the in-port their link
-  // drives (the route tree's hops). Local IN ports are always visited
+  // that node; selected non-terminal out-ports mark the in-port their link
+  // drives (the route tree's hops). Terminal IN ports are always visited
   // (messages inject everywhere), so their edges emit right here.
-  std::size_t node = 0;
-  const PortId* slots = slot_ids_.data();
-  for (std::int32_t y = 0; y < mesh_->height(); ++y) {
-    for (std::int32_t x = 0; x < mesh_->width(); ++x, ++node,
-                      slots += kPortSlotsPerNode) {
-      // Non-existent out-ports drop out of the mask, mirroring the
-      // generic construction's exists() filter.
-      const std::uint8_t mask = static_cast<std::uint8_t>(
-          routing_->node_out_mask(x, y, dest) & exist_out_[node]);
-      mask_[node] = mask;
-      const PortId lin =
-          slots[static_cast<std::size_t>(PortName::kLocal) * 2 + kIn];
+  const PortId* slots = topo_->node_slots(0);
+  for (std::size_t node = 0; node < node_count_; ++node, slots += spn) {
+    // Non-existent out-ports drop out of the mask, mirroring the generic
+    // construction's existence filter.
+    const std::uint64_t mask =
+        routing_->out_mask_id(node, dest_index) & topo_->out_exists_mask(node);
+    mask_[node] = mask;
+    std::uint64_t term_in = terminal;
+    while (term_in != 0) {
+      const unsigned name = static_cast<unsigned>(std::countr_zero(term_in));
+      term_in &= term_in - 1;
+      const PortId tin = slots[name * 2 + kIn];
+      if (tin == kInvalidPort) {
+        continue;
+      }
       if (row != nullptr) {
-        set_bit(row, lin);
+        set_bit(row, tin);
       }
       if (edges != nullptr) {
-        emit_in_edges(lin, slots, mask, *edges);
+        emit_in_edges(tin, slots, mask, *edges);
       }
-      std::uint8_t cardinal =
-          static_cast<std::uint8_t>(mask & ~kLocalBit);
-      while (cardinal != 0) {
-        const unsigned name = std::countr_zero(cardinal);
-        cardinal &= static_cast<std::uint8_t>(cardinal - 1);
-        const PortId opid = slots[name * 2 + kOut];
-        const PortId tgt = link_to_[opid];
-        if (row != nullptr) {
-          set_bit(row, opid);
-        }
-        if (edges != nullptr && (emitted_[opid] & kLinkEmitted) == 0) {
-          emitted_[opid] |= kLinkEmitted;
-          edges->emplace_back(opid, tgt);
-        }
-        if (stamp_[tgt] != epoch_) {
-          stamp_[tgt] = epoch_;
-          frontier_.push_back(tgt);
-        }
+    }
+    std::uint64_t cardinal = mask & ~terminal;
+    while (cardinal != 0) {
+      const unsigned name = static_cast<unsigned>(std::countr_zero(cardinal));
+      cardinal &= cardinal - 1;
+      const PortId opid = slots[name * 2 + kOut];
+      const PortId tgt = topo_->link_target(opid);
+      if (row != nullptr) {
+        set_bit(row, opid);
       }
-      if ((mask & kLocalBit) != 0 && row != nullptr) {
-        set_bit(row, slots[static_cast<std::size_t>(PortName::kLocal) * 2 +
-                           kOut]);
+      if (edges != nullptr && (emitted_[opid] & kLinkEmitted) == 0) {
+        emitted_[opid] |= kLinkEmitted;
+        edges->emplace_back(opid, tgt);
       }
+      if (stamp_[tgt] != epoch_) {
+        stamp_[tgt] = epoch_;
+        frontier_.push_back(tgt);
+      }
+    }
+    std::uint64_t deliver = mask & terminal;
+    while (deliver != 0 && row != nullptr) {
+      const unsigned name = static_cast<unsigned>(std::countr_zero(deliver));
+      deliver &= deliver - 1;
+      set_bit(row, slots[name * 2 + kOut]);
     }
   }
 
   // Pass 2: the marked in-ports take the same out-ports as their node's
-  // Local IN port (the node-uniformity contract).
-  const std::size_t width = static_cast<std::size_t>(mesh_->width());
+  // terminal IN ports (the node-uniformity contract).
   for (const PortId pid : frontier_) {
     if (row != nullptr) {
       set_bit(row, pid);
     }
     if (edges != nullptr) {
-      const Port& p = mesh_->port(pid);
-      const std::size_t n = static_cast<std::size_t>(p.y) * width +
-                            static_cast<std::size_t>(p.x);
-      emit_in_edges(pid, slot_ids_.data() + n * kPortSlotsPerNode, mask_[n],
-                    *edges);
+      const std::size_t n = topo_->node_of(pid);
+      emit_in_edges(pid, topo_->node_slots(n), mask_[n], *edges);
     }
   }
 }
 
-void RouteSweeper::sweep_ports(const Port& dest, std::vector<Edge>* edges,
-                               std::uint64_t* row) {
+void RouteSweeper::sweep_ports(std::size_t dest_index,
+                               std::vector<Edge>* edges, std::uint64_t* row) {
   if (cache_ == nullptr) {
     cache_ = std::make_unique<EdgeDedupCache>(port_count_);
   }
   ++epoch_;
   frontier_.clear();
-  // Messages enter the network at Local IN ports; every port a route can
+  // Messages enter the network at terminal IN ports; every port a route can
   // visit from there (under this destination) is reachable-consistent.
-  constexpr auto kIn = static_cast<std::size_t>(Direction::kIn);
-  const std::size_t local_in_slot =
-      static_cast<std::size_t>(PortName::kLocal) * 2 + kIn;
-  for (std::size_t n = 0; n < node_count_; ++n) {
-    const PortId lin = slot_ids_[n * kPortSlotsPerNode + local_in_slot];
-    stamp_[lin] = epoch_;
-    frontier_.push_back(lin);
+  for (const PortId src : topo_->source_ids()) {
+    stamp_[src] = epoch_;
+    frontier_.push_back(src);
   }
   for (std::size_t head = 0; head < frontier_.size(); ++head) {
     const PortId pid = frontier_[head];
-    hops_.clear();
-    routing_->append_next_hops(mesh_->port(pid), dest, hops_);
-    for (const Port& hop : hops_) {
-      // A routing function may only produce existing ports for reachable
-      // inputs; a violation is a (C-1)-detectable bug the sweep neither
-      // records nor propagates through.
-      const std::int32_t qid = mesh_->try_id(hop);
-      if (qid < 0) {
-        continue;
-      }
-      const PortId q = static_cast<PortId>(qid);
+    hop_ids_.clear();
+    routing_->next_hop_ids_into(pid, dest_index, hop_ids_, hops_);
+    for (const PortId q : hop_ids_) {
       if (edges != nullptr && cache_->fresh(pid, q)) {
         edges->emplace_back(pid, q);
       }

@@ -7,18 +7,22 @@
 /// one pass per destination d over the ports that routes to d actually
 /// visit, so total work is O(Σ_d |ports reaching d| · degree). Two modes:
 ///
-///  - NODE mode (RoutingFunction::node_uniform()): one node_out_mask()
-///    call per (node, dest) decides the out-ports for every in-port of the
-///    node at once; link targets mark the in-ports the route tree visits.
-///    O(nodes) per destination with a handful of ns per node.
-///  - PORT mode (the generic fallback, e.g. Odd-Even whose turns depend on
-///    the in-port name): a BFS from the Local IN seeds following
-///    append_next_hops, identical to the semantic closure fixpoint.
+///  - NODE mode (RoutingFunction::node_uniform(), port-name tables of <= 64
+///    names): one out_mask_id() call per (node, dest) decides the out-ports
+///    for every in-port of the node at once; link targets mark the in-ports
+///    the route tree visits. O(nodes) per destination with a handful of ns
+///    per node.
+///  - PORT mode (the universal fallback, e.g. Odd-Even whose turns depend
+///    on the in-port name, or any hierarchical routing that opts out of
+///    node uniformity): a BFS from the terminal IN seeds following
+///    next_hop_ids_into, identical to the semantic closure fixpoint.
 ///
-/// Both modes emit exactly the edge set of build_dep_graph() — every
-/// (p, q) with p route-reachable for d, q in R(p, d) and q existing — and
-/// the same visited-port rows the reachability closure stores, so one
-/// engine backs build_dep_graph_fast(), build_dep_graph_parallel() and
+/// Both modes are topology-agnostic — they read the Topology's shared slot,
+/// link and existence tables instead of rebuilding grid tables per sweeper —
+/// and emit exactly the edge set of build_dep_graph(): every (p, q) with p
+/// route-reachable for d, q in R(p, d) and q existing, plus the same
+/// visited-port rows the reachability closure stores. One engine therefore
+/// backs build_dep_graph_fast(), build_dep_graph_parallel() and
 /// RoutingFunction::prime(). Repeat edge emissions are suppressed by a
 /// per-sweeper cache (Digraph::finalize would coalesce them anyway, this
 /// keeps the merge buffers near the size of the final edge set).
@@ -31,16 +35,16 @@
 #include <vector>
 
 #include "routing/routing.hpp"
-#include "topology/mesh.hpp"
+#include "topology/topology.hpp"
 
 namespace genoc {
 
 /// First-N-distinct-targets edge filter shared by the sweep engines (the
 /// port-mode dependency sweep, the escape-lane analysis): a port emits at
-/// most 5 distinct out-targets (its node's out-ports, or one link target),
-/// so kSlots slots suppress virtually every repeat emission across
-/// destinations; on the (theoretical) overflow the edge is simply emitted
-/// again and Digraph::finalize coalesces it.
+/// most a node's worth of distinct out-targets (or one link target), so
+/// kSlots slots suppress virtually every repeat emission across
+/// destinations; on overflow the edge is simply emitted again and
+/// Digraph::finalize coalesces it.
 class EdgeDedupCache {
  public:
   explicit EdgeDedupCache(std::size_t port_count)
@@ -85,30 +89,30 @@ class RouteSweeper {
   /// 64-bit words per closure row (one bit per existing port).
   std::size_t row_words() const { return (port_count_ + 63) / 64; }
 
-  /// Sweeps destination node \p dest_node (row-major index). Dependency
+  /// Sweeps destination \p dest_index (position in the topology's
+  /// destination_ids(); the row-major node index on grids). Dependency
   /// edges are appended to *edges (first emission per sweeper only);
   /// visited-port bits are OR-ed into \p row (row_words() words, caller
   /// zeroed). Either sink may be nullptr.
-  void sweep(std::size_t dest_node, std::vector<Edge>* edges,
+  void sweep(std::size_t dest_index, std::vector<Edge>* edges,
              std::uint64_t* row);
 
  private:
-  static constexpr PortId kNoPort = 0xFFFFFFFFu;
-  static constexpr std::uint8_t kLinkEmitted = 1;  // emitted_ bit, OUT ports
+  static constexpr std::uint64_t kLinkEmitted = 1;  // emitted_ bit, OUT ports
 
-  void sweep_nodes(const Port& dest, std::vector<Edge>* edges,
+  void sweep_nodes(std::size_t dest_index, std::vector<Edge>* edges,
                    std::uint64_t* row);
-  void sweep_ports(const Port& dest, std::vector<Edge>* edges,
+  void sweep_ports(std::size_t dest_index, std::vector<Edge>* edges,
                    std::uint64_t* row);
 
   /// Edges from in-port \p pid to the (existing) out-ports selected at its
   /// node, deduplicated by the per-port emitted-name mask. \p slots points
-  /// at the node's 10-entry id table.
-  void emit_in_edges(PortId pid, const PortId* slots, std::uint8_t mask,
+  /// at the node's slots_per_node()-entry id table.
+  void emit_in_edges(PortId pid, const PortId* slots, std::uint64_t mask,
                      std::vector<Edge>& edges);
 
   const RoutingFunction* routing_;
-  const Mesh2D* mesh_;
+  const Topology* topo_;
   std::size_t port_count_ = 0;
   std::size_t node_count_ = 0;
   bool node_mode_ = false;
@@ -116,16 +120,11 @@ class RouteSweeper {
   std::uint32_t epoch_ = 0;
   std::vector<std::uint32_t> stamp_;  // per port: epoch of the current dest
   std::vector<PortId> frontier_;      // BFS worklist / marked in-ports
-  std::vector<Port> hops_;            // append_next_hops scratch (port mode)
+  std::vector<Port> hops_;            // grid Port-tuple scratch (port mode)
+  std::vector<PortId> hop_ids_;       // next_hop_ids_into sink (port mode)
 
-  // Node-mode tables, built once per sweeper: dense port ids by
-  // (node, name, dir) slot, the link target of each cardinal OUT port, and
-  // per node the mask of out names that physically exist.
-  std::vector<PortId> slot_ids_;  // node * 10 + name * 2 + dir
-  std::vector<PortId> link_to_;
-  std::vector<std::uint8_t> exist_out_;
-  std::vector<std::uint8_t> mask_;     // per node: current dest's out mask
-  std::vector<std::uint8_t> emitted_;  // per port: emitted out-name bits
+  std::vector<std::uint64_t> mask_;     // per node: current dest's out mask
+  std::vector<std::uint64_t> emitted_;  // per port: emitted out-name bits
 
   // Port-mode edge filter, allocated on first port-mode sweep.
   std::unique_ptr<EdgeDedupCache> cache_;

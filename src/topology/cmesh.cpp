@@ -1,0 +1,97 @@
+#include "topology/cmesh.hpp"
+
+#include <vector>
+
+#include "topology/port.hpp"
+#include "util/require.hpp"
+
+namespace genoc {
+
+namespace {
+
+// Cardinal name indices, mirroring the grid PortName order so cmesh masks
+// read like mesh masks in a debugger.
+constexpr std::size_t kEast = 0;
+constexpr std::size_t kWest = 1;
+constexpr std::size_t kNorth = 2;
+constexpr std::size_t kSouth = 3;
+
+}  // namespace
+
+CMeshTopology::CMeshTopology(std::int32_t width, std::int32_t height,
+                             std::uint32_t concentration)
+    : width_(width), height_(height), concentration_(concentration) {
+  GENOC_REQUIRE(width >= 1 && height >= 1 && width <= 512 && height <= 512,
+                "cmesh dimensions must be in 1..512");
+  GENOC_REQUIRE(static_cast<std::int64_t>(width) * height >= 2,
+                "a cmesh needs at least two routers");
+  GENOC_REQUIRE(concentration >= 1 && concentration <= 8,
+                "cmesh concentration must be in 1..8");
+
+  std::vector<std::string> names = {"E", "W", "N", "S"};
+  for (std::uint32_t t = 0; t < concentration_; ++t) {
+    names.push_back("T" + std::to_string(t));
+  }
+  const std::uint64_t terminal_mask =
+      ((std::uint64_t{1} << concentration_) - 1) << 4;
+  const auto nodes =
+      static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  begin_topology(nodes, std::move(names), terminal_mask);
+
+  // Routers enumerate row-major like the grid; cardinal ports exist iff the
+  // neighbour does (no wrap), terminal ports always.
+  for (std::int32_t y = 0; y < height_; ++y) {
+    for (std::int32_t x = 0; x < width_; ++x) {
+      const auto node = static_cast<std::size_t>(y) *
+                            static_cast<std::size_t>(width_) +
+                        static_cast<std::size_t>(x);
+      const bool has[4] = {x + 1 < width_, x > 0, y > 0, y + 1 < height_};
+      for (std::size_t name = 0; name < 4; ++name) {
+        if (!has[name]) {
+          continue;
+        }
+        add_port(node, name, Direction::kIn);
+        add_port(node, name, Direction::kOut);
+      }
+      for (std::uint32_t t = 0; t < concentration_; ++t) {
+        add_port(node, terminal_name(t), Direction::kIn);
+        add_port(node, terminal_name(t), Direction::kOut);
+      }
+    }
+  }
+
+  // Cardinal links run to the opposite port of the neighbour router.
+  for (std::int32_t y = 0; y < height_; ++y) {
+    for (std::int32_t x = 0; x < width_; ++x) {
+      const auto node = static_cast<std::size_t>(y) *
+                            static_cast<std::size_t>(width_) +
+                        static_cast<std::size_t>(x);
+      const auto w = static_cast<std::size_t>(width_);
+      struct Hop {
+        std::size_t name;
+        std::size_t neighbour;
+        std::size_t back;
+      };
+      const Hop hops[4] = {
+          {kEast, node + 1, kWest},
+          {kWest, node - 1, kEast},
+          {kNorth, node - w, kSouth},  // North decreases y
+          {kSouth, node + w, kNorth},
+      };
+      for (const Hop& hop : hops) {
+        const PortId out = slot_id(node, hop.name, Direction::kOut);
+        if (out == kInvalidPort) {
+          continue;
+        }
+        set_link(out, slot_id(hop.neighbour, hop.back, Direction::kIn));
+      }
+    }
+  }
+  finish_topology();
+}
+
+std::string CMeshTopology::node_label(std::size_t node) const {
+  return std::to_string(router_x(node)) + "," + std::to_string(router_y(node));
+}
+
+}  // namespace genoc

@@ -1,0 +1,52 @@
+/// \file cmesh.hpp
+/// \brief Concentrated 2D mesh: c terminals share each router.
+///
+/// The classic NoC cost reduction (and the first non-grid client of the
+/// Topology abstraction): a W x H router grid wired exactly like Mesh2D's
+/// cardinal fabric, but with `concentration` terminal port pairs per router
+/// instead of the single Local pair. Destinations are therefore terminals,
+/// not routers — W*H*c of them — which breaks both the one-terminal-per-node
+/// assumption and the 10-slot port layout of the grid code, while remaining
+/// deadlock-free under dimension-ordered routing (routing/cmesh_dor.hpp):
+/// the extra terminals only add sink/source edges to the dependency graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace genoc {
+
+/// A width x height router grid, `concentration` terminals per router.
+/// Port-name table: E, W, N, S (indices 0..3, same cardinal convention as
+/// the grid: North decreases y), then T0..T(c-1).
+class CMeshTopology final : public Topology {
+ public:
+  CMeshTopology(std::int32_t width, std::int32_t height,
+                std::uint32_t concentration);
+
+  std::string family() const override { return "cmesh"; }
+  std::string node_label(std::size_t node) const override;
+
+  std::int32_t width() const { return width_; }
+  std::int32_t height() const { return height_; }
+  std::uint32_t concentration() const { return concentration_; }
+
+  /// Name index of terminal \p t (0 <= t < concentration).
+  std::size_t terminal_name(std::uint32_t t) const { return 4 + t; }
+
+  std::size_t router_x(std::size_t node) const {
+    return node % static_cast<std::size_t>(width_);
+  }
+  std::size_t router_y(std::size_t node) const {
+    return node / static_cast<std::size_t>(width_);
+  }
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+  std::uint32_t concentration_;
+};
+
+}  // namespace genoc

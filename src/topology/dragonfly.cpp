@@ -1,0 +1,99 @@
+#include "topology/dragonfly.hpp"
+
+#include <vector>
+
+#include "topology/port.hpp"
+#include "util/require.hpp"
+
+namespace genoc {
+
+DragonflyTopology::DragonflyTopology(std::uint32_t routers_per_group,
+                                     std::uint32_t global_ports,
+                                     std::uint32_t terminals,
+                                     std::uint32_t groups)
+    : routers_(routers_per_group),
+      globals_(global_ports),
+      terminals_(terminals),
+      groups_(groups) {
+  GENOC_REQUIRE(routers_ >= 2 && routers_ <= 16,
+                "dragonfly routers per group must be in 2..16");
+  GENOC_REQUIRE(globals_ >= 1 && globals_ <= 8,
+                "dragonfly global ports per router must be in 1..8");
+  GENOC_REQUIRE(terminals_ >= 1 && terminals_ <= 8,
+                "dragonfly terminals per router must be in 1..8");
+  GENOC_REQUIRE(groups_ >= 2 && groups_ <= routers_ * globals_ + 1,
+                "dragonfly group count must be in 2..routers*globals+1");
+
+  std::vector<std::string> names;
+  for (std::uint32_t t = 0; t < terminals_; ++t) {
+    names.push_back("T" + std::to_string(t));
+  }
+  for (std::uint32_t m = 0; m + 1 < routers_; ++m) {
+    names.push_back("L" + std::to_string(m));
+  }
+  for (std::uint32_t j = 0; j < globals_; ++j) {
+    names.push_back("G" + std::to_string(j));
+  }
+  const std::uint64_t terminal_mask = (std::uint64_t{1} << terminals_) - 1;
+  const std::size_t nodes =
+      static_cast<std::size_t>(groups_) * static_cast<std::size_t>(routers_);
+  begin_topology(nodes, std::move(names), terminal_mask);
+
+  // Enumerate group-major, router-minor; per router terminals, then local
+  // ports (the complete graph needs a-1, always present), then the global
+  // ports whose group-level channel is actually wired (k <= g-2).
+  for (std::size_t node = 0; node < nodes; ++node) {
+    const std::size_t rr = router_of(node);
+    for (std::uint32_t t = 0; t < terminals_; ++t) {
+      add_port(node, terminal_name(t), Direction::kIn);
+      add_port(node, terminal_name(t), Direction::kOut);
+    }
+    for (std::uint32_t m = 0; m + 1 < routers_; ++m) {
+      add_port(node, terminals_ + m, Direction::kIn);
+      add_port(node, terminals_ + m, Direction::kOut);
+    }
+    for (std::uint32_t j = 0; j < globals_; ++j) {
+      const std::size_t channel = rr * globals_ + j;
+      if (channel + 1 >= groups_) {
+        continue;  // unwired channel: the port does not exist
+      }
+      add_port(node, global_name(j), Direction::kIn);
+      add_port(node, global_name(j), Direction::kOut);
+    }
+  }
+
+  // Local links: the complete graph on each group's routers. Router u's
+  // port L(m) runs toward router v = m < u ? m : m + 1 and lands on v's
+  // local port back toward u.
+  for (std::size_t node = 0; node < nodes; ++node) {
+    const std::size_t group = group_of(node);
+    const std::size_t u = router_of(node);
+    for (std::size_t m = 0; m + 1 < routers_; ++m) {
+      const std::size_t v = m < u ? m : m + 1;
+      const std::size_t peer = group * routers_ + v;
+      set_link(slot_id(node, terminals_ + m, Direction::kOut),
+               slot_id(peer, local_name(v, u), Direction::kIn));
+    }
+  }
+
+  // Global links: channel k of group i runs to group (i + k + 1) mod g and
+  // coincides with that group's channel g-2-k (the palmtree involution).
+  for (std::size_t i = 0; i < groups_; ++i) {
+    for (std::size_t k = 0; k + 1 < groups_; ++k) {
+      const std::size_t j = (i + k + 1) % groups_;
+      const std::size_t back = groups_ - 2 - k;
+      const std::size_t from = i * routers_ + channel_owner(k);
+      const std::size_t to = j * routers_ + channel_owner(back);
+      set_link(slot_id(from, global_name(k % globals_), Direction::kOut),
+               slot_id(to, global_name(back % globals_), Direction::kIn));
+    }
+  }
+  finish_topology();
+}
+
+std::string DragonflyTopology::node_label(std::size_t node) const {
+  return "g" + std::to_string(group_of(node)) + "r" +
+         std::to_string(router_of(node));
+}
+
+}  // namespace genoc

@@ -1,0 +1,86 @@
+/// \file dragonfly.hpp
+/// \brief Dragonfly: hierarchical groups of routers, complete local graph
+///        inside each group, one global channel between every router pair
+///        of groups (the canonical a/h/p/g parameterization).
+///
+/// The stress test for the Topology abstraction: port counts vary per
+/// router (unused global ports do not exist, like grid edge ports), names
+/// split into three classes (terminals, group-local links, globals), and
+/// minimal routing is hierarchical rather than dimension-ordered. Without
+/// virtual channels the local->global->local dependency chains of minimal
+/// routing close cycles through the groups, so the dependency graph is
+/// expected CYCLIC — the flagship negative fixture that motivates the
+/// ROADMAP's VC/dateline follow-up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace genoc {
+
+/// groups() groups of routers_per_group() routers. Each router hosts
+/// terminals() terminal pairs and global_ports() global-channel ports.
+///
+/// Global wiring follows the canonical palmtree arrangement: the group-level
+/// channels are numbered k = 0..g-2; channel k of group i runs to group
+/// (i + k + 1) mod g, is owned by router k / h through its global port
+/// G(k mod h), and coincides with channel g-2-k of the target group (an
+/// involution, so every channel is one physical bidirectional link).
+/// Channels with k >= g-1 (possible when g < a*h + 1) leave their global
+/// ports non-existent.
+///
+/// Port-name table: T0..T(p-1), L0..L(a-2), G0..G(h-1). The local port of
+/// router u toward router v is L(v) when v < u, else L(v-1) — the complete
+/// graph on a routers needs only a-1 ports per router.
+class DragonflyTopology final : public Topology {
+ public:
+  DragonflyTopology(std::uint32_t routers_per_group,
+                    std::uint32_t global_ports, std::uint32_t terminals,
+                    std::uint32_t groups);
+
+  std::string family() const override { return "dragonfly"; }
+
+  /// "g<group>r<router>".
+  std::string node_label(std::size_t node) const override;
+
+  std::uint32_t routers_per_group() const { return routers_; }
+  std::uint32_t global_ports() const { return globals_; }
+  std::uint32_t terminals() const { return terminals_; }
+  std::uint32_t groups() const { return groups_; }
+
+  std::size_t group_of(std::size_t node) const { return node / routers_; }
+  std::size_t router_of(std::size_t node) const { return node % routers_; }
+
+  /// Name index of terminal \p t.
+  std::size_t terminal_name(std::uint32_t t) const { return t; }
+
+  /// Name index of the local port of router \p from toward router \p to of
+  /// the same group (from != to).
+  std::size_t local_name(std::size_t from, std::size_t to) const {
+    return terminals_ + (to < from ? to : to - 1);
+  }
+
+  /// Name index of global port G\p j.
+  std::size_t global_name(std::size_t j) const {
+    return terminals_ + routers_ - 1 + j;
+  }
+
+  /// The group-level channel index toward \p to_group as seen from
+  /// \p from_group (both in 0..g-1, different).
+  std::size_t channel_to(std::size_t from_group, std::size_t to_group) const {
+    return (to_group + groups_ - from_group - 1) % groups_;
+  }
+
+  /// The router of the group owning group-level channel \p k.
+  std::size_t channel_owner(std::size_t k) const { return k / globals_; }
+
+ private:
+  std::uint32_t routers_;
+  std::uint32_t globals_;
+  std::uint32_t terminals_;
+  std::uint32_t groups_;
+};
+
+}  // namespace genoc

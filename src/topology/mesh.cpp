@@ -37,9 +37,15 @@ Mesh2D::Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x,
                 "a mesh needs at least two nodes");
   GENOC_REQUIRE(!wrap_x || width >= 2, "wrapping x needs at least 2 columns");
   GENOC_REQUIRE(!wrap_y || height >= 2, "wrapping y needs at least 2 rows");
-  id_table_.assign(node_count() * kPortSlotsPerNode, -1);
+  const auto nodes =
+      static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  begin_topology(nodes, {"E", "W", "N", "S", "L"},
+                 std::uint64_t{1} << static_cast<std::size_t>(PortName::kLocal));
+  id_table_.assign(nodes * kPortSlotsPerNode, -1);
 
   // Enumerate ports node-major so ids are stable and human-predictable.
+  // add_port mirrors every port into the generalized Topology tables with
+  // the same dense id (the slot layouts coincide: 5 names x 2 directions).
   for (std::int32_t y = 0; y < height_; ++y) {
     for (std::int32_t x = 0; x < width_; ++x) {
       for (PortName name : {PortName::kEast, PortName::kWest, PortName::kNorth,
@@ -51,10 +57,40 @@ Mesh2D::Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x,
           }
           id_table_[slot(p)] = static_cast<std::int32_t>(ports_.size());
           ports_.push_back(p);
+          const auto node_index = static_cast<std::size_t>(y) *
+                                      static_cast<std::size_t>(width_) +
+                                  static_cast<std::size_t>(x);
+          const PortId pid =
+              add_port(node_index, static_cast<std::size_t>(name), direction);
+          GENOC_ASSERT(pid + 1 == ports_.size(),
+                       "Topology ids must mirror Mesh2D ids");
         }
       }
     }
   }
+  for (PortId pid = 0; pid < ports_.size(); ++pid) {
+    const Port& p = ports_[pid];
+    if (p.dir == Direction::kOut && p.name != PortName::kLocal) {
+      set_link(pid, id(next_in(p)));
+    }
+  }
+  finish_topology();
+}
+
+std::string Mesh2D::family() const {
+  if (wrap_y_) {
+    return "torus";
+  }
+  return wrap_x_ ? "ring" : "mesh";
+}
+
+std::string Mesh2D::node_label(std::size_t node) const {
+  const auto width = static_cast<std::size_t>(width_);
+  return std::to_string(node % width) + "," + std::to_string(node / width);
+}
+
+std::string Mesh2D::port_label(PortId pid) const {
+  return to_string(port(pid));
 }
 
 bool Mesh2D::contains_node(std::int32_t x, std::int32_t y) const {

@@ -12,17 +12,18 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "topology/port.hpp"
+#include "topology/topology.hpp"
 
 namespace genoc {
 
-/// Dense index of an existing port within a Mesh2D.
-using PortId = std::uint32_t;
-
-/// Slots per node in the (name, direction) port-lookup layout shared by
-/// Mesh2D::slot() and the RouteSweeper tables: 5 names x 2 directions.
+/// Slots per node in the (name, direction) port-lookup layout of the grid
+/// families: 5 names x 2 directions. The generalized layout is
+/// Topology::slots_per_node(); this constant only remains for the grid
+/// Port-tuple fast path (Mesh2D::slot()).
 inline constexpr std::size_t kPortSlotsPerNode = 10;
 
 /// Slot of (name, dir) within a node's kPortSlotsPerNode-slot block.
@@ -46,7 +47,7 @@ struct NodeCoord {
 /// <0,y,W,IN>). Wrap links create ring dependencies, which is exactly the
 /// classic topology-induced deadlock Theorem 1 detects — see
 /// routing/torus_xy.hpp and tests/test_torus.cpp.
-class Mesh2D {
+class Mesh2D : public Topology {
  public:
   /// Builds a mesh with \p width columns and \p height rows. Requires
   /// width >= 1, height >= 1 and at least 2 nodes in total (a 1x1 "mesh" has
@@ -54,6 +55,16 @@ class Mesh2D {
   /// nodes along it.
   Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x = false,
          bool wrap_y = false);
+
+  /// "torus" when y wraps, "ring" when only x wraps, else "mesh".
+  std::string family() const override;
+
+  /// "x,y" of the node in row-major order.
+  std::string node_label(std::size_t node) const override;
+
+  /// The paper's "<x,y,P,D>" tuple — identical to to_string(port(pid)), so
+  /// grid dep-graph labels and witnesses are unchanged by the abstraction.
+  std::string port_label(PortId pid) const override;
 
   std::int32_t width() const { return width_; }
   std::int32_t height() const { return height_; }
@@ -64,9 +75,6 @@ class Mesh2D {
   /// OUT port drives, wrapping around torus dimensions. Requires
   /// exists(p) and a cardinal OUT port.
   Port next_in(const Port& p) const;
-  std::size_t node_count() const {
-    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
-  }
 
   /// True iff (x, y) is a node of the mesh.
   bool contains_node(std::int32_t x, std::int32_t y) const;
@@ -75,9 +83,6 @@ class Mesh2D {
   /// cardinal port additionally has a neighbour on that side. Local ports of
   /// in-mesh nodes always exist.
   bool exists(const Port& p) const;
-
-  /// Number of existing ports.
-  std::size_t port_count() const { return ports_.size(); }
 
   /// Dense id of an existing port. Requires exists(p).
   PortId id(const Port& p) const;

@@ -9,28 +9,39 @@
 
 namespace genoc {
 
-AnalysisArtifacts::AnalysisArtifacts(const Mesh2D& mesh,
+AnalysisArtifacts::AnalysisArtifacts(const Topology& topology,
                                      const RoutingFunction& routing,
                                      const RoutingFunction* escape)
-    : mesh_(&mesh), routing_(&routing), escape_(escape) {}
+    : topo_(&topology), routing_(&routing), escape_(escape) {}
 
 AnalysisArtifacts::AnalysisArtifacts(const InstanceSpec& spec) {
   const std::string invalid = validate_spec(spec);
   GENOC_REQUIRE(invalid.empty(), "invalid instance spec: " + invalid);
-  owned_mesh_ = std::make_unique<Mesh2D>(spec.width, spec.height,
-                                         spec.wrap_x(), spec.wrap_y());
-  owned_routing_ = make_routing(spec.routing, *owned_mesh_);
+  owned_topo_ = make_topology(spec);
+  owned_routing_ = make_routing(spec.routing, *owned_topo_);
   if (!spec.escape.empty()) {
-    owned_escape_ = make_routing(spec.escape, *owned_mesh_);
+    owned_escape_ = make_routing(spec.escape, *owned_topo_);
   }
-  mesh_ = owned_mesh_.get();
+  topo_ = owned_topo_.get();
   routing_ = owned_routing_.get();
   escape_ = owned_escape_.get();
 }
 
 std::string AnalysisArtifacts::key(const InstanceSpec& spec) {
-  return "topology=" + spec.topology + " size=" + std::to_string(spec.width) +
-         "x" + std::to_string(spec.height) + " routing=" + spec.routing +
+  std::string prefix = "topology=" + spec.topology;
+  if (spec.topology == "dragonfly") {
+    prefix += " routers=" + std::to_string(spec.df_routers) +
+              " globals=" + std::to_string(spec.df_globals) +
+              " terminals=" + std::to_string(spec.df_terminals) +
+              " groups=" + std::to_string(spec.df_groups_resolved());
+  } else {
+    prefix += " size=" + std::to_string(spec.width) + "x" +
+              std::to_string(spec.height);
+    if (spec.topology == "cmesh") {
+      prefix += " concentration=" + std::to_string(spec.concentration);
+    }
+  }
+  return prefix + " routing=" + spec.routing +
          " escape=" + (spec.escape.empty() ? "none" : spec.escape);
 }
 

@@ -90,38 +90,39 @@ struct ConstraintsArtifact {
   ConstraintReport c2;
 };
 
-/// The shared artifact cache of one analysis context (a mesh + routing +
-/// optional escape lane). Two modes:
+/// The shared artifact cache of one analysis context (a topology + routing
+/// + optional escape lane). Two modes:
 ///
 ///   - BORROWING an existing instance's constituents (the
 ///     NetworkInstance::verify compatibility path): nothing is owned, the
 ///     cache lives for one verification.
 ///   - OWNING a context built from a spec's analysis prefix (the
-///     ArtifactStore path): the artifacts own mesh/routing/escape, so the
-///     cached dependency graph (whose PortDepGraph points at that mesh)
-///     stays valid across every instance of the batch that borrows it.
+///     ArtifactStore path): the artifacts own topology/routing/escape, so
+///     the cached dependency graph (whose PortDepGraph points at that
+///     topology) stays valid across every instance of the batch that
+///     borrows it.
 class AnalysisArtifacts {
  public:
   /// Borrowing constructor. \p escape may be nullptr.
-  AnalysisArtifacts(const Mesh2D& mesh, const RoutingFunction& routing,
+  AnalysisArtifacts(const Topology& topology, const RoutingFunction& routing,
                     const RoutingFunction* escape);
 
-  /// Owning constructor: builds mesh/routing/escape from the spec's
-  /// analysis prefix (topology, size, routing, escape). Requires a valid
-  /// spec; throws ContractViolation otherwise.
+  /// Owning constructor: builds topology/routing/escape from the spec's
+  /// analysis prefix (topology family + parameters, routing, escape).
+  /// Requires a valid spec; throws ContractViolation otherwise.
   explicit AnalysisArtifacts(const InstanceSpec& spec);
 
   AnalysisArtifacts(const AnalysisArtifacts&) = delete;
   AnalysisArtifacts& operator=(const AnalysisArtifacts&) = delete;
 
   /// The canonical sharing key: the fields the analysis artifacts actually
-  /// depend on — topology, dimensions, routing, escape — in spec-string
-  /// order. Workload, switching and buffers are deliberately absent: two
-  /// presets differing only there (mesh8-xy vs mesh8-xy-sf) share every
-  /// artifact.
+  /// depend on — topology family + its parameters, routing, escape — in
+  /// spec-string order. Workload, switching, buffers and the expected
+  /// verdict are deliberately absent: two presets differing only there
+  /// (mesh8-xy vs mesh8-xy-sf) share every artifact.
   static std::string key(const InstanceSpec& spec);
 
-  const Mesh2D& mesh() const { return *mesh_; }
+  const Topology& topology() const { return *topo_; }
   const RoutingFunction& routing() const { return *routing_; }
   /// The escape-lane routing, or nullptr when the context has none.
   const RoutingFunction* escape_routing() const { return escape_; }
@@ -157,10 +158,10 @@ class AnalysisArtifacts {
 
   // Owning-mode storage (null in borrowing mode); the raw pointers below
   // are the single source of truth either way.
-  std::unique_ptr<Mesh2D> owned_mesh_;
+  std::unique_ptr<Topology> owned_topo_;
   std::unique_ptr<RoutingFunction> owned_routing_;
   std::unique_ptr<RoutingFunction> owned_escape_;
-  const Mesh2D* mesh_ = nullptr;
+  const Topology* topo_ = nullptr;
   const RoutingFunction* routing_ = nullptr;
   const RoutingFunction* escape_ = nullptr;
 

@@ -78,8 +78,8 @@ class BuildDepGraphCheck final : public Check {
     InstanceVerdict& verdict = ctx.report.verdict;
     verdict.edges = dep.graph.edge_count();
     stats.checks = static_cast<std::uint64_t>(
-                       ctx.artifacts.mesh().port_count()) *
-                       ctx.artifacts.mesh().node_count() +
+                       ctx.artifacts.topology().port_count()) *
+                       ctx.artifacts.topology().destination_count() +
                    verdict.edges;
     verdict.checks += stats.checks;
     stats.ran = true;
@@ -224,6 +224,16 @@ class ConstraintsCheck final : public Check {
       stats.ran = false;
       stats.passed = true;
       stats.skip_reason = "not requested (--constraints)";
+      return stats;
+    }
+    if (!ctx.spec.is_grid()) {
+      // (C-1)/(C-2) are stated over the grid Port tuple; the non-grid
+      // families are decided by (C-3) alone until the checkers learn the
+      // id-based dialect.
+      stats.ran = false;
+      stats.passed = true;
+      stats.skip_reason = "(C-1)/(C-2) are grid-only; " + ctx.spec.topology +
+                          " instances are decided by (C-3)";
       return stats;
     }
     const ConstraintsArtifact& reports =
@@ -371,9 +381,10 @@ VerifyReport VerifyPipeline::run(const NetworkInstance& instance,
   verdict.topology = instance.spec().topology;
   verdict.routing = instance.routing().name();
   verdict.switching = instance.switching().name();
-  verdict.nodes = instance.mesh().node_count();
-  verdict.ports = instance.mesh().port_count();
+  verdict.nodes = instance.topology().node_count();
+  verdict.ports = instance.topology().port_count();
   verdict.deterministic = instance.routing().is_deterministic();
+  verdict.expected_deadlock_free = instance.spec().expect_deadlock_free;
 
   CheckContext ctx{instance.spec(), artifacts, options, options.runner,
                    report};
@@ -413,7 +424,7 @@ VerifyReport VerifyPipeline::run(const NetworkInstance& instance,
         options.artifacts->acquire(instance.spec());
     return run(instance, *shared, options);
   }
-  AnalysisArtifacts local(instance.mesh(), instance.routing(),
+  AnalysisArtifacts local(instance.topology(), instance.routing(),
                           instance.escape());
   return run(instance, local, options);
 }

@@ -56,6 +56,13 @@ struct InstanceVerdict {
   /// The headline: deadlock-free, either via Theorem 1 directly or via the
   /// escape-lane analysis when the primary graph is cyclic.
   bool deadlock_free = false;
+  /// The verdict the spec REGISTERED (expect=deadlock marks negative
+  /// fixtures like dragonfly-minimal); batch drivers pass when
+  /// deadlock_free == expected_deadlock_free, not when deadlock_free.
+  bool expected_deadlock_free = true;
+  bool as_expected() const {
+    return deadlock_free == expected_deadlock_free;
+  }
   /// Rendered from the deciding stage's Diagnostics: "Theorem 1 (C-3)" |
   /// "escape(<name>)" | "cycle" | "undecided" (partial --stages runs).
   std::string method;

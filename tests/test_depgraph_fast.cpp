@@ -21,12 +21,12 @@
 namespace genoc {
 namespace {
 
-Digraph digraph_from_sweeper(RouteSweeper& sweeper, const Mesh2D& mesh) {
+Digraph digraph_from_sweeper(RouteSweeper& sweeper, const Topology& topo) {
   std::vector<RouteSweeper::Edge> edges;
-  for (std::size_t dest = 0; dest < mesh.node_count(); ++dest) {
+  for (std::size_t dest = 0; dest < topo.destination_count(); ++dest) {
     sweeper.sweep(dest, &edges, nullptr);
   }
-  Digraph graph(mesh.port_count());
+  Digraph graph(topo.port_count());
   graph.reserve_edges(edges.size());
   for (const auto& [from, to] : edges) {
     graph.add_edge(from, to);
@@ -39,7 +39,7 @@ void expect_fast_equals_generic(const InstanceSpec& spec) {
   SCOPED_TRACE(spec.name);
   const NetworkInstance instance(spec);
   const PortDepGraph fast = build_dep_graph_fast(instance.routing());
-  ASSERT_EQ(fast.graph.vertex_count(), instance.mesh().port_count());
+  ASSERT_EQ(fast.graph.vertex_count(), instance.topology().port_count());
   const PortDepGraph generic = build_dep_graph(instance.routing());
   EXPECT_EQ(fast.graph.edge_count(), generic.graph.edge_count());
   EXPECT_EQ(fast.graph.edges(), generic.graph.edges());
@@ -110,7 +110,7 @@ TEST(DepGraphFast, PortModeSweepMatchesGenericOnEveryPreset) {
     RouteSweeper sweeper(instance.routing());
     sweeper.force_port_mode();
     const Digraph swept =
-        digraph_from_sweeper(sweeper, instance.mesh());
+        digraph_from_sweeper(sweeper, instance.topology());
     const PortDepGraph fast = build_dep_graph_fast(instance.routing());
     EXPECT_EQ(swept.edges(), fast.graph.edges());
     if (spec.width <= 16 && spec.height <= 16) {
@@ -128,6 +128,9 @@ TEST(DepGraphFast, NodeMaskMatchesAppendNextHopsOnEveryInPort) {
   for (const InstanceSpec& spec : InstanceRegistry::global().presets()) {
     if (spec.width > 16 || spec.height > 16) {
       continue;  // the small presets cover every routing family
+    }
+    if (!spec.is_grid()) {
+      continue;  // node_out_mask/append_next_hops are the grid dialect
     }
     const NetworkInstance instance(spec);
     const RoutingFunction& routing = instance.routing();
@@ -177,14 +180,14 @@ TEST(DepGraphFast, NodeAndPortModeClosureRowsAgree) {
       continue;
     }
     SCOPED_TRACE(spec.name);
-    const Mesh2D& mesh = instance.mesh();
+    const Topology& topo = instance.topology();
     RouteSweeper nodes(instance.routing());
     RouteSweeper ports(instance.routing());
     ports.force_port_mode();
     ASSERT_TRUE(nodes.node_mode());
     std::vector<std::uint64_t> node_row(nodes.row_words());
     std::vector<std::uint64_t> port_row(ports.row_words());
-    for (std::size_t dest = 0; dest < mesh.node_count(); ++dest) {
+    for (std::size_t dest = 0; dest < topo.destination_count(); ++dest) {
       std::fill(node_row.begin(), node_row.end(), 0);
       std::fill(port_row.begin(), port_row.end(), 0);
       nodes.sweep(dest, nullptr, node_row.data());

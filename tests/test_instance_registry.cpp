@@ -24,6 +24,9 @@ TEST(InstanceRegistry, HasTheRequiredCoverage) {
   std::set<std::string> names;
   std::set<std::string> turn_models;
   bool has_torus = false;
+  std::size_t cmesh_count = 0;
+  bool has_dragonfly = false;
+  bool has_negative = false;
   for (const InstanceSpec& spec : presets) {
     EXPECT_FALSE(spec.name.empty());
     EXPECT_FALSE(spec.summary.empty()) << spec.name;
@@ -31,6 +34,9 @@ TEST(InstanceRegistry, HasTheRequiredCoverage) {
         << "duplicate preset name " << spec.name;
     EXPECT_EQ(validate_spec(spec), "") << spec.name;
     has_torus = has_torus || spec.topology == "torus";
+    cmesh_count += spec.topology == "cmesh" ? 1 : 0;
+    has_dragonfly = has_dragonfly || spec.topology == "dragonfly";
+    has_negative = has_negative || !spec.expect_deadlock_free;
     if (std::find(turn_model_routings().begin(), turn_model_routings().end(),
                   spec.routing) != turn_model_routings().end()) {
       turn_models.insert(spec.routing);
@@ -38,17 +44,28 @@ TEST(InstanceRegistry, HasTheRequiredCoverage) {
   }
   EXPECT_TRUE(has_torus) << "no torus preset registered";
   EXPECT_GE(turn_models.size(), 4u) << "turn-model family not covered";
+  EXPECT_GE(cmesh_count, 3u) << "concentrated-mesh presets not covered";
+  EXPECT_TRUE(has_dragonfly) << "no dragonfly preset registered";
+  EXPECT_TRUE(has_negative) << "no negative (expect=deadlock) fixture";
 }
 
-TEST(InstanceRegistry, EveryPresetConstructsAndVerifiesDeadlockFree) {
+TEST(InstanceRegistry, EveryPresetConstructsAndVerifiesAsRegistered) {
   for (const InstanceSpec& spec : registry().presets()) {
     const NetworkInstance network(spec);
     EXPECT_EQ(network.name(), spec.name);
-    EXPECT_EQ(network.mesh().width(), spec.width) << spec.name;
-    EXPECT_EQ(network.mesh().wraps_x(), spec.wrap_x()) << spec.name;
+    if (spec.is_grid()) {
+      EXPECT_EQ(network.mesh().width(), spec.width) << spec.name;
+      EXPECT_EQ(network.mesh().wraps_x(), spec.wrap_x()) << spec.name;
+    } else {
+      EXPECT_THROW(network.mesh(), ContractViolation) << spec.name;
+    }
+    EXPECT_EQ(network.topology().node_count(), spec.node_count()) << spec.name;
     const InstanceVerdict verdict = network.verify();
-    EXPECT_TRUE(verdict.deadlock_free)
+    // Positive presets verify deadlock-free; negative fixtures
+    // (expect=deadlock) must reproduce their registered cycle.
+    EXPECT_EQ(verdict.deadlock_free, spec.expect_deadlock_free)
         << spec.name << ": " << verdict.note;
+    EXPECT_TRUE(verdict.as_expected()) << spec.name;
     EXPECT_GT(verdict.edges, 0u) << spec.name;
     EXPECT_EQ(verdict.instance, spec.name);
   }

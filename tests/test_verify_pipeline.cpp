@@ -42,17 +42,19 @@ InstanceVerdict legacy_verify(const NetworkInstance& instance,
   verdict.topology = instance.spec().topology;
   verdict.routing = instance.routing().name();
   verdict.switching = instance.switching().name();
-  verdict.nodes = instance.mesh().node_count();
-  verdict.ports = instance.mesh().port_count();
+  verdict.nodes = instance.topology().node_count();
+  verdict.ports = instance.topology().port_count();
   verdict.deterministic = instance.routing().is_deterministic();
+  verdict.expected_deadlock_free = instance.spec().expect_deadlock_free;
 
   const PortDepGraph dep = options.generic_builder
                                ? build_dep_graph(instance.routing())
                                : instance.dependency_graph(options.runner);
   verdict.edges = dep.graph.edge_count();
-  verdict.checks = static_cast<std::uint64_t>(instance.mesh().port_count()) *
-                       instance.mesh().node_count() +
-                   verdict.edges;
+  verdict.checks =
+      static_cast<std::uint64_t>(instance.topology().port_count()) *
+          instance.topology().destination_count() +
+      verdict.edges;
 
   std::optional<CycleWitness> cycle;
   if (options.runner != nullptr) {
