@@ -25,6 +25,7 @@
 #include "graph/tarjan.hpp"
 #include "instance/batch_runner.hpp"
 #include "instance/registry.hpp"
+#include "obs/trace.hpp"
 #include "routing/cmesh_dor.hpp"
 #include "routing/torus_xy.hpp"
 #include "sim/simulator.hpp"
@@ -44,7 +45,10 @@ constexpr const char* kUsage =
     "  --filter STR    only run benchmarks whose name contains STR\n"
     "  --min-ms N      minimum measured time per benchmark (default 100)\n"
     "  --threads N     pool size for the *_parallel benchmarks\n"
-    "                  (default 0 = hardware concurrency)\n";
+    "                  (default 0 = hardware concurrency)\n"
+    "  --trace F       record a Chrome trace-event span trace of the whole\n"
+    "                  run to F (default genoc-bench.trace.json); load it\n"
+    "                  in Perfetto or chrome://tracing\n";
 
 /// Opaque sink defeating dead-code elimination of benchmark bodies.
 std::atomic<std::uint64_t> g_sink{0};
@@ -372,6 +376,11 @@ int cmd_bench(const Args& args) {
   const double min_ms = args.get_double("min-ms", 100.0);
   const auto threads =
       static_cast<std::size_t>(args.get_int_in("threads", 0, 0, 256));
+  const std::string trace_path =
+      args.has("trace") ? (args.get("trace", "").empty()
+                               ? std::string("genoc-bench.trace.json")
+                               : args.get("trace", ""))
+                        : std::string();
   if (const int rc = finish_args(args, kUsage)) {
     return rc;
   }
@@ -392,6 +401,19 @@ int cmd_bench(const Args& args) {
     }
   }
 
+  // Open-before-run, like verify: an unwritable --trace path must exit 2
+  // before the minutes of measurement, not after.
+  std::optional<std::ofstream> trace_out;
+  if (!trace_path.empty()) {
+    trace_out.emplace(trace_path);
+    if (!*trace_out) {
+      std::cerr << "genoc bench: cannot write --trace file '" << trace_path
+                << "' (check the directory exists and is writable)\n";
+      return 2;
+    }
+    obs::TraceRecorder::global().start();
+  }
+
   std::vector<MicroBench> suite = build_suite(threads);
   if (!filter.empty()) {
     std::erase_if(suite, [&filter](const MicroBench& bench) {
@@ -408,7 +430,27 @@ int cmd_bench(const Args& args) {
             << min_ms << " ms each\n\n";
   for (const MicroBench& bench : suite) {
     std::cout << "  running " << bench.name << " ...\n";
+    // Span names must be static strings; the benchmark name rides in the
+    // detail payload instead.
+    obs::TraceSpan span("bench");
+    if (span.active()) {
+      span.set_detail(bench.name);
+    }
     results.push_back(run_bench(bench, min_ms));
+  }
+
+  if (trace_out.has_value()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.stop();
+    recorder.write_json(*trace_out);
+    trace_out->flush();
+    if (!*trace_out) {
+      std::cerr << "genoc bench: writing --trace file '" << trace_path
+                << "' failed\n";
+      return 2;
+    }
+    std::cerr << "genoc bench: wrote " << recorder.event_count()
+              << " trace events to " << trace_path << "\n";
   }
 
   std::cout << "\n";

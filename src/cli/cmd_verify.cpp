@@ -12,10 +12,12 @@
 ///                    per-instance matrix report.
 ///
 /// Instance-mode JSON reports are schema-versioned (schema_version) and
-/// carry the pipeline's typed output: per-stage stats, Diagnostics and
-/// artifact-cache counters. `--baseline prev.json` appends a trend section
-/// comparing verdicts and cpu_ms against a previous run's artifact and
-/// fails (exit 1) on any verdict regression.
+/// carry the pipeline's typed output: per-stage stats, Diagnostics,
+/// artifact-cache counters and the process MetricsRegistry snapshot.
+/// `--baseline prev.json` appends a trend section comparing verdicts and
+/// wall_ms against a previous run's artifact (v1 or v2) and fails (exit 1)
+/// on any verdict regression. `--trace F` records a Chrome trace-event
+/// span trace of the whole sweep — one merged file even under --all.
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -32,6 +34,8 @@
 #include "core/obligations.hpp"
 #include "instance/batch_runner.hpp"
 #include "instance/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 #include "verify/pipeline.hpp"
 
@@ -62,9 +66,13 @@ constexpr const char* kUsage =
     "                 `genoc list --checks`); naming 'constraints' implies\n"
     "                 --constraints; without a deciding stage the verdict\n"
     "                 is reported as 'undecided' (exit 1)\n"
-    "  --baseline F   compare verdicts/cpu_ms against a previous\n"
-    "                 `verify ... --json` artifact F; any verdict\n"
-    "                 regression fails the run (exit 1)\n"
+    "  --baseline F   compare verdicts/wall_ms against a previous\n"
+    "                 `verify ... --json` artifact F (schema v1 or v2);\n"
+    "                 any verdict regression fails the run (exit 1)\n"
+    "  --trace F      record a Chrome trace-event span trace of the verify\n"
+    "                 sweep to F (default genoc.trace.json) — load it in\n"
+    "                 Perfetto or chrome://tracing; --all merges the whole\n"
+    "                 sweep into the one file\n"
     "Common:\n"
     "  --json         emit a JSON report on stdout instead of the table\n";
 
@@ -106,7 +114,9 @@ struct BaselineRow {
   /// fixtures, so defaulting to "expected free" keeps them comparable.
   bool expected_deadlock_free = true;
   bool constraints_ok = true;
-  double cpu_ms = 0.0;
+  /// Wall-clock ms. Schema-v1 artifacts named this figure cpu_ms (the old
+  /// field held steady_clock time); load_baseline maps it over.
+  double wall_ms = 0.0;
 
   bool as_expected() const {
     return deadlock_free == expected_deadlock_free;
@@ -121,8 +131,8 @@ struct BaselineComparison {
   std::vector<std::string> improvements;  ///< verdict went not free -> free
   std::vector<std::string> added;         ///< not in the baseline
   std::vector<std::string> removed;       ///< in the baseline, not in this run
-  double cpu_ms_before = 0.0;
-  double cpu_ms_now = 0.0;
+  double wall_ms_before = 0.0;
+  double wall_ms_now = 0.0;
   std::vector<std::string> rows_json;     ///< per-instance trend rows
 
   /// The documented failure condition: a verdict that regressed. Instances
@@ -155,13 +165,16 @@ std::optional<std::map<std::string, BaselineRow>> load_baseline(
              (parse_error.empty() ? "" : ": " + parse_error);
     return std::nullopt;
   }
+  // v1 artifacts stay comparable: the verdict fields are identical and the
+  // old cpu_ms column WAS wall-clock time, so it maps onto wall_ms below.
   const std::optional<double> schema = doc->get_number("schema_version");
-  if (!schema || static_cast<std::int64_t>(*schema) !=
-                     VerifyReport::kSchemaVersion) {
+  const std::int64_t schema_version =
+      schema ? static_cast<std::int64_t>(*schema) : -1;
+  if (schema_version != 1 && schema_version != VerifyReport::kSchemaVersion) {
     *error = "baseline '" + path + "' has schema_version " +
-             (schema ? std::to_string(static_cast<std::int64_t>(*schema))
+             (schema ? std::to_string(schema_version)
                      : std::string("<missing>")) +
-             "; this build speaks " +
+             "; this build speaks 1 and " +
              std::to_string(VerifyReport::kSchemaVersion);
     return std::nullopt;
   }
@@ -217,7 +230,9 @@ std::optional<std::map<std::string, BaselineRow>> load_baseline(
     entry.expected_deadlock_free =
         row.get_bool("expected_deadlock_free").value_or(true);
     entry.constraints_ok = row.get_bool("constraints_ok").value_or(true);
-    entry.cpu_ms = row.get_number("cpu_ms").value_or(0.0);
+    // v2 rows carry wall_ms; in v1 rows the cpu_ms field held wall time.
+    entry.wall_ms = row.get_number("wall_ms")
+                        .value_or(row.get_number("cpu_ms").value_or(0.0));
     rows[*name] = entry;
   }
   return rows;
@@ -249,17 +264,17 @@ BaselineComparison compare_against_baseline(
     } else if (!was_ok && now_ok) {
       trend.improvements.push_back(verdict.instance);
     }
-    trend.cpu_ms_before += before.cpu_ms;
-    trend.cpu_ms_now += verdict.cpu_ms;
+    trend.wall_ms_before += before.wall_ms;
+    trend.wall_ms_now += verdict.wall_ms;
     JsonObject row;
     row.add("instance", verdict.instance)
         .add("deadlock_free_before", before.deadlock_free)
         .add("deadlock_free_now", verdict.deadlock_free)
         .add("constraints_ok_before", before.constraints_ok)
         .add("constraints_ok_now", verdict.constraints_ok)
-        .add("cpu_ms_before", before.cpu_ms)
-        .add("cpu_ms_now", verdict.cpu_ms)
-        .add("cpu_ms_delta", verdict.cpu_ms - before.cpu_ms);
+        .add("wall_ms_before", before.wall_ms)
+        .add("wall_ms_now", verdict.wall_ms)
+        .add("wall_ms_delta", verdict.wall_ms - before.wall_ms);
     trend.rows_json.push_back(row.to_string());
   }
   for (const auto& [name, row] : baseline) {
@@ -279,9 +294,9 @@ std::string baseline_json(const BaselineComparison& trend) {
       .add_raw("improvements", json_string_array(trend.improvements))
       .add_raw("added", json_string_array(trend.added))
       .add_raw("removed", json_string_array(trend.removed))
-      .add("cpu_ms_before", trend.cpu_ms_before)
-      .add("cpu_ms_now", trend.cpu_ms_now)
-      .add("cpu_ms_delta", trend.cpu_ms_now - trend.cpu_ms_before)
+      .add("wall_ms_before", trend.wall_ms_before)
+      .add("wall_ms_now", trend.wall_ms_now)
+      .add("wall_ms_delta", trend.wall_ms_now - trend.wall_ms_before)
       .add_raw("rows", json_array(trend.rows_json));
   return obj.to_string();
 }
@@ -290,8 +305,8 @@ void print_baseline_table(const BaselineComparison& trend) {
   std::cout << "Trend vs baseline " << trend.file << ": " << trend.compared
             << " instances compared, " << trend.regressions.size()
             << " verdict regressions, " << trend.improvements.size()
-            << " improvements, cpu " << format_double(trend.cpu_ms_before, 1)
-            << " -> " << format_double(trend.cpu_ms_now, 1) << " ms\n";
+            << " improvements, wall " << format_double(trend.wall_ms_before, 1)
+            << " -> " << format_double(trend.wall_ms_now, 1) << " ms\n";
   for (const std::string& name : trend.regressions) {
     std::cout << "  REGRESSION: " << name
               << " was verified in the baseline and is not anymore\n";
@@ -342,6 +357,8 @@ int report_instances(const std::vector<VerifyReport>& reports,
         .add("all_deadlock_free", all_free)
         .add("all_as_expected", all_expected)
         .add_raw("cache", cache_stats_json(cache))
+        .add_raw("metrics",
+                 metrics_json(obs::MetricsRegistry::global().snapshot()))
         .add_raw("instances", json_array(rows));
     if (trend.has_value()) {
       report.add_raw("baseline", baseline_json(*trend));
@@ -351,13 +368,13 @@ int report_instances(const std::vector<VerifyReport>& reports,
   }
 
   Table table({"Instance", "Topology", "Routing", "Switching", "Ports",
-               "Dep edges", "Method", "Verdict", "CPU ms"});
+               "Dep edges", "Method", "Verdict", "Wall ms"});
   for (const VerifyReport& report : reports) {
     const InstanceVerdict& verdict = report.verdict;
     table.add_row({verdict.instance, verdict.topology, verdict.routing,
                    verdict.switching, format_count(verdict.ports),
                    format_count(verdict.edges), verdict.method,
-                   verdict_word(verdict), format_double(verdict.cpu_ms, 2)});
+                   verdict_word(verdict), format_double(verdict.wall_ms, 2)});
   }
   std::cout << "Per-instance deadlock-freedom verification (" << threads
             << " thread" << (threads == 1 ? "" : "s") << ", stages: ";
@@ -415,7 +432,8 @@ int run_instance_mode(const std::string& instance, bool all, bool heavy,
                       bool sequential, std::size_t threads, bool constraints,
                       bool generic, bool stages_given,
                       const std::string& stages,
-                      const std::string& baseline_path, bool as_json) {
+                      const std::string& baseline_path,
+                      const std::string& trace_path, bool as_json) {
   const InstanceRegistry& registry = InstanceRegistry::global();
   std::vector<InstanceSpec> specs;
   if (all) {
@@ -463,6 +481,19 @@ int run_instance_mode(const std::string& instance, bool all, bool heavy,
     baseline = *loaded;
   }
 
+  // Open the trace file BEFORE the (possibly minutes-long) sweep: an
+  // unwritable path must exit 2 up front, not after the work is done.
+  std::optional<std::ofstream> trace_out;
+  if (!trace_path.empty()) {
+    trace_out.emplace(trace_path);
+    if (!*trace_out) {
+      std::cerr << "genoc verify: cannot write --trace file '" << trace_path
+                << "' (check the directory exists and is writable)\n";
+      return 2;
+    }
+    obs::TraceRecorder::global().start();
+  }
+
   InstanceVerifyOptions options;
   options.check_constraints = run_constraints;
   options.generic_builder = generic;
@@ -475,8 +506,30 @@ int run_instance_mode(const std::string& instance, bool all, bool heavy,
   if (!sequential) {
     runner.emplace(threads);
   }
-  const std::vector<VerifyReport> reports = verify_instance_reports(
-      specs, *pipeline, runner ? &*runner : nullptr, options);
+  std::vector<VerifyReport> reports;
+  {
+    // The root span: everything the sweep does — instance construction,
+    // artifact computes, pipeline stages, pool chunks — nests under it.
+    obs::TraceSpan root_span("verify");
+    reports = verify_instance_reports(specs, *pipeline,
+                                      runner ? &*runner : nullptr, options);
+  }
+
+  if (trace_out.has_value()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.stop();
+    recorder.write_json(*trace_out);
+    trace_out->flush();
+    if (!*trace_out) {
+      std::cerr << "genoc verify: writing --trace file '" << trace_path
+                << "' failed\n";
+      return 2;
+    }
+    // stderr, so --trace composes with --json on stdout.
+    std::cerr << "genoc verify: wrote " << recorder.event_count()
+              << " trace events to " << trace_path
+              << " (load in Perfetto or chrome://tracing)\n";
+  }
 
   std::optional<BaselineComparison> trend;
   if (!baseline_path.empty()) {
@@ -584,6 +637,12 @@ int cmd_verify(const Args& args) {
   const bool generic = args.has("generic");
   const std::string stages = args.get("stages", "");
   const std::string baseline_path = args.get("baseline", "");
+  // Bare `--trace` (no value) records to the default filename.
+  const std::string trace_path =
+      args.has("trace") ? (args.get("trace", "").empty()
+                               ? std::string("genoc.trace.json")
+                               : args.get("trace", ""))
+                        : std::string();
   const bool as_json = args.has("json");
   if (const int rc = finish_args(args, kUsage)) {
     return rc;
@@ -594,7 +653,8 @@ int cmd_verify(const Args& args) {
   const char* classic_flags[] = {"width",   "height",    "buffers",
                                  "workloads", "messages", "seed"};
   const char* instance_flags[] = {"threads", "sequential", "constraints",
-                                  "heavy", "generic", "stages", "baseline"};
+                                  "heavy",   "generic",    "stages",
+                                  "baseline", "trace"};
   if (instance_mode) {
     for (const char* flag : classic_flags) {
       if (args.has(flag)) {
@@ -616,7 +676,7 @@ int cmd_verify(const Args& args) {
   if (instance_mode) {
     return run_instance_mode(instance, all, heavy, sequential, threads,
                              constraints, generic, args.has("stages"), stages,
-                             baseline_path, as_json);
+                             baseline_path, trace_path, as_json);
   }
   return run_hermes_mode(width, height, buffers, options, as_json);
 }

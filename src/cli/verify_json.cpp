@@ -33,6 +33,7 @@ void add_verdict_fields(JsonObject& obj, const genoc::InstanceVerdict& verdict) 
       .add("as_expected", verdict.as_expected())
       .add("constraints_ok", verdict.constraints_ok)
       .add("checks", verdict.checks)
+      .add("wall_ms", verdict.wall_ms)
       .add("cpu_ms", verdict.cpu_ms)
       .add("note", verdict.note);
 }
@@ -60,6 +61,7 @@ std::string stage_stats_json(const genoc::StageStats& stats) {
       .add("passed", stats.passed)
       .add("skip_reason", stats.skip_reason)
       .add("checks", stats.checks)
+      .add("wall_ms", stats.wall_ms)
       .add("cpu_ms", stats.cpu_ms);
   return obj.to_string();
 }
@@ -156,14 +158,50 @@ std::optional<genoc::StageStats> stage_stats_from_json(const JsonValue& value,
   if (!stage || !ran || !passed || !skip_reason || !checks || !cpu_ms) {
     return fail("stage stats: missing field");
   }
+  // wall_ms is absent from schema-v1 rows, where cpu_ms held the wall-clock
+  // figure — fall back rather than reject.
+  const std::optional<double> wall_ms = value.get_number("wall_ms");
   genoc::StageStats stats;
   stats.stage = *stage;
   stats.ran = *ran;
   stats.passed = *passed;
   stats.skip_reason = *skip_reason;
   stats.checks = static_cast<std::uint64_t>(*checks);
+  stats.wall_ms = wall_ms.value_or(*cpu_ms);
   stats.cpu_ms = *cpu_ms;
   return stats;
+}
+
+std::string metrics_json(const genoc::obs::MetricsSnapshot& snapshot) {
+  JsonObject counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.add(name, value);
+  }
+  JsonObject gauges;
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.add(name, value);
+  }
+  JsonObject histograms;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    std::vector<std::string> buckets;
+    buckets.reserve(hist.buckets.size());
+    for (const auto& [bound, count] : hist.buckets) {
+      JsonObject bucket;
+      bucket.add("le", bound).add("count", count);
+      buckets.push_back(bucket.to_string());
+    }
+    JsonObject entry;
+    entry.add("count", hist.count)
+        .add("sum", hist.sum)
+        .add("max", hist.max)
+        .add_raw("buckets", json_array(buckets));
+    histograms.add_raw(name, entry.to_string());
+  }
+  JsonObject obj;
+  obj.add_raw("counters", counters.to_string())
+      .add_raw("gauges", gauges.to_string())
+      .add_raw("histograms", histograms.to_string());
+  return obj.to_string();
 }
 
 }  // namespace genoc::cli

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "cli/json_reader.hpp"
+#include "obs/metrics.hpp"
 #include "verify/report.hpp"
 
 namespace genoc::cli {
@@ -25,6 +26,11 @@ std::string report_json(const genoc::VerifyReport& report);
 std::string diagnostic_json(const genoc::Diagnostic& diagnostic);
 std::string stage_stats_json(const genoc::StageStats& stats);
 std::string cache_stats_json(const genoc::ArtifactCacheStats& stats);
+
+/// The `metrics` section of the schema-v2 report: counters and gauges as
+/// name -> value maps, histograms as {count, sum, max, buckets: [{le,
+/// count}]} objects. Names are pre-sorted by MetricsRegistry::snapshot().
+std::string metrics_json(const genoc::obs::MetricsSnapshot& snapshot);
 
 /// Inverse of diagnostic_json: rebuilds the typed record (stage, severity,
 /// code, message, witness in document order). Returns nullopt with a

@@ -1,5 +1,7 @@
 #include "deadlock/depgraph.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/sweep.hpp"
 #include "util/dot.hpp"
 #include "util/require.hpp"
@@ -8,6 +10,15 @@
 namespace genoc {
 
 namespace {
+
+/// Post-finalize edge count: deterministic at any thread count (finalize
+/// dedups the shards' repeat emissions), so the counter stays comparable
+/// across 1/4/8-thread runs.
+void count_built_edges(const PortDepGraph& result) {
+  static obs::Counter& edges =
+      obs::MetricsRegistry::global().counter("depgraph.edges_built");
+  edges.add(result.graph.edge_count());
+}
 
 /// Stamps the vertex-naming references of a result graph: the topology
 /// always, the grid view when the topology is one (Port-tuple consumers —
@@ -29,6 +40,7 @@ std::string PortDepGraph::to_dot(const std::string& name) const {
 }
 
 PortDepGraph build_dep_graph(const RoutingFunction& routing) {
+  obs::TraceSpan span("build_dep_graph_generic");
   const Topology& topo = routing.topology();
   PortDepGraph result;
   bind_topology(result, topo);
@@ -54,10 +66,12 @@ PortDepGraph build_dep_graph(const RoutingFunction& routing) {
     }
   }
   result.graph.finalize();
+  count_built_edges(result);
   return result;
 }
 
 PortDepGraph build_dep_graph_fast(const RoutingFunction& routing) {
+  obs::TraceSpan span("build_dep_graph_fast");
   const Topology& topo = routing.topology();
   RouteSweeper sweeper(routing);
   std::vector<RouteSweeper::Edge> edges;
@@ -75,11 +89,13 @@ PortDepGraph build_dep_graph_fast(const RoutingFunction& routing) {
     result.graph.add_edge(from, to);
   }
   result.graph.finalize();
+  count_built_edges(result);
   return result;
 }
 
 PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
                                       ThreadPool& pool) {
+  obs::TraceSpan span("build_dep_graph_parallel");
   const Topology& topo = routing.topology();
   const std::size_t dest_count = topo.destination_count();
   const std::size_t grain = pool.recommended_grain(dest_count);
@@ -88,6 +104,11 @@ PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
 
   pool.parallel_for(
       dest_count, grain, [&](std::size_t begin, std::size_t end) {
+        obs::TraceSpan shard_span("depgraph_shard");
+        if (shard_span.active()) {
+          shard_span.set_detail("dests " + std::to_string(begin) + ".." +
+                                std::to_string(end));
+        }
         auto& local = shards[begin / grain];
         // A sweeper per shard: the emitted-edge dedup cache is sweeper-
         // local, so shards may re-emit edges another shard saw — merge
@@ -99,6 +120,7 @@ PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
         }
       });
 
+  obs::TraceSpan merge_span("depgraph_merge");
   PortDepGraph result;
   bind_topology(result, topo);
   result.graph = Digraph(topo.port_count());
@@ -113,6 +135,7 @@ PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
     }
   }
   result.graph.finalize();
+  count_built_edges(result);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/sweep.hpp"
 #include "util/require.hpp"
 #include "util/thread_pool.hpp"
@@ -144,6 +146,7 @@ void sweep_escape_destination(const RoutingFunction& adaptive,
 EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
                               const RoutingFunction& escape,
                               ThreadPool* pool) {
+  obs::TraceSpan span("escape_analysis");
   GENOC_REQUIRE(&adaptive.topology() == &escape.topology(),
                 "adaptive and escape functions must share a topology");
   GENOC_REQUIRE(escape.is_deterministic(),
@@ -170,6 +173,7 @@ EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
   std::vector<EscapeShard> shards;
   if (pool == nullptr) {
     // Sequential: one shard sweeps every destination in order.
+    obs::TraceSpan sweep_span("escape_sweep");
     shards.emplace_back(port_count);
     for (std::size_t dest = 0; dest < dest_count; ++dest) {
       sweep_escape_destination(adaptive, escape, topo, in_ports, dest,
@@ -184,6 +188,11 @@ EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
     }
     pool->parallel_for(
         dest_count, grain, [&](std::size_t begin, std::size_t end) {
+          obs::TraceSpan shard_span("escape_shard");
+          if (shard_span.active()) {
+            shard_span.set_detail("dests " + std::to_string(begin) + ".." +
+                                  std::to_string(end));
+          }
           EscapeShard& shard = shards[begin / grain];
           for (std::size_t dest = begin; dest < end; ++dest) {
             sweep_escape_destination(adaptive, escape, topo, in_ports, dest,
@@ -195,6 +204,7 @@ EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
   // Deterministic merge: counters are sums, the witness is the minimum in
   // (destination, in-port) order, and the edge union is canonicalized by
   // finalize() — the result never depends on shard count or interleaving.
+  obs::TraceSpan merge_span("escape_merge");
   std::size_t total_edges = 0;
   for (const EscapeShard& shard : shards) {
     total_edges += shard.edges.size();
@@ -224,6 +234,16 @@ EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
   result.escape_graph_acyclic = is_acyclic(result.escape_graph.graph);
   result.deadlock_free =
       result.escape_always_available && result.escape_graph_acyclic;
+  {
+    // Shard sums are deterministic at any thread count — safe to compare
+    // across 1/4/8-thread snapshots.
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+    static obs::Counter& states =
+        metrics.counter("escape.states_checked");
+    states.add(result.states_checked);
+    metrics.gauge("escape.max_states")
+        .record_max(static_cast<std::int64_t>(result.states_checked));
+  }
   return result;
 }
 

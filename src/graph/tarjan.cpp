@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 #include "util/thread_pool.hpp"
 
@@ -314,6 +316,8 @@ void trim_peel_parallel(const Digraph& graph, const ReverseAdj& rev,
                         ThreadPool& pool, bool forward,
                         std::vector<std::uint8_t>& alive,
                         std::vector<std::uint32_t>* trimmed) {
+  obs::TraceSpan peel_span(forward ? "trim_peel_forward"
+                                   : "trim_peel_backward");
   const std::size_t n = graph.vertex_count();
   std::vector<std::atomic<std::uint32_t>> deg(n);
 
@@ -324,29 +328,33 @@ void trim_peel_parallel(const Digraph& graph, const ReverseAdj& rev,
   const std::size_t census_grain = pool.recommended_grain(n);
   std::vector<std::vector<std::uint32_t>> seeds(
       (n + census_grain - 1) / census_grain);
-  pool.parallel_for(n, census_grain, [&](std::size_t begin, std::size_t end) {
-    auto& local = seeds[begin / census_grain];
-    for (std::size_t v = begin; v < end; ++v) {
-      if (alive[v] == 0) {
-        deg[v].store(0, std::memory_order_relaxed);
-        continue;
-      }
-      std::uint32_t d = 0;
-      if (forward) {
-        d = static_cast<std::uint32_t>(graph.out_degree(v));
-      } else {
-        for (const std::uint32_t u : rev.in(v)) {
-          if (alive[u] != 0) {
-            ++d;
+  {
+    obs::TraceSpan census_span("trim_census");
+    pool.parallel_for(n, census_grain,
+                      [&](std::size_t begin, std::size_t end) {
+      auto& local = seeds[begin / census_grain];
+      for (std::size_t v = begin; v < end; ++v) {
+        if (alive[v] == 0) {
+          deg[v].store(0, std::memory_order_relaxed);
+          continue;
+        }
+        std::uint32_t d = 0;
+        if (forward) {
+          d = static_cast<std::uint32_t>(graph.out_degree(v));
+        } else {
+          for (const std::uint32_t u : rev.in(v)) {
+            if (alive[u] != 0) {
+              ++d;
+            }
           }
         }
+        deg[v].store(d, std::memory_order_relaxed);
+        if (d == 0) {
+          local.push_back(static_cast<std::uint32_t>(v));
+        }
       }
-      deg[v].store(d, std::memory_order_relaxed);
-      if (d == 0) {
-        local.push_back(static_cast<std::uint32_t>(v));
-      }
-    }
-  });
+    });
+  }
   std::vector<std::uint32_t> frontier;
   for (const auto& local : seeds) {
     frontier.insert(frontier.end(), local.begin(), local.end());
@@ -356,6 +364,10 @@ void trim_peel_parallel(const Digraph& graph, const ReverseAdj& rev,
   // the vertices its decrements drove to zero. The barrier between rounds
   // is parallel_for's own completion — level-synchronous by construction.
   while (!frontier.empty()) {
+    obs::TraceSpan round_span("trim_round");
+    if (round_span.active()) {
+      round_span.set_detail("frontier " + std::to_string(frontier.size()));
+    }
     const std::size_t grain = pool.recommended_grain(frontier.size(), 4);
     const std::size_t shard_total = (frontier.size() + grain - 1) / grain;
     std::vector<std::vector<std::uint32_t>> next(shard_total);
@@ -442,6 +454,7 @@ constexpr std::size_t kParallelTrimMin = 1 << 14;
 }  // namespace
 
 SccResult parallel_scc(const Digraph& graph, ThreadPool& pool) {
+  obs::TraceSpan span("parallel_scc");
   GENOC_REQUIRE(graph.finalized(), "parallel_scc requires a finalized graph");
   const std::size_t n = graph.vertex_count();
   SccResult result;
@@ -460,6 +473,7 @@ SccResult parallel_scc(const Digraph& graph, ThreadPool& pool) {
   // it peeled in, so the level-synchronous rounds and the sequential
   // worklist produce the same decomposition (ids are canonicalized below).
   {
+    obs::TraceSpan trim_span("scc_trim");
     std::vector<std::uint32_t> trimmed;
     trimmed.reserve(n);
     if (pool.thread_count() > 1 && n >= kParallelTrimMin) {
@@ -478,6 +492,7 @@ SccResult parallel_scc(const Digraph& graph, ThreadPool& pool) {
   // disjoint scratch entries).
   std::vector<std::vector<std::uint32_t>> buckets;
   {
+    obs::TraceSpan bucket_span("scc_wcc_buckets");
     std::vector<std::uint32_t> parent(n);
     for (std::size_t v = 0; v < n; ++v) {
       parent[v] = static_cast<std::uint32_t>(v);
@@ -527,6 +542,12 @@ SccResult parallel_scc(const Digraph& graph, ThreadPool& pool) {
     pool.parallel_for(
         buckets.size(), 1, [&](std::size_t begin, std::size_t end) {
           for (std::size_t b = begin; b < end; ++b) {
+            obs::TraceSpan bucket_span("scc_bucket");
+            if (bucket_span.active()) {
+              bucket_span.set_detail(
+                  "bucket " + std::to_string(b) + ", " +
+                  std::to_string(buckets[b].size()) + " vertices");
+            }
             const std::uint32_t rid = scratch.token();
             for (const std::uint32_t v : buckets[b]) {
               scratch.region[v] = rid;

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "verify/artifacts.hpp"
 
 namespace genoc {
@@ -22,6 +23,12 @@ std::vector<VerifyReport> verify_instance_reports(
   options.artifacts = store;
 
   const auto verify_one = [&](std::size_t i) {
+    // Covers instance construction too, so a trace shows the full cost of
+    // the row, not just the pipeline stages inside it.
+    obs::TraceSpan span("verify_instance");
+    if (span.active()) {
+      span.set_detail(specs[i].name);
+    }
     const NetworkInstance instance(specs[i]);
     const std::shared_ptr<AnalysisArtifacts> artifacts =
         store->acquire(specs[i]);

@@ -1,0 +1,130 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace genoc::obs {
+
+std::size_t metric_thread_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  max_.record_max(static_cast<std::int64_t>(value));
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = static_cast<std::uint64_t>(max_.value());
+  for (std::size_t width = 0; width < kBuckets; ++width) {
+    const std::uint64_t count =
+        buckets_[width].load(std::memory_order_relaxed);
+    if (count == 0) {
+      continue;
+    }
+    // bit_width(v) == w covers v in [2^(w-1), 2^w - 1]; upper bound 2^w - 1.
+    const std::uint64_t bound =
+        width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+    snap.buckets.emplace_back(bound, count);
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.reset();
+}
+
+std::uint64_t MetricsSnapshot::counter_value(
+    std::string_view name) const noexcept {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+template <typename T>
+T& MetricsRegistry::find_or_create(Table<T>& table, std::string_view name) {
+  for (auto& [existing, metric] : table) {
+    if (existing == name) {
+      return *metric;
+    }
+  }
+  table.emplace_back(std::string(name), std::make_unique<T>());
+  return *table.back().second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(histograms_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      snap.counters.emplace_back(name, counter->value());
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges.emplace_back(name, gauge->value());
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      snap.histograms.emplace_back(name, histogram->snapshot());
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->reset();
+  }
+}
+
+}  // namespace genoc::obs

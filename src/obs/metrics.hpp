@@ -1,0 +1,174 @@
+#pragma once
+
+// Process-wide metrics registry: counters, gauges, and histograms that the
+// verify pipeline, artifact cache, and thread pool tick on their hot paths.
+//
+// Counters are sharded across cache-line-aligned atomic slots indexed by a
+// per-thread shard id, so concurrent increments from pool workers never
+// contend on one line; a snapshot folds the shards in fixed index order, so
+// the fold is deterministic for a given set of increments regardless of
+// which thread performed them. Gauges are single atomics with `set` and
+// `record_max` (high-water) semantics. Histograms bucket values by power of
+// two (bit width), which is exact enough for grain sizes and queue depths
+// while keeping `observe` a single atomic add.
+//
+// Metric objects are owned by the registry and never deallocated until
+// process exit, so call sites may cache `Counter&` references (e.g. in
+// function-local statics) and tick them lock-free forever. `reset()` zeroes
+// every value but keeps all registrations — and therefore all cached
+// references — valid; tests use it to isolate runs.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace genoc::obs {
+
+/// Number of per-thread counter shards. Threads hash onto shards by a
+/// sequentially assigned thread index, so up to this many threads increment
+/// without sharing a cache line.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Sequential index of the calling thread, assigned on first use; used to
+/// pick a counter shard.
+std::size_t metric_thread_index() noexcept;
+
+/// Monotonic counter, sharded per thread.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    shards_[metric_thread_index() % kMetricShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  /// Folds the shards in index order.
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+/// Point-in-time value with last-write-wins `set` and monotonic
+/// `record_max` high-water semantics.
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  void record_max(std::int64_t value) noexcept {
+    std::int64_t seen = value_.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !value_.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two-bucket histogram: bucket i counts values v with
+/// bit_width(v) == i, i.e. the bucket upper bounds are 0, 1, 3, 7, ...
+/// `observe` is one relaxed atomic add per of {bucket, sum, count, max}.
+class Histogram {
+ public:
+  /// Bucket for values 0..2^64-1 by bit width: 0 has width 0, so 65 slots.
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t value) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    /// (inclusive upper bound, count) for non-empty buckets only,
+    /// ascending by bound.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  };
+  Snapshot snapshot() const;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  Gauge max_;
+};
+
+/// Deterministic, name-sorted view of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+  /// Value of a named counter, or 0 when absent (unregistered == never
+  /// ticked).
+  std::uint64_t counter_value(std::string_view name) const noexcept;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem ticks into.
+  static MetricsRegistry& global();
+
+  /// Finds or creates the named metric. The returned reference stays valid
+  /// for the registry's lifetime; hot call sites should cache it instead of
+  /// re-resolving the name per tick. Counter, gauge, and histogram names
+  /// live in separate namespaces.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Name-sorted snapshot of every metric; shard folds happen here, in
+  /// fixed shard order, so equal increment multisets yield equal snapshots.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value but keeps registrations (and cached references)
+  /// alive. Call only while no instrumented work is in flight.
+  void reset();
+
+ private:
+  template <typename T>
+  using Table = std::vector<std::pair<std::string, std::unique_ptr<T>>>;
+
+  template <typename T>
+  static T& find_or_create(Table<T>& table, std::string_view name);
+
+  mutable std::mutex mutex_;
+  Table<Counter> counters_;
+  Table<Gauge> gauges_;
+  Table<Histogram> histograms_;
+};
+
+}  // namespace genoc::obs

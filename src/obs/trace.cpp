@@ -1,0 +1,210 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace genoc::obs {
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Minimal JSON string escape for event names and detail payloads. The obs
+// layer sits below cli/, so it cannot reuse cli/json_writer.
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Microseconds with nanosecond precision, the unit Chrome trace ts/dur use.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buffer;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::start() {
+  clear();
+  start_ns_epoch_ = steady_now_ns();
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::stop() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void TraceRecorder::clear() {
+  stop();
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::now_ns() const noexcept {
+  const std::uint64_t now = steady_now_ns();
+  return now >= start_ns_epoch_ ? now - start_ns_epoch_ : 0;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  struct TlsRef {
+    TraceRecorder* owner = nullptr;
+    std::uint64_t epoch = 0;
+    ThreadBuffer* buffer = nullptr;
+  };
+  thread_local TlsRef ref;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (ref.owner != this || ref.epoch != epoch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(std::move(buffer));
+    ref.owner = this;
+    ref.epoch = epoch;
+    ref.buffer = buffers_.back().get();
+  }
+  return *ref.buffer;
+}
+
+void TraceRecorder::record(const char* name, std::string detail,
+                           std::uint64_t start_ns, std::uint64_t dur_ns) {
+  ThreadBuffer& buffer = local_buffer();
+  buffer.events.push_back(
+      TraceEvent{name, std::move(detail), start_ns, dur_ns});
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void TraceRecorder::write_json(std::ostream& out) const {
+  std::string text;
+  text += "{\"traceEvents\": [";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) {
+      text += ",";
+    }
+    first = false;
+    text += "\n  ";
+    text += event;
+  };
+
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+       "\"args\": {\"name\": \"genoc\"}}");
+  for (const auto& buffer : buffers_) {
+    std::string event = "{\"name\": \"thread_name\", \"ph\": \"M\", "
+                        "\"pid\": 1, \"tid\": ";
+    event += std::to_string(buffer->tid);
+    event += ", \"args\": {\"name\": \"";
+    event += buffer->tid == 0 ? "main" : "worker-" + std::to_string(buffer->tid);
+    event += "\"}}";
+    emit(event);
+  }
+
+  for (const auto& buffer : buffers_) {
+    // Events land in the buffer at span close, so sort back into start
+    // order; on equal starts the longer (enclosing) span must come first
+    // for stack-nesting consumers.
+    std::vector<const TraceEvent*> ordered;
+    ordered.reserve(buffer->events.size());
+    for (const TraceEvent& event : buffer->events) {
+      ordered.push_back(&event);
+    }
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       if (a->start_ns != b->start_ns) {
+                         return a->start_ns < b->start_ns;
+                       }
+                       return a->dur_ns > b->dur_ns;
+                     });
+    for (const TraceEvent* event : ordered) {
+      std::string line = "{\"name\": \"";
+      append_escaped(line, event->name);
+      line += "\", \"ph\": \"X\", \"ts\": ";
+      append_us(line, event->start_ns);
+      line += ", \"dur\": ";
+      append_us(line, event->dur_ns);
+      line += ", \"pid\": 1, \"tid\": ";
+      line += std::to_string(buffer->tid);
+      if (!event->detail.empty()) {
+        line += ", \"args\": {\"detail\": \"";
+        append_escaped(line, event->detail);
+        line += "\"}";
+      }
+      line += "}";
+      emit(line);
+    }
+  }
+
+  text += "\n]}\n";
+  out << text;
+}
+
+std::string TraceRecorder::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+void TraceSpan::begin(const char* name) noexcept {
+  name_ = name;
+  start_ns_ = TraceRecorder::global().now_ns();
+  active_ = true;
+}
+
+void TraceSpan::end() noexcept {
+  TraceRecorder& recorder = TraceRecorder::global();
+  const std::uint64_t end_ns = recorder.now_ns();
+  const std::uint64_t dur_ns = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  recorder.record(name_, std::move(detail_), start_ns_, dur_ns);
+}
+
+}  // namespace genoc::obs

@@ -1,0 +1,127 @@
+#pragma once
+
+// Span-based trace recorder emitting Chrome trace-event JSON.
+//
+// `TraceSpan` is an RAII guard: construction stamps a start time, the
+// destructor records one complete ("X") event into a thread-local buffer
+// owned by the process-wide `TraceRecorder`. When tracing is disabled (the
+// default), constructing a span costs exactly one relaxed atomic load and
+// one branch — no clock read, no allocation — so instrumentation can stay
+// on hot paths permanently.
+//
+// The recorder assigns each recording thread a small sequential tid in
+// first-event order (the coordinating thread, which opens the outermost
+// span, gets tid 0) and serializes all buffers as a single
+// `{"traceEvents": [...]}` document that Perfetto and chrome://tracing load
+// directly. Timestamps are microseconds relative to `start()`.
+//
+// Lifecycle contract: `start()`, `stop()`, `clear()`, and the serializers
+// must only be called from the coordinating thread while no instrumented
+// parallel work is in flight (the CLI enables tracing before the verify
+// sweep and writes the file after it completes). Span construction and
+// destruction are safe from any thread at any time.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace genoc::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< static string; span call sites pass literals
+  std::string detail;          ///< optional args payload; empty = omitted
+  std::uint64_t start_ns = 0;  ///< relative to TraceRecorder::start()
+  std::uint64_t dur_ns = 0;
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  /// True while spans record events. One relaxed load: the fast path.
+  static bool enabled() noexcept {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Drops any prior events and starts recording; the epoch clock zeroes
+  /// here.
+  void start();
+
+  /// Stops recording; already-open spans on the coordinating thread still
+  /// record when they close before serialization.
+  void stop();
+
+  /// Drops all events and buffers (stops first if needed).
+  void clear();
+
+  /// Nanoseconds since start().
+  std::uint64_t now_ns() const noexcept;
+
+  /// Appends one complete event to the calling thread's buffer.
+  void record(const char* name, std::string detail, std::uint64_t start_ns,
+              std::uint64_t dur_ns);
+
+  std::size_t event_count() const;
+
+  /// Serializes every buffer as one Chrome trace-event JSON document.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+ private:
+  struct ThreadBuffer {
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  static inline std::atomic<bool> g_enabled{false};
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  /// Bumped by clear() so thread-local buffer pointers from a previous
+  /// recording generation re-register instead of dangling.
+  std::atomic<std::uint64_t> epoch_{1};
+  std::uint64_t start_ns_epoch_ = 0;  ///< steady_clock ns at start()
+};
+
+/// RAII span: records one "X" trace event covering its lifetime. No-op
+/// (one atomic load) when tracing is disabled at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+    if (TraceRecorder::enabled()) {
+      begin(name);
+    }
+  }
+  ~TraceSpan() {
+    if (active_) {
+      end();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when this span will record; gate detail-string construction on it.
+  bool active() const noexcept { return active_; }
+
+  /// Attaches a free-form payload emitted under args.detail.
+  void set_detail(std::string detail) { detail_ = std::move(detail); }
+
+ private:
+  void begin(const char* name) noexcept;
+  void end() noexcept;
+
+  const char* name_ = nullptr;
+  std::string detail_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace genoc::obs

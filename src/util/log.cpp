@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <iostream>
+#include <mutex>
 
 namespace genoc {
 
@@ -32,7 +33,19 @@ void log_line(LogLevel level, const std::string& message) {
   if (level < g_level || level == LogLevel::kOff) {
     return;
   }
-  std::cerr << "[genoc " << level_name(level) << "] " << message << '\n';
+  // Pool workers log concurrently; format the whole line first and hold a
+  // mutex across the single stream write so lines never interleave
+  // mid-record.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[genoc ";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  static std::mutex emit_mutex;
+  std::lock_guard<std::mutex> lock(emit_mutex);
+  std::cerr << line;
 }
 
 }  // namespace genoc

@@ -1,5 +1,15 @@
 #include "util/stopwatch.hpp"
 
+#include <ctime>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <time.h>
+#define GENOC_HAVE_RUSAGE 1
+#else
+#define GENOC_HAVE_RUSAGE 0
+#endif
+
 namespace genoc {
 
 Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
@@ -12,5 +22,38 @@ double Stopwatch::elapsed_ms() const {
 }
 
 double Stopwatch::elapsed_s() const { return elapsed_ms() / 1000.0; }
+
+double process_cpu_ms() {
+#if GENOC_HAVE_RUSAGE
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    const auto to_ms = [](const timeval& tv) {
+      return static_cast<double>(tv.tv_sec) * 1000.0 +
+             static_cast<double>(tv.tv_usec) / 1000.0;
+    };
+    return to_ms(usage.ru_utime) + to_ms(usage.ru_stime);
+  }
+#endif
+  return static_cast<double>(std::clock()) * 1000.0 / CLOCKS_PER_SEC;
+}
+
+double thread_cpu_ms() {
+#if GENOC_HAVE_RUSAGE && defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1000.0 +
+           static_cast<double>(ts.tv_nsec) / 1e6;
+  }
+#endif
+  return process_cpu_ms();
+}
+
+CpuStopwatch::CpuStopwatch() : start_ms_(process_cpu_ms()) {}
+
+void CpuStopwatch::reset() { start_ms_ = process_cpu_ms(); }
+
+double CpuStopwatch::elapsed_ms() const {
+  return process_cpu_ms() - start_ms_;
+}
 
 }  // namespace genoc

@@ -1,6 +1,9 @@
 /// \file stopwatch.hpp
-/// \brief Wall-clock stopwatch used by the obligation harness to report the
-///        CPU column of the Table I reproduction.
+/// \brief Wall-clock and CPU-time stopwatches. `Stopwatch` measures
+///        steady_clock wall time; `CpuStopwatch` measures true CPU time
+///        consumed by the whole process (all threads, via getrusage), so
+///        parallel stages report both how long they took and how much work
+///        they burned.
 #pragma once
 
 #include <chrono>
@@ -23,6 +26,32 @@ class Stopwatch {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// CPU time consumed so far by the whole process — every thread, user +
+/// system — in milliseconds. Uses getrusage(RUSAGE_SELF) where available,
+/// std::clock() otherwise.
+double process_cpu_ms();
+
+/// CPU time consumed so far by the calling thread, in milliseconds. Uses
+/// CLOCK_THREAD_CPUTIME_ID where available; falls back to process_cpu_ms().
+double thread_cpu_ms();
+
+/// CPU-time stopwatch over the process-wide roll-up: elapsed_ms() is the
+/// CPU burned by all threads since construction/reset. Under a shared pool
+/// this attributes concurrent siblings' work too — it is a roll-up, not a
+/// per-stage exclusive figure — but it is the honest "work burned" number
+/// the wall-clock Stopwatch was misreporting as cpu_ms.
+class CpuStopwatch {
+ public:
+  CpuStopwatch();
+
+  void reset();
+
+  double elapsed_ms() const;
+
+ private:
+  double start_ms_;
 };
 
 }  // namespace genoc

@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <exception>
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace genoc {
 
 namespace {
+
+std::uint64_t busy_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Shared state of one parallel_for: chunks are claimed via an atomic
 /// cursor; the loop completes when every chunk has *executed* (claimed-and-
@@ -24,6 +37,7 @@ struct ForLoop {
   std::mutex mutex;
   std::condition_variable all_done;
   std::exception_ptr first_error;
+  obs::Counter* chunks_run_metric = nullptr;
 
   /// Claims and runs chunks until none are left.
   void drain() {
@@ -35,6 +49,13 @@ struct ForLoop {
       }
       const std::size_t begin = chunk * grain;
       const std::size_t end = std::min(count, begin + grain);
+      // Chunk events flush before done_chunks releases the caller, so the
+      // trace is complete the moment parallel_for returns.
+      obs::TraceSpan span("pool_chunk");
+      if (span.active()) {
+        span.set_detail(std::to_string(begin) + ".." + std::to_string(end));
+      }
+      chunks_run_metric->increment();
       try {
         (*body)(begin, end);
       } catch (...) {
@@ -55,11 +76,17 @@ struct ForLoop {
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  tasks_run_metric_ = &metrics.counter("threadpool.tasks_run");
+  parallel_for_metric_ = &metrics.counter("threadpool.parallel_for.calls");
+  chunks_run_metric_ = &metrics.counter("threadpool.chunks_run");
+  queue_depth_highwater_ = &metrics.gauge("threadpool.queue_depth_highwater");
+  grain_histogram_ = &metrics.histogram("threadpool.parallel_for.grain");
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   for (std::size_t i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -74,7 +101,11 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  // Per-worker busy time; the caller thread (index 0) is accounted by the
+  // pool_chunk spans instead, since it never runs worker_loop.
+  obs::Counter& busy_ns = obs::MetricsRegistry::global().counter(
+      "threadpool.worker" + std::to_string(worker_index) + ".busy_ns");
   while (true) {
     std::function<void()> task;
     {
@@ -86,7 +117,10 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const std::uint64_t begin_ns = busy_clock_ns();
     task();
+    busy_ns.add(busy_clock_ns() - begin_ns);
+    tasks_run_metric_->increment();
   }
 }
 
@@ -97,6 +131,8 @@ void ThreadPool::enqueue(std::function<void()> task) {
       return;
     }
     tasks_.push(std::move(task));
+    queue_depth_highwater_->record_max(
+        static_cast<std::int64_t>(tasks_.size()));
   }
   wake_.notify_one();
 }
@@ -108,11 +144,14 @@ void ThreadPool::parallel_for(
     return;
   }
   grain = std::max<std::size_t>(1, grain);
+  parallel_for_metric_->increment();
+  grain_histogram_->observe(grain);
   auto loop = std::make_shared<ForLoop>();
   loop->count = count;
   loop->grain = grain;
   loop->chunk_total = (count + grain - 1) / grain;
   loop->body = &body;
+  loop->chunks_run_metric = chunks_run_metric_;
 
   const std::size_t helpers =
       std::min(workers_.size(), loop->chunk_total - 1);

@@ -20,6 +20,12 @@
 
 namespace genoc {
 
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+
 class ThreadPool {
  public:
   /// Spawns \p threads - 1 workers (the caller is the remaining thread);
@@ -53,7 +59,7 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   void enqueue(std::function<void()> task);
 
   std::vector<std::thread> workers_;
@@ -61,6 +67,16 @@ class ThreadPool {
   std::condition_variable wake_;
   std::queue<std::function<void()>> tasks_;
   bool stopping_ = false;
+
+  // Utilization metrics in the process-wide MetricsRegistry, resolved once
+  // at construction (the registry owns them; references never dangle).
+  // Scheduling metrics (threadpool.*) legitimately vary with thread count —
+  // only the analysis-layer counters are thread-count-invariant.
+  obs::Counter* tasks_run_metric_ = nullptr;
+  obs::Counter* parallel_for_metric_ = nullptr;
+  obs::Counter* chunks_run_metric_ = nullptr;
+  obs::Gauge* queue_depth_highwater_ = nullptr;
+  obs::Histogram* grain_histogram_ = nullptr;
 };
 
 }  // namespace genoc

@@ -4,10 +4,33 @@
 
 #include "graph/tarjan.hpp"
 #include "instance/network_instance.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 #include "util/thread_pool.hpp"
 
 namespace genoc {
+
+namespace {
+
+/// The legacy ArtifactCacheStats counters stay (the per-run report delta is
+/// computed from them); these mirror every tick into the process-wide
+/// MetricsRegistry so the cache is observable without threading a report
+/// through. References are stable for the process lifetime — call sites
+/// cache them in function-local statics.
+struct KindCounters {
+  obs::Counter& hits;
+  obs::Counter& misses;
+};
+
+KindCounters kind_counters(const char* kind) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  const std::string prefix = std::string("artifacts.") + kind;
+  return KindCounters{metrics.counter(prefix + ".hits"),
+                      metrics.counter(prefix + ".misses")};
+}
+
+}  // namespace
 
 AnalysisArtifacts::AnalysisArtifacts(const Topology& topology,
                                      const RoutingFunction& routing,
@@ -46,28 +69,36 @@ std::string AnalysisArtifacts::key(const InstanceSpec& spec) {
 }
 
 void AnalysisArtifacts::ensure_primed_locked() {
+  static KindCounters counters = kind_counters("primed");
   if (primed_) {
     ++stats_.primed.hits;
+    counters.hits.increment();
     return;
   }
+  obs::TraceSpan span("artifact:prime");
   routing_->prime();
   if (escape_ != nullptr) {
     escape_->prime();
   }
   primed_ = true;
   ++stats_.primed.misses;
+  counters.misses.increment();
 }
 
 const PortDepGraph& AnalysisArtifacts::dep_graph_locked(bool generic_builder,
                                                         ThreadPool* pool) {
+  static KindCounters counters = kind_counters("dep_graph");
   if (dep_.has_value()) {
     // Reused regardless of which builder produced it: the generic oracle,
     // the fast builder and the sharded builder are bit-identical (the test
     // suite's standing cross-check), so the graph content cannot differ.
     ++stats_.dep_graph.hits;
+    counters.hits.increment();
     return *dep_;
   }
   ++stats_.dep_graph.misses;
+  counters.misses.increment();
+  obs::TraceSpan span("artifact:dep_graph");
   if (generic_builder) {
     // The oracle walks reachable() per (port, dest); prime first so the
     // closure build is not racing a shared batch sibling.
@@ -89,12 +120,16 @@ const PortDepGraph& AnalysisArtifacts::dep_graph(bool generic_builder,
 
 const AcyclicityArtifact& AnalysisArtifacts::acyclicity_locked(
     bool generic_builder, ThreadPool* pool) {
+  static KindCounters counters = kind_counters("acyclicity");
   if (acyclicity_.has_value()) {
     ++stats_.acyclicity.hits;
+    counters.hits.increment();
     return *acyclicity_;
   }
   const PortDepGraph& dep = dep_graph_locked(generic_builder, pool);
   ++stats_.acyclicity.misses;
+  counters.misses.increment();
+  obs::TraceSpan span("artifact:acyclicity");
   AcyclicityArtifact result;
   result.cycle = find_cycle(dep.graph, pool);
   result.acyclic = !result.cycle.has_value();
@@ -112,8 +147,10 @@ const EscapeAnalysis& AnalysisArtifacts::escape_analysis(ThreadPool* pool) {
   const std::lock_guard<std::mutex> lock(mutex_);
   GENOC_REQUIRE(escape_ != nullptr,
                 "escape_analysis() on a context without an escape lane");
+  static KindCounters counters = kind_counters("escape");
   if (escape_analysis_.has_value()) {
     ++stats_.escape.hits;
+    counters.hits.increment();
     return *escape_analysis_;
   }
   // analyze_escape walks adaptive.reachable() per state; priming here keeps
@@ -121,6 +158,8 @@ const EscapeAnalysis& AnalysisArtifacts::escape_analysis(ThreadPool* pool) {
   // shared closure read-only for every later stage).
   ensure_primed_locked();
   ++stats_.escape.misses;
+  counters.misses.increment();
+  obs::TraceSpan span("artifact:escape_analysis");
   escape_analysis_ = analyze_escape(*routing_, *escape_, pool);
   return *escape_analysis_;
 }
@@ -128,13 +167,17 @@ const EscapeAnalysis& AnalysisArtifacts::escape_analysis(ThreadPool* pool) {
 const ConstraintsArtifact& AnalysisArtifacts::constraints(bool generic_builder,
                                                           ThreadPool* pool) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  static KindCounters counters = kind_counters("constraints");
   if (constraints_.has_value()) {
     ++stats_.constraints.hits;
+    counters.hits.increment();
     return *constraints_;
   }
   const PortDepGraph& dep = dep_graph_locked(generic_builder, pool);
   ensure_primed_locked();  // (C-1)/(C-2) enumerate reachable() heavily
   ++stats_.constraints.misses;
+  counters.misses.increment();
+  obs::TraceSpan span("artifact:constraints");
   ConstraintsArtifact result;
   result.c1 = check_c1(*routing_, dep);
   result.c2 = check_c2(*routing_, dep);
@@ -154,11 +197,15 @@ std::shared_ptr<AnalysisArtifacts> ArtifactStore::acquire(
   const auto it = std::find_if(
       entries_.begin(), entries_.end(),
       [&key](const auto& entry) { return entry.first == key; });
+  static KindCounters counters = kind_counters("contexts");
   if (it != entries_.end()) {
     ++contexts_.hits;
+    counters.hits.increment();
     return it->second;
   }
   ++contexts_.misses;
+  counters.misses.increment();
+  obs::TraceSpan span("artifact:context_build");
   auto artifacts = std::make_shared<AnalysisArtifacts>(spec);
   entries_.emplace_back(key, artifacts);
   return artifacts;

@@ -53,6 +53,10 @@ struct StageStats {
   bool passed = true;   ///< the stage's own property held (meaningless if !ran)
   std::string skip_reason;    ///< why the stage did not run (when !ran)
   std::uint64_t checks = 0;   ///< elementary checks this stage performed
+  double wall_ms = 0.0;       ///< steady_clock wall time of the stage
+  /// True CPU burned while the stage ran: process-wide getrusage roll-up,
+  /// so a pool-sharded stage reports the work of every participating
+  /// thread, not the coordinating thread's wall time.
   double cpu_ms = 0.0;
 
   friend bool operator==(const StageStats&, const StageStats&) = default;

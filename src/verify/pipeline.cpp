@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "instance/network_instance.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -372,7 +374,12 @@ std::vector<std::string> VerifyPipeline::stage_names() const {
 VerifyReport VerifyPipeline::run(const NetworkInstance& instance,
                                  AnalysisArtifacts& artifacts,
                                  const InstanceVerifyOptions& options) const {
+  obs::TraceSpan run_span("verify_pipeline");
+  if (run_span.active()) {
+    run_span.set_detail(instance.name());
+  }
   Stopwatch timer;
+  CpuStopwatch cpu_timer;
   const ArtifactCacheStats before = artifacts.stats();
   VerifyReport report;
   InstanceVerdict& verdict = report.verdict;
@@ -390,9 +397,12 @@ VerifyReport VerifyPipeline::run(const NetworkInstance& instance,
                    report};
   report.stages.reserve(stages_.size());
   for (const Check* check : stages_) {
+    obs::TraceSpan stage_span(check->name());
     Stopwatch stage_timer;
+    CpuStopwatch stage_cpu;
     StageStats stats = check->run(ctx);
-    stats.cpu_ms = stage_timer.elapsed_ms();
+    stats.wall_ms = stage_timer.elapsed_ms();
+    stats.cpu_ms = stage_cpu.elapsed_ms();
     report.stages.push_back(std::move(stats));
   }
 
@@ -413,7 +423,27 @@ VerifyReport VerifyPipeline::run(const NetworkInstance& instance,
   }
 
   report.cache = stats_delta(artifacts.stats(), before);
-  verdict.cpu_ms = timer.elapsed_ms();
+  verdict.wall_ms = timer.elapsed_ms();
+  verdict.cpu_ms = cpu_timer.elapsed_ms();
+  {
+    // Analysis-layer counters: thread-count-invariant (unlike threadpool.*),
+    // so snapshots stay comparable across 1/4/8-thread runs.
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+    static obs::Counter& runs = metrics.counter("verify.pipeline_runs");
+    static obs::Counter& stages_run = metrics.counter("verify.stages_run");
+    static obs::Counter& checks = metrics.counter("verify.checks");
+    runs.increment();
+    for (const StageStats& stats : report.stages) {
+      if (stats.ran) {
+        stages_run.increment();
+      }
+    }
+    checks.add(verdict.checks);
+    metrics.gauge("depgraph.max_edges")
+        .record_max(static_cast<std::int64_t>(verdict.edges));
+    metrics.gauge("depgraph.max_ports")
+        .record_max(static_cast<std::int64_t>(verdict.ports));
+  }
   return report;
 }
 

@@ -20,7 +20,13 @@ struct VerifyReport {
   /// Bump when the JSON shape changes incompatibly: field removals or
   /// renames, semantic changes to existing fields. Additions are
   /// backwards-compatible and do not bump it.
-  static constexpr std::int64_t kSchemaVersion = 1;
+  ///
+  /// v2: cpu_ms now reports true CPU time (getrusage roll-up) instead of
+  /// wall time; wall_ms carries the steady_clock figure; the top-level
+  /// report gains a `metrics` section and the baseline trend compares on
+  /// wall_ms. Readers (--baseline) still accept v1 artifacts, mapping
+  /// their cpu_ms to wall_ms.
+  static constexpr std::int64_t kSchemaVersion = 2;
 
   /// The legacy matrix row; method/note are rendered from the diagnostics'
   /// stage decisions, bit-identical to the pre-pipeline verifier.

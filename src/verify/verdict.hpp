@@ -69,6 +69,9 @@ struct InstanceVerdict {
   std::string note;    ///< evidence summary / first counterexample
   bool constraints_ok = true;  ///< (C-1)/(C-2), when requested
   std::uint64_t checks = 0;    ///< elementary checks (deterministic count)
+  double wall_ms = 0.0;        ///< steady_clock wall time of the whole run
+  /// True CPU burned across the run: process-wide getrusage roll-up (all
+  /// pool workers included), not the wall time the field used to misreport.
   double cpu_ms = 0.0;
 };
 

@@ -151,6 +151,7 @@ TEST(JsonReader, StageStatsRoundTrip) {
   original.passed = false;
   original.skip_reason = "";
   original.checks = 123456789;
+  original.wall_ms = 7654321.015625;
   original.cpu_ms = 1234567.890625;  // exercises the >= 1e6 precision fix
   const JsonValue doc = parse_ok(stage_stats_json(original));
   std::string error;
@@ -158,6 +159,20 @@ TEST(JsonReader, StageStatsRoundTrip) {
       stage_stats_from_json(doc, &error);
   ASSERT_TRUE(round.has_value()) << error;
   EXPECT_EQ(*round, original);
+}
+
+TEST(JsonReader, StageStatsV1RowWithoutWallMsFallsBackToCpuMs) {
+  // Schema-v1 artifacts have no wall_ms field; cpu_ms held the wall-clock
+  // figure back then, so the parser must map it over instead of rejecting.
+  const JsonValue doc =
+      parse_ok(R"({"stage": "escape", "ran": true, "passed": true,)"
+               R"( "skip_reason": "", "checks": 42, "cpu_ms": 12.5})");
+  std::string error;
+  const std::optional<genoc::StageStats> stats =
+      stage_stats_from_json(doc, &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_DOUBLE_EQ(stats->wall_ms, 12.5);
+  EXPECT_DOUBLE_EQ(stats->cpu_ms, 12.5);
 }
 
 TEST(JsonReader, EveryPipelineDiagnosticRoundTripsThroughTheWireFormat) {

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Schema validation for `genoc verify/bench --trace` artifacts.
+
+Validates the Chrome trace-event JSON the obs::TraceRecorder emits: the
+{"traceEvents": [...]} envelope, the per-event fields Perfetto and
+chrome://tracing require, non-decreasing start timestamps within each
+thread track, and proper span nesting (a later span on the same track
+either starts after the previous one ends or is fully contained in it —
+the invariant that makes the flame graph render as a stack rather than
+as overlapping slabs).
+
+Usage: tools/check_trace_schema.py trace.json [--require-events]
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+# Complete ("X") spans and metadata ("M") records are all the recorder
+# emits; anything else means the writer changed shape under us.
+KNOWN_PHASES = {"X", "M"}
+
+# Span boundaries are derived from float microseconds; allow a hair of
+# slack before calling two timestamps out of order.
+EPSILON_US = 0.002
+
+
+def fail(context: str, message: str) -> None:
+    sys.exit(f"check_trace_schema: {context}: {message}")
+
+
+def check_event(event: dict, context: str) -> None:
+    if not isinstance(event, dict):
+        fail(context, f"expected an object, got {type(event).__name__}")
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        fail(context, "missing or empty 'name'")
+    phase = event.get("ph")
+    if phase not in KNOWN_PHASES:
+        fail(context, f"unknown phase {phase!r} (recorder emits X and M)")
+    for key in ("pid", "tid"):
+        value = event.get(key)
+        if isinstance(value, bool) or not isinstance(value, int):
+            fail(context, f"'{key}' is not an integer")
+    if phase == "X":
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                fail(context, f"'{key}' is not a number")
+            if value < 0:
+                fail(context, f"'{key}' is negative ({value})")
+
+
+def check_track(tid: int, spans: list) -> None:
+    """Timestamps non-decreasing and spans properly nested per thread."""
+    context = f"tid {tid}"
+    last_ts = -1.0
+    # Stack of (end_ts, name) of still-open ancestors.
+    stack = []
+    for event in spans:
+        ts = event["ts"]
+        end = ts + event["dur"]
+        if ts + EPSILON_US < last_ts:
+            fail(context, f"timestamps regress: span '{event['name']}' "
+                          f"starts at {ts} after a span starting at {last_ts}")
+        last_ts = ts
+        while stack and ts >= stack[-1][0] - EPSILON_US:
+            stack.pop()
+        if stack and end > stack[-1][0] + EPSILON_US:
+            fail(context, f"span '{event['name']}' [{ts}, {end}] overlaps "
+                          f"its enclosing '{stack[-1][1]}' (ends at "
+                          f"{stack[-1][0]}) without nesting inside it")
+        stack.append((end, event["name"]))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=pathlib.Path)
+    parser.add_argument("--require-events", action="store_true",
+                        help="fail if the trace holds no X spans (a capture "
+                             "that silently recorded nothing)")
+    args = parser.parse_args()
+
+    try:
+        doc = json.loads(args.trace.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        fail(str(args.trace), f"unreadable or invalid JSON: {error}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level", "no 'traceEvents' key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("top level", "'traceEvents' is not a list")
+
+    tracks = {}
+    span_count = 0
+    for i, event in enumerate(events):
+        check_event(event, f"traceEvents[{i}]")
+        if event["ph"] == "X":
+            span_count += 1
+            tracks.setdefault(event["tid"], []).append(event)
+
+    for tid, spans in sorted(tracks.items()):
+        check_track(tid, spans)
+
+    if args.require_events and span_count == 0:
+        fail("top level", "--require-events: the trace holds no X spans")
+
+    print(f"check_trace_schema: OK — {span_count} spans across "
+          f"{len(tracks)} thread tracks "
+          f"({len(events) - span_count} metadata records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

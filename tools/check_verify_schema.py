@@ -15,7 +15,7 @@ import json
 import pathlib
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 SEVERITIES = {"info", "warning", "error"}
 
@@ -29,6 +29,7 @@ TOP_LEVEL = {
     "instances_total": int,
     "all_deadlock_free": bool,
     "cache": dict,
+    "metrics": dict,
     "instances": list,
 }
 
@@ -47,6 +48,7 @@ INSTANCE_ROW = {
     "deadlock_free": bool,
     "constraints_ok": bool,
     "checks": int,
+    "wall_ms": (int, float),
     "cpu_ms": (int, float),
     "note": str,
     "stages": list,
@@ -60,6 +62,7 @@ STAGE_ROW = {
     "passed": bool,
     "skip_reason": str,
     "checks": int,
+    "wall_ms": (int, float),
     "cpu_ms": (int, float),
 }
 
@@ -82,10 +85,23 @@ BASELINE = {
     "improvements": list,
     "added": list,
     "removed": list,
-    "cpu_ms_before": (int, float),
-    "cpu_ms_now": (int, float),
-    "cpu_ms_delta": (int, float),
+    "wall_ms_before": (int, float),
+    "wall_ms_now": (int, float),
+    "wall_ms_delta": (int, float),
     "rows": list,
+}
+
+METRICS_SECTION = {
+    "counters": dict,
+    "gauges": dict,
+    "histograms": dict,
+}
+
+HISTOGRAM_ENTRY = {
+    "count": int,
+    "sum": int,
+    "max": int,
+    "buckets": list,
 }
 
 
@@ -116,6 +132,27 @@ def check_cache(cache: dict, context: str) -> None:
                      f"{context}.cache.{kind}")
 
 
+def check_metrics(metrics: dict, context: str) -> None:
+    """The MetricsRegistry snapshot: counters/gauges are name -> integer
+    maps, histograms are {count, sum, max, buckets: [{le, count}]}."""
+    check_fields(metrics, METRICS_SECTION, context)
+    for name, value in metrics["counters"].items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            fail(f"{context}.counters", f"'{name}' is not an integer")
+    for name, value in metrics["gauges"].items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            fail(f"{context}.gauges", f"'{name}' is not an integer")
+    for name, entry in metrics["histograms"].items():
+        check_fields(entry, HISTOGRAM_ENTRY, f"{context}.histograms.{name}")
+        for i, bucket in enumerate(entry["buckets"]):
+            check_fields(bucket, {"le": int, "count": int},
+                         f"{context}.histograms.{name}.buckets[{i}]")
+    # The pipeline always runs under instance mode, so its counters must be
+    # present — an empty metrics block means the registry got disconnected.
+    if "verify.pipeline_runs" not in metrics["counters"]:
+        fail(context, "counters are missing 'verify.pipeline_runs'")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", type=pathlib.Path)
@@ -138,6 +175,7 @@ def main() -> int:
     if len(doc["instances"]) != doc["instances_total"]:
         fail("top level", "instances_total does not match the array length")
     check_cache(doc["cache"], "top level")
+    check_metrics(doc["metrics"], "metrics")
     stage_names = set(doc["stages"])
 
     for i, row in enumerate(doc["instances"]):
