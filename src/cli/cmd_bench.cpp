@@ -27,6 +27,7 @@
 #include "instance/registry.hpp"
 #include "obs/trace.hpp"
 #include "routing/cmesh_dor.hpp"
+#include "routing/odd_even.hpp"
 #include "routing/torus_xy.hpp"
 #include "sim/simulator.hpp"
 #include "util/stopwatch.hpp"
@@ -291,6 +292,58 @@ std::vector<MicroBench> build_suite(std::size_t threads) {
                            parallel_scc(torus_dep_graph(), *pool);
                        keep(scc.components.size());
                      }});
+
+    // This PR's perf pass: the tiered reachability closure and the
+    // analytic dependency-graph builder. closure_prime_* constructs a
+    // fresh Odd-Even routing each iteration (port-mode, so the closure
+    // lands in the compressed tier) and primes every per-destination row,
+    // sharded over the pool — the eager-priming cost the lazy tier
+    // amortizes away. depgraph_fast_256x256 is the O(ports) analytic
+    // builder that makes the first 256x256 verify tractable.
+    auto prime64 = std::make_shared<Mesh2D>(64, 64);
+    suite.push_back({"closure_prime_64x64",
+                     "compressed closure, full prime of Odd-Even on 64x64",
+                     [prime64, pool] {
+                       OddEvenRouting routing(*prime64);
+                       routing.prime(*pool);
+                       keep(routing.closure_rows_built());
+                     }});
+    auto prime128 = std::make_shared<Mesh2D>(128, 128);
+    suite.push_back({"closure_prime_128x128",
+                     "compressed closure, full prime of Odd-Even on 128x128",
+                     [prime128, pool] {
+                       OddEvenRouting routing(*prime128);
+                       routing.prime(*pool);
+                       keep(routing.closure_rows_built());
+                     }});
+    auto mesh256 = std::make_shared<Mesh2D>(256, 256);
+    auto routing256 = std::make_shared<XYRouting>(*mesh256);
+    suite.push_back({"depgraph_fast_256x256",
+                     "analytic O(ports) build_dep_graph_fast on 256x256",
+                     [mesh256, routing256] {
+                       const PortDepGraph dep =
+                           build_dep_graph_fast(*routing256);
+                       keep(dep.graph.edge_count());
+                     }});
+    // End-to-end verify anchors for the CI gates: mesh128-xy must stay
+    // under 2 s wall at 4 threads (--max-ns), mesh256-xy under the RSS
+    // ceiling (--max-rss-kb) — the two headline numbers of this pass.
+    const InstanceSpec spec128 = *InstanceRegistry::global().find("mesh128-xy");
+    suite.push_back({"verify_mesh128_xy",
+                     "full verify of the mesh128-xy preset",
+                     [spec128, pool] {
+                       const auto verdicts = verify_instances(
+                           {spec128}, pool.get());
+                       keep(verdicts.front().deadlock_free ? 1 : 0);
+                     }});
+    const InstanceSpec spec256 = *InstanceRegistry::global().find("mesh256-xy");
+    suite.push_back({"verify_mesh256_xy",
+                     "full verify of the mesh256-xy heavy preset",
+                     [spec256, pool] {
+                       const auto verdicts = verify_instances(
+                           {spec256}, pool.get());
+                       keep(verdicts.front().deadlock_free ? 1 : 0);
+                     }});
   }
 
   {
@@ -350,6 +403,7 @@ bool write_json(const BenchResult& result, const std::string& out_dir) {
       .add("total_ms", result.total_ms)
       .add("ns_per_op", result.ns_per_op())
       .add("ops_per_sec", result.ops_per_sec())
+      .add("max_rss_kb", peak_rss_kb())
       .add("unix_time", static_cast<std::int64_t>(std::time(nullptr)));
   std::string path = out_dir.empty() ? "" : out_dir + "/";
   path += "BENCH_" + result.name + ".json";
@@ -389,16 +443,35 @@ int cmd_bench(const Args& args) {
               << "\n";
     return 2;
   }
-  if (as_json && !out_dir.empty()) {
-    // Create the output directory up front: failing after minutes of
-    // measurement would discard every result.
-    std::error_code ec;
-    std::filesystem::create_directories(out_dir, ec);
-    if (ec) {
-      std::cerr << "genoc bench: cannot create --out-dir '" << out_dir
-                << "': " << ec.message() << "\n";
-      return 2;
+  if (as_json) {
+    if (!out_dir.empty()) {
+      // Create the output directory up front: failing after minutes of
+      // measurement would discard every result.
+      std::error_code ec;
+      std::filesystem::create_directories(out_dir, ec);
+      if (ec) {
+        std::cerr << "genoc bench: cannot create --out-dir '" << out_dir
+                  << "': " << ec.message() << "\n";
+        return 2;
+      }
     }
+    // create_directories succeeds on an existing read-only directory, so
+    // probe actual writability before running anything: an unwritable
+    // destination must exit 2 before the measurement, not after it.
+    const std::string probe_path =
+        (out_dir.empty() ? std::string(".") : out_dir) +
+        "/BENCH_writability.probe";
+    {
+      std::ofstream probe(probe_path);
+      if (!probe) {
+        std::cerr << "genoc bench: --out-dir '"
+                  << (out_dir.empty() ? "." : out_dir)
+                  << "' is not writable\n";
+        return 2;
+      }
+    }
+    std::error_code ec;
+    std::filesystem::remove(probe_path, ec);
   }
 
   // Open-before-run, like verify: an unwritable --trace path must exit 2

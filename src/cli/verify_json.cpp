@@ -35,6 +35,7 @@ void add_verdict_fields(JsonObject& obj, const genoc::InstanceVerdict& verdict) 
       .add("checks", verdict.checks)
       .add("wall_ms", verdict.wall_ms)
       .add("cpu_ms", verdict.cpu_ms)
+      .add("max_rss_kb", static_cast<std::int64_t>(verdict.max_rss_kb))
       .add("note", verdict.note);
 }
 

@@ -1,5 +1,7 @@
 #include "deadlock/depgraph.hpp"
 
+#include <bit>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "routing/sweep.hpp"
@@ -70,7 +72,58 @@ PortDepGraph build_dep_graph(const RoutingFunction& routing) {
   return result;
 }
 
+PortDepGraph build_dep_graph_analytic(const RoutingFunction& routing) {
+  obs::TraceSpan span("build_dep_graph_analytic");
+  const Topology& topo = routing.topology();
+  const std::uint64_t terminal = topo.terminal_name_mask();
+  constexpr auto kOut = static_cast<std::size_t>(Direction::kOut);
+  constexpr auto kIn = static_cast<std::size_t>(Direction::kIn);
+  PortDepGraph result;
+  bind_topology(result, topo);
+  result.graph = Digraph(topo.port_count());
+  result.graph.reserve_edges(topo.port_count() * 3);
+  const std::size_t spn = topo.slots_per_node();
+  const PortId* slots = topo.node_slots(0);
+  for (std::size_t node = 0; node < topo.node_count(); ++node, slots += spn) {
+    const std::uint64_t exists = topo.out_exists_mask(node);
+    // The out-ports any destination ever selects at this node: terminal
+    // in-ports can hold every destination, so their unions cover the lot.
+    std::uint64_t used = 0;
+    std::uint64_t term = terminal;
+    while (term != 0) {
+      const auto tname = static_cast<unsigned>(std::countr_zero(term));
+      term &= term - 1;
+      if (slots[tname * 2 + kIn] != kInvalidPort) {
+        used |= routing.in_port_union(node, tname);
+      }
+    }
+    used &= exists;
+    for (std::size_t name = 0; name < topo.name_count(); ++name) {
+      const PortId in = slots[name * 2 + kIn];
+      if (in != kInvalidPort) {
+        std::uint64_t mask = routing.in_port_union(node, name) & exists;
+        while (mask != 0) {
+          const auto out_name = static_cast<unsigned>(std::countr_zero(mask));
+          mask &= mask - 1;
+          result.graph.add_edge(in, slots[out_name * 2 + kOut]);
+        }
+      }
+      const PortId out = slots[name * 2 + kOut];
+      if (out != kInvalidPort && ((terminal >> name) & 1u) == 0 &&
+          ((used >> name) & 1u) != 0) {
+        result.graph.add_edge(out, topo.link_target(out));
+      }
+    }
+  }
+  result.graph.finalize();
+  count_built_edges(result);
+  return result;
+}
+
 PortDepGraph build_dep_graph_fast(const RoutingFunction& routing) {
+  if (routing.has_in_port_unions()) {
+    return build_dep_graph_analytic(routing);
+  }
   obs::TraceSpan span("build_dep_graph_fast");
   const Topology& topo = routing.topology();
   RouteSweeper sweeper(routing);
@@ -95,6 +148,11 @@ PortDepGraph build_dep_graph_fast(const RoutingFunction& routing) {
 
 PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
                                       ThreadPool& pool) {
+  if (routing.has_in_port_unions()) {
+    // The analytic build is O(ports) with no per-destination work to
+    // shard; running it on the calling thread beats any fan-out.
+    return build_dep_graph_analytic(routing);
+  }
   obs::TraceSpan span("build_dep_graph_parallel");
   const Topology& topo = routing.topology();
   const std::size_t dest_count = topo.destination_count();

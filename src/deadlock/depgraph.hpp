@@ -73,6 +73,18 @@ PortDepGraph build_dep_graph(const RoutingFunction& routing);
 /// all registry presets).
 PortDepGraph build_dep_graph_fast(const RoutingFunction& routing);
 
+/// The O(ports) ANALYTIC construction, for routings that publish their
+/// exact per-in-port out-name unions (RoutingFunction::in_port_union — the
+/// generalization of the paper's next_outs table beyond XY): an in-port
+/// connects to its node's union ∩ existing out-ports, a cardinal out-port
+/// connects to its link target iff any destination ever selects it. No
+/// per-destination sweep at all, so a 256x256 mesh builds in milliseconds
+/// instead of hundreds of millions of mask evaluations. Bit-identical to
+/// the generic oracle and the sweeps wherever has_in_port_unions() holds
+/// (pinned per preset by the standing equality tests);
+/// build_dep_graph_fast/_parallel dispatch here automatically.
+PortDepGraph build_dep_graph_analytic(const RoutingFunction& routing);
+
 /// The destination-sharded fast construction: per-destination RouteSweeper
 /// sweeps fanned over \p pool, each shard collecting its edge list locally;
 /// the shards are merged and canonicalized by Digraph::finalize() (sort +

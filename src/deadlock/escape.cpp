@@ -45,7 +45,11 @@ struct EscapeShard {
 
   // Flat per-destination scratch: epoch stamps instead of a rebuilt hash
   // set, an index-walked frontier instead of std::queue, one reused hop
-  // vector instead of a fresh allocation per next_hops call.
+  // vector instead of a fresh allocation per next_hops call. The closure
+  // scratch makes reachability row-granular AND shard-local: each shard
+  // materializes the rows of exactly the destinations it owns (lazy,
+  // locality-aware priming — no eager whole-closure build up front).
+  ClosureRowScratch reach;
   std::vector<std::uint32_t> stamp;
   std::uint32_t epoch = 0;
   std::vector<PortId> frontier;
@@ -94,9 +98,14 @@ void sweep_escape_destination(const RoutingFunction& adaptive,
   // dependency between escape resources — the escape-lane graph contains
   // only the dependencies among escape-lane ports themselves, which is
   // what Duato's condition constrains. The entry hops seed the closure.
+  // One row read per destination replaces |in_ports| virtual reachability
+  // calls (84M of them on torus64); the row is built on first touch by
+  // this shard, for the destinations this shard owns.
+  const std::uint64_t* reach_row =
+      adaptive.closure_row(dest_index, shard.reach);
   for (std::size_t pi = 0; pi < in_ports.size(); ++pi) {
     const PortId p = in_ports[pi];
-    if (!adaptive.reachable_id(p, dest_index)) {
+    if (((reach_row[p >> 6] >> (p & 63)) & 1u) == 0) {
       continue;
     }
     ++shard.states_checked;
@@ -167,8 +176,6 @@ EscapeAnalysis analyze_escape(const RoutingFunction& adaptive,
       in_ports.push_back(pid);
     }
   }
-  adaptive.prime();  // all reachable() queries below hit the bitset closure
-
   const std::size_t dest_count = topo.destination_count();
   std::vector<EscapeShard> shards;
   if (pool == nullptr) {

@@ -42,9 +42,9 @@ SccAnalysis analyze_dependencies(const PortDepGraph& dep,
     if (result.sample_cycles.size() < max_cycles) {
       // Sample cycles from this component only: induce the subgraph and
       // enumerate a few simple cycles.
-      std::vector<bool> keep(dep.graph.vertex_count(), false);
+      std::vector<std::uint8_t> keep(dep.graph.vertex_count(), 0);
       for (const std::size_t v : comp) {
-        keep[v] = true;
+        keep[v] = 1;
       }
       const Digraph sub = dep.graph.induced(keep);
       const std::size_t budget = max_cycles - result.sample_cycles.size();

@@ -90,17 +90,17 @@ Digraph Digraph::reversed() const {
   return rev;
 }
 
-Digraph Digraph::induced(const std::vector<bool>& keep) const {
+Digraph Digraph::induced(const std::vector<std::uint8_t>& keep) const {
   GENOC_REQUIRE(finalized_, "Digraph::induced requires a finalized graph");
   GENOC_REQUIRE(keep.size() == vertex_count_,
                 "keep mask size must equal vertex count");
   Digraph sub(vertex_count_);
   for (std::size_t v = 0; v < vertex_count_; ++v) {
-    if (!keep[v]) {
+    if (keep[v] == 0) {
       continue;
     }
     for (std::uint32_t w : out(v)) {
-      if (keep[w]) {
+      if (keep[w] != 0) {
         sub.add_edge(v, w);
       }
     }

@@ -64,9 +64,11 @@ class Digraph {
   /// The reverse graph (finalized). Requires finalized().
   Digraph reversed() const;
 
-  /// The subgraph induced by \p keep (keep[v] == true retains v); vertex ids
+  /// The subgraph induced by \p keep (keep[v] != 0 retains v); vertex ids
   /// are preserved, edges touching dropped vertices are removed. Finalized.
-  Digraph induced(const std::vector<bool>& keep) const;
+  /// Byte-mask like reachable_from() returns — no vector<bool> proxy
+  /// references on the hot path, and callers compose the two directly.
+  Digraph induced(const std::vector<std::uint8_t>& keep) const;
 
  private:
   std::size_t vertex_count_ = 0;

@@ -14,7 +14,8 @@ namespace genoc {
 /// 0/1 mask. std::vector<std::uint8_t> rather than std::vector<bool>: the
 /// byte-per-vertex layout plus an index-based frontier is the same
 /// constant-factor pattern the per-destination route sweeps use, and it
-/// avoids the proxy-reference bit fiddling on the BFS hot path.
+/// avoids the proxy-reference bit fiddling on the BFS hot path. The mask
+/// feeds Digraph::induced() directly (same byte-mask convention).
 std::vector<std::uint8_t> reachable_from(const Digraph& graph,
                                          std::size_t source);
 

@@ -1,9 +1,37 @@
 #include "routing/routing.hpp"
 
+#include <algorithm>
+#include <bit>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/sweep.hpp"
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace genoc {
+
+namespace {
+
+inline bool row_bit(const std::uint64_t* row, PortId pid) {
+  return ((row[pid >> 6] >> (pid & 63)) & 1u) != 0;
+}
+
+}  // namespace
+
+ClosureRowScratch::ClosureRowScratch() = default;
+ClosureRowScratch::~ClosureRowScratch() = default;
+ClosureRowScratch::ClosureRowScratch(ClosureRowScratch&&) noexcept = default;
+ClosureRowScratch& ClosureRowScratch::operator=(ClosureRowScratch&&) noexcept =
+    default;
+
+RoutingFunction::~RoutingFunction() {
+  if (rows_ != nullptr) {
+    for (std::size_t i = 0; i < topo_->destination_count(); ++i) {
+      delete rows_[i].load(std::memory_order_relaxed);
+    }
+  }
+}
 
 bool RoutingFunction::valid_endpoints(const Port& s, const Port& d) const {
   const Mesh2D& m = mesh();
@@ -64,6 +92,34 @@ std::uint64_t RoutingFunction::out_mask_id(std::size_t node,
                        m.port(topo_->destination_id(dest_index)));
 }
 
+void RoutingFunction::fill_node_masks(std::size_t dest_index,
+                                      std::uint64_t* masks) const {
+  if (!id_native() && grid_ != nullptr) {
+    // Hoist the destination Port and the node -> (x, y) arithmetic out of
+    // the per-node loop; the remaining cost is one virtual call per node.
+    const Port dest = grid_->port(topo_->destination_id(dest_index));
+    const std::int32_t width = grid_->width();
+    const std::int32_t height = grid_->height();
+    std::size_t node = 0;
+    for (std::int32_t y = 0; y < height; ++y) {
+      for (std::int32_t x = 0; x < width; ++x, ++node) {
+        masks[node] = node_out_mask(x, y, dest);
+      }
+    }
+    return;
+  }
+  for (std::size_t node = 0; node < topo_->node_count(); ++node) {
+    masks[node] = out_mask_id(node, dest_index);
+  }
+}
+
+std::uint64_t RoutingFunction::in_port_union(std::size_t /*node*/,
+                                             std::size_t /*in_name*/) const {
+  GENOC_REQUIRE(false, "in_port_union requires has_in_port_unions() (" +
+                           name() + " does not implement it)");
+  return 0;
+}
+
 bool RoutingFunction::reachable_id(PortId s, std::size_t dest_index) const {
   if (!id_native() && grid_ != nullptr) {
     return reachable(grid_->port(s),
@@ -84,27 +140,262 @@ bool RoutingFunction::closure_reachable(const Port& s, const Port& d) const {
   return closure_reachable_id(grid_->id(s), dest_index);
 }
 
-bool RoutingFunction::closure_reachable_id(PortId s,
-                                           std::size_t dest_index) const {
-  build_closure();
-  const std::uint64_t word = closure_[dest_index * closure_words_ + (s >> 6)];
-  return ((word >> (s & 63)) & 1u) != 0;
+ClosureMode RoutingFunction::resolved_mode() const {
+  if (forced_mode_ != ClosureMode::kAuto) {
+    return forced_mode_;
+  }
+  return (node_uniform() && topo_->name_count() <= 64)
+             ? ClosureMode::kNodeMask
+             : ClosureMode::kCompressed;
 }
 
-void RoutingFunction::build_closure() const {
-  if (closure_built_) {
-    return;
+ClosureMode RoutingFunction::closure_mode() const { return resolved_mode(); }
+
+void RoutingFunction::force_closure_mode(ClosureMode mode) {
+  GENOC_REQUIRE(mode != ClosureMode::kNodeMask ||
+                    (node_uniform() && topo_->name_count() <= 64),
+                "kNodeMask requires a node-uniform routing function");
+  GENOC_REQUIRE(rows_built_.load(std::memory_order_relaxed) == 0 &&
+                    closure_.empty(),
+                "force_closure_mode must run before any closure query");
+  forced_mode_ = mode;
+}
+
+std::uint64_t RoutingFunction::closure_bytes() const {
+  return bytes_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t RoutingFunction::closure_dense_bytes() const {
+  return static_cast<std::uint64_t>(topo_->destination_count()) *
+         closure_row_words() * sizeof(std::uint64_t);
+}
+
+void RoutingFunction::note_row_built(std::uint64_t bytes_delta) const {
+  rows_built_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t total =
+      bytes_.fetch_add(bytes_delta, std::memory_order_relaxed) + bytes_delta;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  static obs::Counter& rows = metrics.counter("closure.rows_built");
+  rows.increment();
+  metrics.gauge("closure.bytes").record_max(static_cast<std::int64_t>(total));
+}
+
+bool RoutingFunction::node_mask_reachable(PortId s,
+                                          std::size_t dest_index) const {
+  // Mirrors RouteSweeper::sweep_nodes row semantics without any storage:
+  // terminal IN ports are always visited (messages inject everywhere); an
+  // OUT port is visited iff its node's mask selects it; a cardinal IN port
+  // is visited iff the out-port whose link drives it is selected at ITS
+  // node. The queried port exists, so the existence filter is implied.
+  const std::size_t name = topo_->name_of(s);
+  if (topo_->dir_of(s) == Direction::kIn) {
+    if (((topo_->terminal_name_mask() >> name) & 1u) != 0) {
+      return true;
+    }
+    const PortId driver = topo_->link_source(s);
+    if (driver == kInvalidPort) {
+      return false;
+    }
+    const std::uint64_t mask = out_mask_id(topo_->node_of(driver), dest_index);
+    return ((mask >> topo_->name_of(driver)) & 1u) != 0;
   }
-  // One per-destination sweep fills one bitset row; the sweep itself takes
-  // care of seeding at the terminal IN ports and of skipping non-existent
-  // hops (a (C-1)-detectable bug the closure must not propagate through).
-  RouteSweeper sweeper(*this);
-  closure_words_ = sweeper.row_words();
-  closure_.assign(topo_->destination_count() * closure_words_, 0);
-  for (std::size_t dest = 0; dest < topo_->destination_count(); ++dest) {
-    sweeper.sweep(dest, nullptr, closure_.data() + dest * closure_words_);
+  const std::uint64_t mask = out_mask_id(topo_->node_of(s), dest_index);
+  return ((mask >> name) & 1u) != 0;
+}
+
+void RoutingFunction::ensure_rows_allocated() const {
+  std::call_once(rows_once_, [this] {
+    rows_ = std::make_unique<std::atomic<CompressedRow*>[]>(
+        topo_->destination_count());
+    for (std::size_t i = 0; i < topo_->destination_count(); ++i) {
+      rows_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  });
+}
+
+const RoutingFunction::CompressedRow* RoutingFunction::compressed_row(
+    std::size_t dest_index, RouteSweeper* sweeper) const {
+  ensure_rows_allocated();
+  std::atomic<CompressedRow*>& slot = rows_[dest_index];
+  CompressedRow* row = slot.load(std::memory_order_acquire);
+  if (row != nullptr) {
+    return row;
   }
-  closure_built_ = true;
+  const std::size_t words = closure_row_words();
+  std::vector<std::uint64_t> dense(words, 0);
+  std::unique_ptr<RouteSweeper> local;
+  if (sweeper == nullptr) {
+    local = std::make_unique<RouteSweeper>(*this);
+    sweeper = local.get();
+  }
+  sweeper->sweep(dest_index, nullptr, dense.data());
+  auto fresh = std::make_unique<CompressedRow>();
+  // Hybrid form: the sorted id list wins when the row is sparse enough
+  // that 4 bytes per visited port beats 8 bytes per 64-port word.
+  std::size_t visited = 0;
+  for (const std::uint64_t word : dense) {
+    visited += static_cast<std::size_t>(std::popcount(word));
+  }
+  if (visited * sizeof(std::uint32_t) < words * sizeof(std::uint64_t)) {
+    fresh->ids.reserve(visited);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t word = dense[w];
+      while (word != 0) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+        fresh->ids.push_back(static_cast<std::uint32_t>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  } else {
+    fresh->words = std::move(dense);
+  }
+  const std::uint64_t bytes = fresh->bytes();
+  CompressedRow* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh.get(),
+                                   std::memory_order_release,
+                                   std::memory_order_acquire)) {
+    note_row_built(bytes);
+    return fresh.release();
+  }
+  return expected;  // another thread won the race; ours is freed here
+}
+
+bool RoutingFunction::closure_reachable_id(PortId s,
+                                           std::size_t dest_index) const {
+  switch (resolved_mode()) {
+    case ClosureMode::kNodeMask:
+      return node_mask_reachable(s, dest_index);
+    case ClosureMode::kCompressed: {
+      const CompressedRow* row = compressed_row(dest_index, nullptr);
+      if (row->is_bitset()) {
+        return row_bit(row->words.data(), s);
+      }
+      return std::binary_search(row->ids.begin(), row->ids.end(),
+                                static_cast<std::uint32_t>(s));
+    }
+    default: {
+      ensure_dense(nullptr);
+      return row_bit(closure_.data() + dest_index * closure_words_, s);
+    }
+  }
+}
+
+const std::uint64_t* RoutingFunction::closure_row(
+    std::size_t dest_index, ClosureRowScratch& scratch) const {
+  const std::size_t words = closure_row_words();
+  switch (resolved_mode()) {
+    case ClosureMode::kNodeMask: {
+      if (scratch.sweeper_owner_ != this) {
+        scratch.sweeper_ = std::make_unique<RouteSweeper>(*this);
+        scratch.sweeper_owner_ = this;
+        scratch.cached_dest_ = static_cast<std::size_t>(-1);
+      }
+      if (scratch.cached_dest_ == dest_index &&
+          scratch.words_.size() == words) {
+        return scratch.words_.data();
+      }
+      scratch.words_.assign(words, 0);
+      scratch.sweeper_->sweep(dest_index, nullptr, scratch.words_.data());
+      scratch.cached_dest_ = dest_index;
+      rows_built_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& rows =
+          obs::MetricsRegistry::global().counter("closure.rows_built");
+      rows.increment();
+      return scratch.words_.data();
+    }
+    case ClosureMode::kCompressed: {
+      const CompressedRow* row = compressed_row(dest_index, nullptr);
+      if (row->is_bitset()) {
+        return row->words.data();
+      }
+      scratch.words_.assign(words, 0);
+      for (const std::uint32_t pid : row->ids) {
+        scratch.words_[pid >> 6] |= std::uint64_t{1} << (pid & 63);
+      }
+      scratch.cached_dest_ = dest_index;
+      return scratch.words_.data();
+    }
+    default:
+      ensure_dense(nullptr);
+      return closure_.data() + dest_index * closure_words_;
+  }
+}
+
+void RoutingFunction::ensure_dense(ThreadPool* pool) const {
+  std::call_once(dense_once_, [this, pool] {
+    // One per-destination sweep fills one bitset row; the sweep itself
+    // takes care of seeding at the terminal IN ports and of skipping
+    // non-existent hops (a (C-1)-detectable bug the closure must not
+    // propagate through).
+    const std::size_t dest_count = topo_->destination_count();
+    closure_words_ = closure_row_words();
+    closure_.assign(dest_count * closure_words_, 0);
+    const auto build_range = [this](std::size_t begin, std::size_t end) {
+      RouteSweeper sweeper(*this);
+      for (std::size_t dest = begin; dest < end; ++dest) {
+        sweeper.sweep(dest, nullptr, closure_.data() + dest * closure_words_);
+      }
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(dest_count, pool->recommended_grain(dest_count),
+                         build_range);
+    } else {
+      build_range(0, dest_count);
+    }
+    rows_built_.fetch_add(dest_count, std::memory_order_relaxed);
+    const std::uint64_t total =
+        bytes_.fetch_add(closure_.capacity() * sizeof(std::uint64_t),
+                         std::memory_order_relaxed) +
+        closure_.capacity() * sizeof(std::uint64_t);
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+    metrics.counter("closure.rows_built").add(dest_count);
+    metrics.gauge("closure.bytes").record_max(static_cast<std::int64_t>(total));
+  });
+}
+
+void RoutingFunction::prime_closure(ThreadPool* pool) const {
+  obs::TraceSpan span("artifact:closure");
+  obs::MetricsRegistry::global()
+      .gauge("closure.dense_bytes")
+      .record_max(static_cast<std::int64_t>(closure_dense_bytes()));
+  switch (resolved_mode()) {
+    case ClosureMode::kNodeMask:
+      // Zero storage: membership derives from out_mask_id on the fly and
+      // rows materialize in caller scratches. Nothing to pre-build.
+      break;
+    case ClosureMode::kCompressed: {
+      ensure_rows_allocated();
+      const std::size_t dest_count = topo_->destination_count();
+      const auto build_range = [this](std::size_t begin, std::size_t end) {
+        RouteSweeper sweeper(*this);
+        for (std::size_t dest = begin; dest < end; ++dest) {
+          compressed_row(dest, &sweeper);
+        }
+      };
+      if (pool != nullptr) {
+        pool->parallel_for(dest_count, pool->recommended_grain(dest_count),
+                           build_range);
+      } else {
+        build_range(0, dest_count);
+      }
+      break;
+    }
+    default:
+      ensure_dense(pool);
+      break;
+  }
+}
+
+void RoutingFunction::prime() const {
+  if (needs_prime()) {
+    prime_closure(nullptr);
+  }
+}
+
+void RoutingFunction::prime(ThreadPool& pool) const {
+  if (needs_prime()) {
+    prime_closure(&pool);
+  }
 }
 
 }  // namespace genoc

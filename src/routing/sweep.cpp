@@ -67,13 +67,15 @@ void RouteSweeper::sweep_nodes(std::size_t dest_index,
   // Pass 1: one mask per node decides the out-ports of every in-port of
   // that node; selected non-terminal out-ports mark the in-port their link
   // drives (the route tree's hops). Terminal IN ports are always visited
-  // (messages inject everywhere), so their edges emit right here.
+  // (messages inject everywhere), so their edges emit right here. The masks
+  // come batched — fill_node_masks hoists the per-destination lookups out
+  // of the node loop.
+  routing_->fill_node_masks(dest_index, mask_.data());
   const PortId* slots = topo_->node_slots(0);
   for (std::size_t node = 0; node < node_count_; ++node, slots += spn) {
     // Non-existent out-ports drop out of the mask, mirroring the generic
     // construction's existence filter.
-    const std::uint64_t mask =
-        routing_->out_mask_id(node, dest_index) & topo_->out_exists_mask(node);
+    const std::uint64_t mask = mask_[node] & topo_->out_exists_mask(node);
     mask_[node] = mask;
     std::uint64_t term_in = terminal;
     while (term_in != 0) {

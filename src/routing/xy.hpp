@@ -49,8 +49,20 @@ class XYRouting final : public RoutingFunction {
   /// Cross-validated against closure_reachable() in the test suite.
   bool reachable(const Port& s, const Port& d) const override;
 
-  /// reachable() is closed-form: nothing to pre-build for parallel use.
-  void prime() const override {}
+  /// reachable() is closed-form and node-granular queries are storage-free:
+  /// nothing to pre-build for parallel use.
+  bool needs_prime() const override { return false; }
+
+  /// The paper's Sec. V.6 next_outs table, i.e. the exact over-all-dests
+  /// union of out-names per in-name — enables the O(ports) analytic
+  /// dependency-graph build. Pure meshes only: on wrapped grids the
+  /// closed-form history claims ports (e.g. a wrap-fed W,IN at x = 0) no
+  /// route semantically visits, so those stay on the per-destination sweep.
+  bool has_in_port_unions() const override {
+    return topology().family() == "mesh";
+  }
+  std::uint64_t in_port_union(std::size_t node,
+                              std::size_t in_name) const override;
 };
 
 }  // namespace genoc

@@ -28,8 +28,18 @@ class YXRouting final : public RoutingFunction {
   /// ports are unconstrained in x-history, horizontal in-ports pin y).
   bool reachable(const Port& s, const Port& d) const override;
 
-  /// reachable() is closed-form: nothing to pre-build for parallel use.
-  void prime() const override {}
+  /// reachable() is closed-form and node-granular queries are storage-free:
+  /// nothing to pre-build for parallel use.
+  bool needs_prime() const override { return false; }
+
+  /// Mirror of XY's next_outs table (vertical phase first): the exact
+  /// over-all-dests union of out-names per in-name. Pure meshes only, for
+  /// the same wrap-port reason as XYRouting.
+  bool has_in_port_unions() const override {
+    return topology().family() == "mesh";
+  }
+  std::uint64_t in_port_union(std::size_t node,
+                              std::size_t in_name) const override;
 };
 
 }  // namespace genoc

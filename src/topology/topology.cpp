@@ -91,6 +91,12 @@ void Topology::finish_topology() {
   source_ids_.clear();
   dest_index_.assign(port_info_.size(), kNotADestination);
   exist_out_.assign(node_count_, 0);
+  link_from_.assign(port_info_.size(), kInvalidPort);
+  for (PortId out = 0; out < port_info_.size(); ++out) {
+    if (link_to_[out] != kInvalidPort) {
+      link_from_[link_to_[out]] = out;
+    }
+  }
   for (PortId pid = 0; pid < port_info_.size(); ++pid) {
     const std::size_t name = name_of(pid);
     const bool terminal = (terminal_mask_ >> name) & 1;

@@ -116,6 +116,12 @@ class Topology {
   /// kInvalidPort for terminal out-ports (they drain into the IP core).
   PortId link_target(PortId out) const { return link_to_[out]; }
 
+  /// The inverse link relation: the out-port whose link drives this
+  /// in-port, or kInvalidPort for terminal in-ports (fed by the IP core).
+  /// Node-granular reachability queries derive "was this in-port visited"
+  /// from the driving out-port's selection mask through this table.
+  PortId link_source(PortId in) const { return link_from_[in]; }
+
   /// Per-node bitmask over name indices of the OUT ports that exist —
   /// ANDed into routing masks so boundary nodes never emit off-topology.
   std::uint64_t out_exists_mask(std::size_t node) const {
@@ -172,6 +178,7 @@ class Topology {
   std::vector<PortInfo> port_info_;       // id -> (node, name, dir)
   std::vector<PortId> slot_ids_;          // slot -> id, or kInvalidPort
   std::vector<PortId> link_to_;           // out id -> in id, or kInvalidPort
+  std::vector<PortId> link_from_;         // in id -> out id, or kInvalidPort
   std::vector<std::uint64_t> exist_out_;  // node -> existing OUT name bits
   std::vector<PortId> dest_ids_;          // terminal OUT ids, ascending
   std::vector<std::size_t> dest_index_;   // id -> dest index, or sentinel

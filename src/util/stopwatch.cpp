@@ -48,6 +48,20 @@ double thread_cpu_ms() {
   return process_cpu_ms();
 }
 
+std::int64_t peak_rss_kb() {
+#if GENOC_HAVE_RUSAGE
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(usage.ru_maxrss) / 1024;  // bytes
+#else
+    return static_cast<std::int64_t>(usage.ru_maxrss);  // KiB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
 CpuStopwatch::CpuStopwatch() : start_ms_(process_cpu_ms()) {}
 
 void CpuStopwatch::reset() { start_ms_ = process_cpu_ms(); }

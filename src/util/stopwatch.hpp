@@ -7,6 +7,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace genoc {
 
@@ -36,6 +37,13 @@ double process_cpu_ms();
 /// CPU time consumed so far by the calling thread, in milliseconds. Uses
 /// CLOCK_THREAD_CPUTIME_ID where available; falls back to process_cpu_ms().
 double thread_cpu_ms();
+
+/// Peak resident set size of the process so far, in KiB (getrusage
+/// ru_maxrss; Linux reports it in KiB directly). 0 where unavailable.
+/// A process-lifetime high-water mark, not a per-stage figure — reports
+/// carry it so memory regressions show up in --baseline trends next to
+/// wall_ms.
+std::int64_t peak_rss_kb();
 
 /// CPU-time stopwatch over the process-wide roll-up: elapsed_ms() is the
 /// CPU burned by all threads since construction/reset. Under a shared pool

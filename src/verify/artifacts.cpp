@@ -68,7 +68,7 @@ std::string AnalysisArtifacts::key(const InstanceSpec& spec) {
          " escape=" + (spec.escape.empty() ? "none" : spec.escape);
 }
 
-void AnalysisArtifacts::ensure_primed_locked() {
+void AnalysisArtifacts::ensure_primed_locked(ThreadPool* pool) {
   static KindCounters counters = kind_counters("primed");
   if (primed_) {
     ++stats_.primed.hits;
@@ -76,9 +76,16 @@ void AnalysisArtifacts::ensure_primed_locked() {
     return;
   }
   obs::TraceSpan span("artifact:prime");
-  routing_->prime();
-  if (escape_ != nullptr) {
-    escape_->prime();
+  if (pool != nullptr) {
+    routing_->prime(*pool);
+    if (escape_ != nullptr) {
+      escape_->prime(*pool);
+    }
+  } else {
+    routing_->prime();
+    if (escape_ != nullptr) {
+      escape_->prime();
+    }
   }
   primed_ = true;
   ++stats_.primed.misses;
@@ -102,7 +109,7 @@ const PortDepGraph& AnalysisArtifacts::dep_graph_locked(bool generic_builder,
   if (generic_builder) {
     // The oracle walks reachable() per (port, dest); prime first so the
     // closure build is not racing a shared batch sibling.
-    ensure_primed_locked();
+    ensure_primed_locked(pool);
     dep_ = build_dep_graph(*routing_);
   } else if (pool != nullptr) {
     dep_ = build_dep_graph_parallel(*routing_, *pool);
@@ -153,10 +160,11 @@ const EscapeAnalysis& AnalysisArtifacts::escape_analysis(ThreadPool* pool) {
     counters.hits.increment();
     return *escape_analysis_;
   }
-  // analyze_escape walks adaptive.reachable() per state; priming here keeps
-  // the closure build inside this cache's compute-once accounting (and the
-  // shared closure read-only for every later stage).
-  ensure_primed_locked();
+  // analyze_escape reads closure rows per destination; priming here keeps
+  // any eager closure build inside this cache's compute-once accounting
+  // (node-granular tiers build nothing — the escape shards materialize
+  // their own rows with thread locality).
+  ensure_primed_locked(pool);
   ++stats_.escape.misses;
   counters.misses.increment();
   obs::TraceSpan span("artifact:escape_analysis");
@@ -174,7 +182,7 @@ const ConstraintsArtifact& AnalysisArtifacts::constraints(bool generic_builder,
     return *constraints_;
   }
   const PortDepGraph& dep = dep_graph_locked(generic_builder, pool);
-  ensure_primed_locked();  // (C-1)/(C-2) enumerate reachable() heavily
+  ensure_primed_locked(pool);  // (C-1)/(C-2) enumerate reachable() heavily
   ++stats_.constraints.misses;
   counters.misses.increment();
   obs::TraceSpan span("artifact:constraints");

@@ -153,8 +153,10 @@ class AnalysisArtifacts {
                                               ThreadPool* pool);
   /// Primes the routing's (and escape lane's) lazily built reachability
   /// closure exactly once, so subsequent reachable() queries are read-only
-  /// and shareable across threads. No-op-cheap for closed-form routings.
-  void ensure_primed_locked();
+  /// and shareable across threads. With a pool, compressed-tier rows are
+  /// built destination-sharded in parallel; closed-form and node-granular
+  /// routings stay no-op-cheap either way.
+  void ensure_primed_locked(ThreadPool* pool);
 
   // Owning-mode storage (null in borrowing mode); the raw pointers below
   // are the single source of truth either way.

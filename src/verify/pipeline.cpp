@@ -425,6 +425,7 @@ VerifyReport VerifyPipeline::run(const NetworkInstance& instance,
   report.cache = stats_delta(artifacts.stats(), before);
   verdict.wall_ms = timer.elapsed_ms();
   verdict.cpu_ms = cpu_timer.elapsed_ms();
+  verdict.max_rss_kb = peak_rss_kb();
   {
     // Analysis-layer counters: thread-count-invariant (unlike threadpool.*),
     // so snapshots stay comparable across 1/4/8-thread runs.

@@ -73,6 +73,11 @@ struct InstanceVerdict {
   /// True CPU burned across the run: process-wide getrusage roll-up (all
   /// pool workers included), not the wall time the field used to misreport.
   double cpu_ms = 0.0;
+  /// Peak process RSS (getrusage ru_maxrss, KiB) at the end of the run —
+  /// a process-lifetime high-water mark, so within a batch it is the max
+  /// over this and every earlier instance. Lets --baseline trends catch
+  /// memory regressions next to wall_ms.
+  std::int64_t max_rss_kb = 0;
 };
 
 }  // namespace genoc

@@ -100,13 +100,13 @@ TEST(Digraph, InducedSubgraph) {
   g.add_edge(2, 3);
   g.add_edge(3, 0);
   g.finalize();
-  const Digraph sub = g.induced({true, true, false, true});
+  const Digraph sub = g.induced({1, 1, 0, 1});
   EXPECT_TRUE(sub.has_edge(0, 1));
   EXPECT_TRUE(sub.has_edge(3, 0));
   EXPECT_FALSE(sub.has_edge(1, 2));
   EXPECT_FALSE(sub.has_edge(2, 3));
   EXPECT_EQ(sub.edge_count(), 2u);
-  EXPECT_THROW(g.induced({true, true}), ContractViolation);
+  EXPECT_THROW(g.induced({1, 1}), ContractViolation);
 }
 
 }  // namespace

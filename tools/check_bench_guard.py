@@ -20,8 +20,16 @@ fails (exit 1) when a guarded ratio regresses:
      sequential lane walk. Skipped by default because the ratio is
      meaningless on single-core runners, where the sharded sweep can only
      tie the sequential one.
+  4. With --max-ns NAME=NS (repeatable): the named benchmark's ns_per_op
+     must not exceed the absolute ceiling — e.g.
+     --max-ns verify_mesh128_xy=2000000000 pins the headline "mesh128
+     verifies in under 2 s at 4 threads".
+  5. With --max-rss-kb NAME=KB (repeatable): the named benchmark's
+     max_rss_kb (peak process RSS when its artifact was written) must not
+     exceed the ceiling — the memory gate for the mesh256-xy verify.
 
 Usage: tools/check_bench_guard.py [bench-results-dir] [--escape-speedup X]
+           [--max-ns NAME=NS ...] [--max-rss-kb NAME=KB ...]
 """
 import argparse
 import json
@@ -45,12 +53,42 @@ ESCAPE_PARALLEL = "escape_parallel_64x64"
 ESCAPE_SEQUENTIAL = "escape_sequential_64x64"
 
 
-def ns_per_op(directory: pathlib.Path, name: str) -> float:
+def bench_field(directory: pathlib.Path, name: str, field: str) -> float:
     path = directory / f"BENCH_{name}.json"
     if not path.is_file():
         sys.exit(f"check_bench_guard: missing {path} — run "
                  f"`genoc bench --json` first")
-    return float(json.loads(path.read_text())["ns_per_op"])
+    record = json.loads(path.read_text())
+    if field not in record:
+        sys.exit(f"check_bench_guard: {path} has no '{field}' field")
+    return float(record[field])
+
+
+def ns_per_op(directory: pathlib.Path, name: str) -> float:
+    return bench_field(directory, name, "ns_per_op")
+
+
+def parse_gate(spec: str, flag: str) -> tuple[str, float]:
+    name, sep, value = spec.partition("=")
+    if not sep or not name:
+        sys.exit(f"check_bench_guard: {flag} expects NAME=VALUE, got "
+                 f"'{spec}'")
+    try:
+        return name, float(value)
+    except ValueError:
+        sys.exit(f"check_bench_guard: {flag} value in '{spec}' is not a "
+                 "number")
+
+
+def check_absolute(directory: pathlib.Path, name: str, ceiling: float,
+                   field: str, unit: str) -> bool:
+    measured = bench_field(directory, name, field)
+    print(f"{name}: {measured:,.0f} {unit} (ceiling {ceiling:,.0f} {unit})")
+    if measured > ceiling:
+        print(f"FAIL: {name} exceeds the absolute {field} ceiling")
+        return False
+    print(f"OK: {name} holds under the {field} ceiling")
+    return True
 
 
 def check_ratio(directory: pathlib.Path, fast_name: str, generic_name: str,
@@ -106,12 +144,34 @@ def main() -> int:
                         help="additionally require escape_parallel_64x64 to "
                              "be >= X times faster than the sequential "
                              "escape bench (use on multicore runners only)")
+    parser.add_argument("--max-ns", action="append", default=[],
+                        metavar="NAME=NS",
+                        help="absolute ns_per_op ceiling for the named "
+                             "benchmark (repeatable)")
+    parser.add_argument("--max-rss-kb", action="append", default=[],
+                        metavar="NAME=KB",
+                        help="absolute max_rss_kb ceiling for the named "
+                             "benchmark's artifact (repeatable)")
+    parser.add_argument("--skip-ratios", action="store_true",
+                        help="only evaluate the --max-ns/--max-rss-kb gates "
+                             "(for filtered bench runs that did not produce "
+                             "the ratio-guard artifacts)")
     args = parser.parse_args()
 
-    ok = check_depgraph(args.directory)
-    ok = check_cmesh(args.directory) and ok
-    if args.escape_speedup is not None:
-        ok = check_escape(args.directory, args.escape_speedup) and ok
+    ok = True
+    if not args.skip_ratios:
+        ok = check_depgraph(args.directory)
+        ok = check_cmesh(args.directory) and ok
+        if args.escape_speedup is not None:
+            ok = check_escape(args.directory, args.escape_speedup) and ok
+    for spec in args.max_ns:
+        name, ceiling = parse_gate(spec, "--max-ns")
+        ok = check_absolute(args.directory, name, ceiling, "ns_per_op",
+                            "ns/op") and ok
+    for spec in args.max_rss_kb:
+        name, ceiling = parse_gate(spec, "--max-rss-kb")
+        ok = check_absolute(args.directory, name, ceiling, "max_rss_kb",
+                            "KiB") and ok
     return 0 if ok else 1
 
 

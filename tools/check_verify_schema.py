@@ -50,6 +50,7 @@ INSTANCE_ROW = {
     "checks": int,
     "wall_ms": (int, float),
     "cpu_ms": (int, float),
+    "max_rss_kb": int,
     "note": str,
     "stages": list,
     "diagnostics": list,
