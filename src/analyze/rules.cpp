@@ -1,0 +1,701 @@
+/// \file rules.cpp
+/// \brief The built-in analyzer rules: spec sanity, dead-port detection,
+///        turn-model conformance, the node-uniformity audit, routing
+///        totality/minimality, and escape-lane coverage.
+///
+/// Every rule is a static lint over the model constituents: read-only,
+/// deterministic, budget-bounded (destination sampling with a fixed
+/// stride), and emitting the same typed Diagnostic records as the verify
+/// pipeline — with stable codes, so tests and tooling match on the code,
+/// never on message text.
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/rule.hpp"
+#include "deadlock/depgraph.hpp"
+#include "graph/cycle.hpp"
+#include "routing/turns.hpp"
+#include "topology/mesh.hpp"
+#include "topology/port.hpp"
+
+namespace genoc {
+
+namespace {
+
+Diagnostic make_diagnostic(
+    const char* rule, Severity severity, std::string code, std::string message,
+    std::vector<std::pair<std::string, std::string>> witness = {}) {
+  Diagnostic diag;
+  diag.stage = rule;
+  diag.severity = severity;
+  diag.code = std::move(code);
+  diag.message = std::move(message);
+  diag.witness = std::move(witness);
+  return diag;
+}
+
+/// Deterministic destination stride: visiting every stride-th destination
+/// keeps count * cost_per within \p budget. Stride 1 == exhaustive.
+std::size_t stride_for(std::size_t count, std::uint64_t cost_per,
+                       std::uint64_t budget) {
+  const std::uint64_t total = static_cast<std::uint64_t>(count) * cost_per;
+  if (count == 0 || budget == 0 || total <= budget) {
+    return 1;
+  }
+  return static_cast<std::size_t>((total + budget - 1) / budget);
+}
+
+/// Wrap-aware hop distance between two nodes of a grid (the metric a
+/// minimal routing must strictly decrease).
+std::int64_t grid_distance(const Mesh2D& mesh, const Port& a, const Port& b) {
+  std::int64_t dx = std::abs(static_cast<std::int64_t>(a.x) - b.x);
+  std::int64_t dy = std::abs(static_cast<std::int64_t>(a.y) - b.y);
+  if (mesh.wraps_x()) {
+    dx = std::min(dx, mesh.width() - dx);
+  }
+  if (mesh.wraps_y()) {
+    dy = std::min(dy, mesh.height() - dy);
+  }
+  return dx + dy;
+}
+
+/// Rule 6 in registry order 1: structural spec lint. Contradictory or
+/// vacuous key combinations become stable-coded diagnostics instead of
+/// ad-hoc parse errors — and specs constructed programmatically (bypassing
+/// parse_instance_spec) get validate_spec's complaints surfaced the same
+/// way.
+class SpecSanityRule final : public AnalysisRule {
+ public:
+  const char* name() const override { return "spec_sanity"; }
+  const char* description() const override {
+    return "lint the spec for contradictory keys: invalid field "
+           "combinations, an escape lane on an expected-deadlock fixture, "
+           "escape identical to the primary routing, empty workloads";
+  }
+
+  StageStats run(AnalyzeContext& ctx) const override {
+    StageStats stats;
+    stats.stage = name();
+    stats.ran = true;
+    const InstanceSpec& spec = ctx.spec;
+    std::size_t findings = 0;
+    const auto emit = [&](Severity severity, std::string code,
+                          std::string message) {
+      if (severity != Severity::kInfo) {
+        ++findings;
+      }
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), severity, std::move(code), std::move(message)));
+    };
+
+    // Re-run the cross-field validation: a spec built in code (tests,
+    // future campaign generators) can carry combinations the parser would
+    // have rejected.
+    stats.checks = 1;
+    if (const std::string complaint = validate_spec(spec);
+        !complaint.empty()) {
+      emit(Severity::kError, "sanity-invalid-spec", complaint);
+    }
+    ++stats.checks;
+    if (!spec.escape.empty() && !spec.expect_deadlock_free) {
+      emit(Severity::kWarning, "sanity-escape-expects-deadlock",
+           "spec declares escape lane '" + spec.escape +
+               "' yet registers expect=deadlock — an escape lane exists "
+               "to make the instance deadlock-free");
+    }
+    ++stats.checks;
+    if (!spec.escape.empty() && spec.escape == spec.routing) {
+      emit(Severity::kWarning, "sanity-escape-redundant",
+           "escape lane '" + spec.escape +
+               "' is the primary routing itself — the lane adds no "
+               "deadlock-free sub-network");
+    }
+    ++stats.checks;
+    if (spec.messages == 0 || spec.flits == 0) {
+      emit(Severity::kWarning, "sanity-empty-workload",
+           "workload is empty (messages=" + std::to_string(spec.messages) +
+               " flits=" + std::to_string(spec.flits) +
+               ") — simulated verification rows would be vacuous");
+    }
+    if (!spec.expect_deadlock_free) {
+      emit(Severity::kInfo, "sanity-negative-fixture",
+           "registered negative fixture: a reproduced deadlock is the "
+           "expected verdict");
+    }
+    stats.passed = findings == 0;
+    if (stats.passed) {
+      emit(Severity::kInfo, "sanity-ok", "spec is internally consistent");
+    }
+    return stats;
+  }
+};
+
+/// Rule 2: dead/unreachable port detection over the Topology port graph
+/// alone (routing-agnostic): forward BFS from the terminal IN ports over
+/// {in-port -> every out-port of its node, out-port -> link target} and
+/// backward BFS from the terminal OUT ports over the inverse relation.
+/// O(ports); no sampling.
+class DeadPortsRule final : public AnalysisRule {
+ public:
+  const char* name() const override { return "dead_ports"; }
+  const char* description() const override {
+    return "flag ports no injection can ever reach (port-unreachable) and "
+           "ports from which no ejection is reachable (port-dead-end), "
+           "over the topology port graph";
+  }
+
+  StageStats run(AnalyzeContext& ctx) const override {
+    StageStats stats;
+    stats.stage = name();
+    stats.ran = true;
+    const Topology& topo = ctx.topology;
+    const std::size_t ports = topo.port_count();
+    const std::size_t names = topo.name_count();
+    std::vector<char> forward(ports, 0);
+    std::vector<char> backward(ports, 0);
+    std::vector<PortId> queue;
+    queue.reserve(ports);
+
+    const auto visit = [&queue](std::vector<char>& seen, PortId pid) {
+      if (pid != kInvalidPort && !seen[pid]) {
+        seen[pid] = 1;
+        queue.push_back(pid);
+      }
+    };
+
+    for (const PortId source : topo.source_ids()) {
+      visit(forward, source);
+    }
+    while (!queue.empty()) {
+      const PortId pid = queue.back();
+      queue.pop_back();
+      if (topo.dir_of(pid) == Direction::kIn) {
+        const PortId* slots = topo.node_slots(topo.node_of(pid));
+        for (std::size_t n = 0; n < names; ++n) {
+          visit(forward, slots[n * 2 + static_cast<std::size_t>(
+                                           Direction::kOut)]);
+        }
+      } else {
+        visit(forward, topo.link_target(pid));
+      }
+    }
+
+    for (const PortId dest : topo.destination_ids()) {
+      visit(backward, dest);
+    }
+    while (!queue.empty()) {
+      const PortId pid = queue.back();
+      queue.pop_back();
+      if (topo.dir_of(pid) == Direction::kOut) {
+        const PortId* slots = topo.node_slots(topo.node_of(pid));
+        for (std::size_t n = 0; n < names; ++n) {
+          visit(backward,
+                slots[n * 2 + static_cast<std::size_t>(Direction::kIn)]);
+        }
+      } else {
+        visit(backward, topo.link_source(pid));
+      }
+    }
+
+    std::uint64_t unreachable = 0;
+    std::uint64_t dead_ends = 0;
+    for (PortId pid = 0; pid < ports; ++pid) {
+      stats.checks += 2;
+      if (!forward[pid] && ++unreachable <= ctx.options.max_findings_per_code) {
+        ctx.report.diagnostics.push_back(make_diagnostic(
+            name(), Severity::kWarning, "port-unreachable",
+            "port " + topo.port_label(pid) +
+                " is unreachable from every injection port",
+            {{"port", topo.port_label(pid)}}));
+      }
+      if (!backward[pid] && ++dead_ends <= ctx.options.max_findings_per_code) {
+        ctx.report.diagnostics.push_back(make_diagnostic(
+            name(), Severity::kWarning, "port-dead-end",
+            "no ejection port is reachable from port " + topo.port_label(pid),
+            {{"port", topo.port_label(pid)}}));
+      }
+    }
+    stats.passed = unreachable == 0 && dead_ends == 0;
+    if (stats.passed) {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kInfo, "ports-live",
+          "all " + std::to_string(ports) +
+              " ports lie on some injection-to-ejection path",
+          {{"ports", std::to_string(ports)}}));
+    } else {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kWarning, "dead-ports-found",
+          std::to_string(unreachable) + " unreachable and " +
+              std::to_string(dead_ends) + " dead-end ports",
+          {{"unreachable", std::to_string(unreachable)},
+           {"dead_ends", std::to_string(dead_ends)}}));
+    }
+    return stats;
+  }
+};
+
+/// Rule 3: turn-model conformance. Enumerates the turns the routing
+/// actually emits on closure-reachable states (travel direction = opposite
+/// of the in-port name) and lints them against the discipline's static
+/// prohibited-turn set from routing/turns.hpp. Destination-sampled.
+class TurnConformanceRule final : public AnalysisRule {
+ public:
+  const char* name() const override { return "turns"; }
+  const char* description() const override {
+    return "check that a turn-model/dimension-order routing never emits a "
+           "prohibited turn on any reachable state (static turn-set lint)";
+  }
+
+  StageStats run(AnalyzeContext& ctx) const override {
+    StageStats stats;
+    stats.stage = name();
+    const Mesh2D* mesh = ctx.routing.grid();
+    if (mesh == nullptr || !has_turn_discipline(ctx.spec.routing)) {
+      stats.ran = false;
+      stats.passed = true;
+      stats.skip_reason = "routing '" + ctx.spec.routing +
+                          "' has no static turn discipline to lint";
+      return stats;
+    }
+    stats.ran = true;
+    const Topology& topo = ctx.topology;
+    const RoutingFunction& routing = ctx.routing;
+    const std::size_t dests = topo.destination_count();
+    const std::size_t stride =
+        stride_for(dests, topo.port_count(), ctx.options.state_budget);
+    const std::size_t words = routing.closure_row_words();
+    ClosureRowScratch scratch;
+    std::vector<PortId> hops;
+    std::vector<Port> port_scratch;
+    std::uint64_t violations = 0;
+
+    for (std::size_t d = 0; d < dests; d += stride) {
+      const std::uint64_t* row = routing.closure_row(d, scratch);
+      const PortId dest_id = topo.destination_id(d);
+      const Port dest = mesh->port(dest_id);
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t bits = row[w];
+        while (bits != 0) {
+          const PortId pid =
+              static_cast<PortId>(w * 64 + std::countr_zero(bits));
+          bits &= bits - 1;
+          if (pid == dest_id || topo.dir_of(pid) != Direction::kIn) {
+            continue;
+          }
+          const Port in = mesh->port(pid);
+          if (in.name == PortName::kLocal) {
+            continue;  // injection is not a turn
+          }
+          const PortName travel = opposite(in.name);
+          hops.clear();
+          routing.next_hop_ids_into(pid, d, hops, port_scratch);
+          ++stats.checks;
+          for (const PortId hop : hops) {
+            if (topo.dir_of(hop) != Direction::kOut ||
+                topo.node_of(hop) != topo.node_of(pid)) {
+              continue;
+            }
+            const Port out = mesh->port(hop);
+            if (out.name == PortName::kLocal ||
+                !turn_prohibited(ctx.spec.routing, in.x, travel, out.name)) {
+              continue;
+            }
+            ++violations;
+            if (violations <= ctx.options.max_findings_per_code) {
+              ctx.report.diagnostics.push_back(make_diagnostic(
+                  name(), Severity::kError,
+                  out.name == opposite(travel) ? "turn-reversal"
+                                               : "turn-prohibited",
+                  std::string("prohibited ") + port_name_letter(travel) +
+                      "->" + port_name_letter(out.name) + " turn at " +
+                      to_string(in) + " routing to " + to_string(dest),
+                  {{"in_port", to_string(in)},
+                   {"out_port", to_string(out)},
+                   {"destination", to_string(dest)},
+                   {"travel", std::string(1, port_name_letter(travel))},
+                   {"column", std::to_string(in.x)}}));
+            }
+          }
+        }
+      }
+    }
+    stats.passed = violations == 0;
+    if (stats.passed) {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kInfo, "turns-conform",
+          "no prohibited turn over " + std::to_string(stats.checks) +
+              " reachable states (" + ctx.spec.routing + " discipline)",
+          {{"states", std::to_string(stats.checks)},
+           {"discipline", ctx.spec.routing}}));
+    } else {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kError, "turns-violated",
+          std::to_string(violations) + " prohibited turns emitted (" +
+              ctx.spec.routing + " discipline)",
+          {{"violations", std::to_string(violations)}}));
+    }
+    return stats;
+  }
+};
+
+/// Rule 4: the node-uniformity audit. A routing claiming node_uniform()
+/// feeds the zero-storage closure tier and the NODE-mode sweeps, where a
+/// wrong claim silently corrupts every downstream artifact — so
+/// cross-check out_mask_id() against next_hop_ids from EVERY in-port of
+/// sampled (node, destination) pairs. The contract covers all pairs, not
+/// just closure-reachable ones (the sweeps evaluate masks off-route too).
+class UniformityRule final : public AnalysisRule {
+ public:
+  const char* name() const override { return "uniformity"; }
+  const char* description() const override {
+    return "audit a node_uniform() claim: the per-node out-mask must equal "
+           "the hop set from every in-port of the node (protects the "
+           "zero-storage closure tier)";
+  }
+
+  StageStats run(AnalyzeContext& ctx) const override {
+    StageStats stats;
+    stats.stage = name();
+    if (!ctx.routing.node_uniform()) {
+      stats.ran = false;
+      stats.passed = true;
+      stats.skip_reason =
+          "routing does not claim node-uniformity (port-mode closure)";
+      return stats;
+    }
+    stats.ran = true;
+    const Topology& topo = ctx.topology;
+    const RoutingFunction& routing = ctx.routing;
+    const std::size_t dests = topo.destination_count();
+    const std::size_t nodes = topo.node_count();
+    const std::size_t names = topo.name_count();
+    const std::size_t stride = stride_for(
+        dests, static_cast<std::uint64_t>(nodes) * names,
+        ctx.options.uniformity_budget);
+    std::vector<PortId> expected;
+    std::vector<PortId> actual;
+    std::vector<Port> port_scratch;
+    std::uint64_t violations = 0;
+
+    for (std::size_t d = 0; d < dests; d += stride) {
+      for (std::size_t node = 0; node < nodes; ++node) {
+        std::uint64_t mask =
+            routing.out_mask_id(node, d) & topo.out_exists_mask(node);
+        expected.clear();
+        while (mask != 0) {
+          const std::size_t name_index =
+              static_cast<std::size_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          const PortId out = topo.slot_id(node, name_index, Direction::kOut);
+          if (out != kInvalidPort) {
+            expected.push_back(out);
+          }
+        }
+        std::sort(expected.begin(), expected.end());
+        const PortId* slots = topo.node_slots(node);
+        for (std::size_t name_index = 0; name_index < names; ++name_index) {
+          const PortId in =
+              slots[name_index * 2 + static_cast<std::size_t>(Direction::kIn)];
+          if (in == kInvalidPort) {
+            continue;
+          }
+          actual.clear();
+          routing.next_hop_ids_into(in, d, actual, port_scratch);
+          std::sort(actual.begin(), actual.end());
+          ++stats.checks;
+          if (actual == expected) {
+            continue;
+          }
+          ++violations;
+          if (violations <= ctx.options.max_findings_per_code) {
+            ctx.report.diagnostics.push_back(make_diagnostic(
+                name(), Severity::kError, "uniformity-violated",
+                "hop set from " + topo.port_label(in) + " toward " +
+                    topo.port_label(topo.destination_id(d)) +
+                    " differs from the node's claimed out-mask",
+                {{"in_port", topo.port_label(in)},
+                 {"destination", topo.port_label(topo.destination_id(d))},
+                 {"node", topo.node_label(node)},
+                 {"mask_hops", std::to_string(expected.size())},
+                 {"in_port_hops", std::to_string(actual.size())}}));
+          }
+        }
+      }
+    }
+    stats.passed = violations == 0;
+    if (stats.passed) {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kInfo, "uniformity-audited",
+          "node-uniformity claim holds on " + std::to_string(stats.checks) +
+              " sampled (in-port, destination) pairs",
+          {{"pairs", std::to_string(stats.checks)}}));
+    } else {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kError, "uniformity-refuted",
+          std::to_string(violations) +
+              " (in-port, destination) pairs contradict the node_uniform() "
+              "claim — the zero-storage closure tier would be corrupt",
+          {{"violations", std::to_string(violations)}}));
+    }
+    return stats;
+  }
+};
+
+/// Rule 5: routing totality and progress. Every closure-reachable
+/// (port, destination) state must yield at least one next hop (a stuck
+/// message is a modelling bug Theorem 1 never sees — the dependency graph
+/// simply lacks the edge), and a routing claiming is_minimal() must
+/// strictly decrease the wrap-aware hop distance on every emitted grid
+/// hop. Destination-sampled.
+class TotalityRule final : public AnalysisRule {
+ public:
+  const char* name() const override { return "totality"; }
+  const char* description() const override {
+    return "every reachable (port, destination) state yields >= 1 next "
+           "hop, and minimal routings strictly decrease hop distance";
+  }
+
+  StageStats run(AnalyzeContext& ctx) const override {
+    StageStats stats;
+    stats.stage = name();
+    stats.ran = true;
+    const Topology& topo = ctx.topology;
+    const RoutingFunction& routing = ctx.routing;
+    const Mesh2D* mesh = routing.grid();
+    const bool check_minimal = mesh != nullptr && routing.is_minimal();
+    const std::size_t dests = topo.destination_count();
+    const std::size_t stride =
+        stride_for(dests, topo.port_count(), ctx.options.state_budget);
+    const std::size_t words = routing.closure_row_words();
+    ClosureRowScratch scratch;
+    std::vector<PortId> hops;
+    std::vector<Port> port_scratch;
+    std::uint64_t dead_ends = 0;
+    std::uint64_t nonminimal = 0;
+    const std::uint64_t cap = ctx.options.max_findings_per_code;
+
+    for (std::size_t d = 0; d < dests; d += stride) {
+      const std::uint64_t* row = routing.closure_row(d, scratch);
+      const PortId dest_id = topo.destination_id(d);
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t bits = row[w];
+        while (bits != 0) {
+          const PortId pid =
+              static_cast<PortId>(w * 64 + std::countr_zero(bits));
+          bits &= bits - 1;
+          if (pid == dest_id) {
+            continue;  // arrived
+          }
+          hops.clear();
+          routing.next_hop_ids_into(pid, d, hops, port_scratch);
+          ++stats.checks;
+          if (hops.empty()) {
+            ++dead_ends;
+            if (dead_ends <= cap) {
+              ctx.report.diagnostics.push_back(make_diagnostic(
+                  name(), Severity::kError, "route-dead-end",
+                  "reachable state (" + topo.port_label(pid) + ", " +
+                      topo.port_label(dest_id) + ") yields no next hop",
+                  {{"port", topo.port_label(pid)},
+                   {"destination", topo.port_label(dest_id)}}));
+            }
+            continue;
+          }
+          if (!check_minimal || topo.dir_of(pid) != Direction::kIn) {
+            continue;
+          }
+          const Port here = mesh->port(pid);
+          const Port dest = mesh->port(dest_id);
+          const std::int64_t before = grid_distance(*mesh, here, dest);
+          for (const PortId hop : hops) {
+            if (topo.dir_of(hop) != Direction::kOut ||
+                topo.node_of(hop) != topo.node_of(pid)) {
+              continue;
+            }
+            const PortId next = topo.link_target(hop);
+            if (next == kInvalidPort) {
+              continue;  // terminal hop: delivery
+            }
+            const std::int64_t after =
+                grid_distance(*mesh, mesh->port(next), dest);
+            if (after >= before) {
+              ++nonminimal;
+              if (nonminimal <= cap) {
+                ctx.report.diagnostics.push_back(make_diagnostic(
+                    name(), Severity::kError, "route-nonminimal",
+                    "hop " + topo.port_label(pid) + " -> " +
+                        topo.port_label(hop) + " toward " +
+                        topo.port_label(dest_id) +
+                        " does not decrease hop distance (" +
+                        std::to_string(before) + " -> " +
+                        std::to_string(after) +
+                        ") yet the routing claims is_minimal()",
+                    {{"port", topo.port_label(pid)},
+                     {"hop", topo.port_label(hop)},
+                     {"destination", topo.port_label(dest_id)},
+                     {"distance_before", std::to_string(before)},
+                     {"distance_after", std::to_string(after)}}));
+              }
+            }
+          }
+        }
+      }
+    }
+    stats.passed = dead_ends == 0 && nonminimal == 0;
+    if (stats.passed) {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kInfo, "totality-holds",
+          "all " + std::to_string(stats.checks) +
+              " sampled reachable states progress" +
+              (check_minimal ? " and strictly decrease hop distance" : ""),
+          {{"states", std::to_string(stats.checks)},
+           {"minimality_checked", check_minimal ? "true" : "false"}}));
+    } else {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kError, "totality-violated",
+          std::to_string(dead_ends) + " dead-end and " +
+              std::to_string(nonminimal) + " non-minimal states",
+          {{"dead_ends", std::to_string(dead_ends)},
+           {"nonminimal", std::to_string(nonminimal)}}));
+    }
+    return stats;
+  }
+};
+
+/// Rule 6: escape-lane coverage. An `escape=` spec promises a connected,
+/// deadlock-free sub-network: the escape routing's OWN dependency graph
+/// must be acyclic (the Duato precondition the verify stage assumes), and
+/// every node must select at least one existing escape out-port toward
+/// every sampled destination (coverage/connectivity).
+class EscapeCoverageRule final : public AnalysisRule {
+ public:
+  const char* name() const override { return "escape"; }
+  const char* description() const override {
+    return "escape= lanes declare a connected deadlock-free sub-network: "
+           "acyclic escape dependency graph + full node coverage toward "
+           "sampled destinations";
+  }
+
+  StageStats run(AnalyzeContext& ctx) const override {
+    StageStats stats;
+    stats.stage = name();
+    if (ctx.escape == nullptr) {
+      stats.ran = false;
+      stats.passed = true;
+      stats.skip_reason = "spec declares no escape lane";
+      return stats;
+    }
+    stats.ran = true;
+    const Topology& topo = ctx.topology;
+    const RoutingFunction& escape = *ctx.escape;
+    std::size_t findings = 0;
+
+    const PortDepGraph dep = build_dep_graph_fast(escape);
+    stats.checks += dep.graph.edge_count();
+    const std::optional<CycleWitness> cycle = find_cycle(dep.graph);
+    if (cycle.has_value()) {
+      ++findings;
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kError, "escape-cyclic",
+          "escape lane '" + escape.name() +
+              "' has a cyclic dependency graph (length " +
+              std::to_string(cycle->size()) +
+              ") — it is no deadlock-free sub-network",
+          {{"cycle_length", std::to_string(cycle->size())},
+           {"through", dep.label(cycle->front())}}));
+    }
+
+    std::uint64_t uncovered = 0;
+    if (escape.node_uniform()) {
+      const std::size_t dests = topo.destination_count();
+      const std::size_t nodes = topo.node_count();
+      const std::size_t stride =
+          stride_for(dests, nodes, ctx.options.state_budget);
+      for (std::size_t d = 0; d < dests; d += stride) {
+        for (std::size_t node = 0; node < nodes; ++node) {
+          ++stats.checks;
+          const std::uint64_t mask =
+              escape.out_mask_id(node, d) & topo.out_exists_mask(node);
+          if (mask != 0) {
+            continue;
+          }
+          ++uncovered;
+          if (uncovered <= ctx.options.max_findings_per_code) {
+            ctx.report.diagnostics.push_back(make_diagnostic(
+                name(), Severity::kError, "escape-partial",
+                "escape lane selects no existing out-port at node " +
+                    topo.node_label(node) + " toward " +
+                    topo.port_label(topo.destination_id(d)),
+                {{"node", topo.node_label(node)},
+                 {"destination",
+                  topo.port_label(topo.destination_id(d))}}));
+          }
+        }
+      }
+      findings += uncovered != 0 ? 1 : 0;
+    }
+
+    stats.passed = findings == 0;
+    if (stats.passed) {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kInfo, "escape-covered",
+          "escape lane '" + escape.name() +
+              "' is acyclic and covers every sampled (node, destination) "
+              "pair",
+          {{"escape_edges", std::to_string(dep.graph.edge_count())}}));
+    } else if (uncovered != 0) {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kError, "escape-uncovered",
+          std::to_string(uncovered) +
+              " (node, destination) pairs lack an escape out-port",
+          {{"uncovered", std::to_string(uncovered)}}));
+    }
+    return stats;
+  }
+};
+
+}  // namespace
+
+RuleRegistry::RuleRegistry() {
+  // Registry order is run order for Analyzer::standard(): cheap structural
+  // lints first, the closure-walking sweeps last.
+  owned_.push_back(std::make_unique<SpecSanityRule>());
+  owned_.push_back(std::make_unique<DeadPortsRule>());
+  owned_.push_back(std::make_unique<TurnConformanceRule>());
+  owned_.push_back(std::make_unique<UniformityRule>());
+  owned_.push_back(std::make_unique<TotalityRule>());
+  owned_.push_back(std::make_unique<EscapeCoverageRule>());
+  views_.reserve(owned_.size());
+  for (const auto& rule : owned_) {
+    views_.push_back(rule.get());
+  }
+}
+
+const RuleRegistry& RuleRegistry::global() {
+  static const RuleRegistry registry;
+  return registry;
+}
+
+std::vector<std::string> RuleRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(views_.size());
+  for (const AnalysisRule* rule : views_) {
+    result.emplace_back(rule->name());
+  }
+  return result;
+}
+
+const AnalysisRule* RuleRegistry::find(const std::string& name) const {
+  for (const AnalysisRule* rule : views_) {
+    if (name == rule->name()) {
+      return rule;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace genoc

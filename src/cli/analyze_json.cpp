@@ -1,0 +1,37 @@
+#include "cli/analyze_json.hpp"
+
+#include <vector>
+
+#include "cli/json_writer.hpp"
+#include "cli/verify_json.hpp"
+
+namespace genoc::cli {
+
+std::string analyze_report_json(const genoc::AnalyzeReport& report) {
+  std::vector<std::string> rules;
+  rules.reserve(report.rules.size());
+  for (const genoc::StageStats& stats : report.rules) {
+    rules.push_back(stage_stats_json(stats));
+  }
+  std::vector<std::string> diagnostics;
+  diagnostics.reserve(report.diagnostics.size());
+  for (const genoc::Diagnostic& diagnostic : report.diagnostics) {
+    diagnostics.push_back(diagnostic_json(diagnostic));
+  }
+  JsonObject obj;
+  obj.add("instance", report.instance)
+      .add("spec", report.spec)
+      .add("topology", report.topology)
+      .add("routing", report.routing)
+      .add("nodes", static_cast<std::uint64_t>(report.nodes))
+      .add("ports", static_cast<std::uint64_t>(report.ports))
+      .add("clean", report.clean())
+      .add("findings", static_cast<std::uint64_t>(report.findings()))
+      .add("checks", report.checks)
+      .add("wall_ms", report.wall_ms)
+      .add_raw("rules", json_array(rules))
+      .add_raw("diagnostics", json_array(diagnostics));
+  return obj.to_string();
+}
+
+}  // namespace genoc::cli

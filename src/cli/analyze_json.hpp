@@ -1,0 +1,24 @@
+/// \file analyze_json.hpp
+/// \brief JSON rendering of the static analyzer's typed output — one
+///        per-instance row carrying the per-rule StageStats and the
+///        Diagnostic findings.
+///
+/// Lives in genoc_cli_support (not the driver) so the test suite covers the
+/// exact serialization `genoc analyze --json` ships; the schema is
+/// versioned by AnalyzeReport::kSchemaVersion, which cmd_analyze stamps at
+/// the top level and tools/check_analyze_schema.py validates in CI. The
+/// Diagnostic/StageStats sub-objects reuse verify_json's serializers, so
+/// one record shape serves both commands.
+#pragma once
+
+#include <string>
+
+#include "analyze/rule.hpp"
+
+namespace genoc::cli {
+
+/// One `genoc analyze` instance row: identity fields, clean/findings
+/// verdict, per-rule stats ("rules") and the findings ("diagnostics").
+std::string analyze_report_json(const genoc::AnalyzeReport& report);
+
+}  // namespace genoc::cli

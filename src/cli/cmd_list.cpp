@@ -4,6 +4,7 @@
 ///        the topology families the spec grammar can instantiate instead.
 #include <iostream>
 
+#include "analyze/rule.hpp"
 #include "cli/commands.hpp"
 #include "cli/json_writer.hpp"
 #include "instance/registry.hpp"
@@ -19,6 +20,8 @@ constexpr const char* kUsage =
     "Usage: genoc list [options]\n"
     "  --checks      list the registered verify check stages (the names\n"
     "                `genoc verify --stages` accepts) instead of the instances\n"
+    "  --rules       list the registered analysis rules (the names\n"
+    "                `genoc analyze --rules` accepts) instead of the instances\n"
     "  --topologies  list the registered topology families and their\n"
     "                spec-grammar parameters instead of the instances\n"
     "  --json        emit the listing as JSON instead of the table\n"
@@ -86,6 +89,35 @@ int list_checks(bool as_json) {
   return 0;
 }
 
+int list_rules(bool as_json) {
+  const RuleRegistry& registry = RuleRegistry::global();
+
+  if (as_json) {
+    std::vector<std::string> rows;
+    for (const AnalysisRule* rule : registry.rules()) {
+      JsonObject obj;
+      obj.add("name", rule->name()).add("description", rule->description());
+      rows.push_back(obj.to_string());
+    }
+    JsonObject report;
+    report.add("command", "list")
+        .add("count", static_cast<std::uint64_t>(registry.rules().size()))
+        .add_raw("rules", json_array(rows));
+    std::cout << report.to_string();
+    return 0;
+  }
+
+  Table table({"Rule", "Description"});
+  for (const AnalysisRule* rule : registry.rules()) {
+    table.add_row({rule->name(), rule->description()});
+  }
+  std::cout << registry.rules().size()
+            << " registered analysis rules (selectable via `genoc analyze "
+               "--rules a,b,...`, run in the given order):\n\n"
+            << table.render() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int cmd_list(const Args& args) {
@@ -95,12 +127,16 @@ int cmd_list(const Args& args) {
   }
   const bool as_json = args.has("json");
   const bool checks = args.has("checks");
+  const bool rules = args.has("rules");
   const bool topologies = args.has("topologies");
   if (const int rc = finish_args(args, kUsage)) {
     return rc;
   }
   if (checks) {
     return list_checks(as_json);
+  }
+  if (rules) {
+    return list_rules(as_json);
   }
   if (topologies) {
     return list_topologies(as_json);

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "analyze/analyzer.hpp"
+#include "cli/analyze_json.hpp"
 #include "cli/commands.hpp"
 #include "cli/json_reader.hpp"
 #include "cli/json_writer.hpp"
@@ -73,6 +75,9 @@ constexpr const char* kUsage =
     "                 sweep to F (default genoc.trace.json) — load it in\n"
     "                 Perfetto or chrome://tracing; --all merges the whole\n"
     "                 sweep into the one file\n"
+    "  --no-analyze   skip the static-analyzer pre-screen (the cheap\n"
+    "                 `genoc analyze` rules run per instance by default and\n"
+    "                 attach their diagnostics to the report)\n"
     "Common:\n"
     "  --json         emit a JSON report on stdout instead of the table\n";
 
@@ -323,7 +328,8 @@ void print_baseline_table(const BaselineComparison& trend) {
 
 int report_instances(const std::vector<VerifyReport>& reports,
                      const VerifyPipeline& pipeline, bool constraints,
-                     const ArtifactCacheStats& cache, bool as_json,
+                     const ArtifactCacheStats& cache,
+                     const std::vector<AnalyzeReport>& analyses, bool as_json,
                      const std::string& mode, std::size_t threads,
                      const std::optional<BaselineComparison>& trend) {
   bool all_free = true;
@@ -343,8 +349,13 @@ int report_instances(const std::vector<VerifyReport>& reports,
   if (as_json) {
     std::vector<std::string> rows;
     rows.reserve(reports.size());
-    for (const VerifyReport& report : reports) {
-      rows.push_back(report_json(report));
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      // Pre-screen rows align with reports by construction (both follow
+      // the resolved spec order); attach when the analyzer ran.
+      rows.push_back(report_json(
+          reports[i], i < analyses.size()
+                          ? analyze_report_json(analyses[i])
+                          : std::string()));
     }
     JsonObject report;
     report.add("command", "verify")
@@ -354,6 +365,7 @@ int report_instances(const std::vector<VerifyReport>& reports,
         .add_raw("stages", json_string_array(pipeline.stage_names()))
         .add("constraints", constraints)
         .add("instances_total", static_cast<std::uint64_t>(reports.size()))
+        .add("analysis_prescreen", !analyses.empty())
         .add("all_deadlock_free", all_free)
         .add("all_as_expected", all_expected)
         .add_raw("cache", cache_stats_json(cache))
@@ -392,7 +404,33 @@ int report_instances(const std::vector<VerifyReport>& reports,
   std::cout << "  artifact cache: " << cache.contexts.misses
             << " distinct contexts for " << reports.size() << " instances — "
             << cache.dep_graph.misses << " graph builds, "
-            << cache.primed.misses << " closures primed\n\n";
+            << cache.primed.misses << " closures primed\n";
+  if (!analyses.empty()) {
+    std::size_t dirty = 0;
+    std::uint64_t findings = 0;
+    for (const AnalyzeReport& analysis : analyses) {
+      dirty += analysis.clean() ? 0 : 1;
+      findings += analysis.findings();
+    }
+    std::cout << "  analyzer pre-screen (" << Analyzer::cheap().rule_names().size()
+              << " cheap rules): " << analyses.size() - dirty << "/"
+              << analyses.size() << " instances clean";
+    if (dirty != 0) {
+      std::cout << ", " << findings << " findings:";
+    }
+    std::cout << "\n";
+    for (const AnalyzeReport& analysis : analyses) {
+      for (const Diagnostic& diagnostic : analysis.diagnostics) {
+        if (diagnostic.severity == Severity::kInfo) {
+          continue;
+        }
+        std::cout << "    " << analysis.instance << ": ["
+                  << severity_name(diagnostic.severity) << "/"
+                  << diagnostic.code << "] " << diagnostic.message << "\n";
+      }
+    }
+  }
+  std::cout << "\n";
   if (trend.has_value()) {
     print_baseline_table(*trend);
   }
@@ -407,33 +445,13 @@ int report_instances(const std::vector<VerifyReport>& reports,
   return all_expected && !trend_failed ? 0 : 1;
 }
 
-/// Splits --stages' comma-separated value; empty tokens rejected upstream
-/// by from_stage_names (empty selection).
-std::vector<std::string> split_stages(const std::string& text) {
-  std::vector<std::string> names;
-  std::string current;
-  for (const char c : text) {
-    if (c == ',') {
-      if (!current.empty()) {
-        names.push_back(current);
-        current.clear();
-      }
-      continue;
-    }
-    current.push_back(c);
-  }
-  if (!current.empty()) {
-    names.push_back(current);
-  }
-  return names;
-}
-
 int run_instance_mode(const std::string& instance, bool all, bool heavy,
                       bool sequential, std::size_t threads, bool constraints,
                       bool generic, bool stages_given,
                       const std::string& stages,
                       const std::string& baseline_path,
-                      const std::string& trace_path, bool as_json) {
+                      const std::string& trace_path, bool no_analyze,
+                      bool as_json) {
   const InstanceRegistry& registry = InstanceRegistry::global();
   std::vector<InstanceSpec> specs;
   if (all) {
@@ -455,7 +473,7 @@ int run_instance_mode(const std::string& instance, bool all, bool heavy,
   bool run_constraints = constraints;
   if (stages_given) {
     std::string error;
-    custom = VerifyPipeline::from_stage_names(split_stages(stages), &error);
+    custom = VerifyPipeline::from_stage_names(split_selection(stages), &error);
     if (!custom) {
       std::cerr << "genoc verify: " << error << "\n";
       return 2;
@@ -502,6 +520,21 @@ int run_instance_mode(const std::string& instance, bool all, bool heavy,
   // surfaces the cache counters so the reuse is visible.
   ArtifactStore store;
   options.artifacts = &store;
+
+  // The analyzer pre-screen: the cheap static rules run FIRST, per
+  // instance, so a structurally broken model variant surfaces typed
+  // diagnostics before any verify effort is spent on it. Warms the same
+  // store the pipeline reads, so no artifact is built twice.
+  std::vector<AnalyzeReport> analyses;
+  if (!no_analyze) {
+    obs::TraceSpan analyze_span("verify_prescreen");
+    const Analyzer& analyzer = Analyzer::cheap();
+    analyses.reserve(specs.size());
+    for (const InstanceSpec& spec : specs) {
+      analyses.push_back(analyzer.run(spec, *store.acquire(spec)));
+    }
+  }
+
   std::optional<BatchRunner> runner;
   if (!sequential) {
     runner.emplace(threads);
@@ -536,7 +569,7 @@ int run_instance_mode(const std::string& instance, bool all, bool heavy,
     trend = compare_against_baseline(reports, baseline, baseline_path);
   }
   return report_instances(reports, *pipeline, run_constraints, store.stats(),
-                          as_json, all ? "all" : "instance",
+                          analyses, as_json, all ? "all" : "instance",
                           runner ? runner->thread_count() : 1, trend);
 }
 
@@ -637,6 +670,7 @@ int cmd_verify(const Args& args) {
   const bool generic = args.has("generic");
   const std::string stages = args.get("stages", "");
   const std::string baseline_path = args.get("baseline", "");
+  const bool no_analyze = args.has("no-analyze");
   // Bare `--trace` (no value) records to the default filename.
   const std::string trace_path =
       args.has("trace") ? (args.get("trace", "").empty()
@@ -652,9 +686,9 @@ int cmd_verify(const Args& args) {
   const bool instance_mode = all || !instance.empty();
   const char* classic_flags[] = {"width",   "height",    "buffers",
                                  "workloads", "messages", "seed"};
-  const char* instance_flags[] = {"threads", "sequential", "constraints",
-                                  "heavy",   "generic",    "stages",
-                                  "baseline", "trace"};
+  const char* instance_flags[] = {"threads",  "sequential", "constraints",
+                                  "heavy",    "generic",    "stages",
+                                  "baseline", "trace",      "no-analyze"};
   if (instance_mode) {
     for (const char* flag : classic_flags) {
       if (args.has(flag)) {
@@ -676,7 +710,7 @@ int cmd_verify(const Args& args) {
   if (instance_mode) {
     return run_instance_mode(instance, all, heavy, sequential, threads,
                              constraints, generic, args.has("stages"), stages,
-                             baseline_path, trace_path, as_json);
+                             baseline_path, trace_path, no_analyze, as_json);
   }
   return run_hermes_mode(width, height, buffers, options, as_json);
 }

@@ -11,11 +11,15 @@
 ///   genoc list        — the registered network instances
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "cli/args.hpp"
 
 namespace genoc::cli {
 
 int cmd_verify(const Args& args);
+int cmd_analyze(const Args& args);
 int cmd_sim(const Args& args);
 int cmd_bench(const Args& args);
 int cmd_export_dot(const Args& args);
@@ -24,5 +28,10 @@ int cmd_list(const Args& args);
 /// Prints \p usage plus any parse errors / unknown flags; returns 2 when
 /// the invocation was malformed, 0 otherwise. Call after all flag reads.
 int finish_args(const Args& args, const char* usage);
+
+/// Splits a comma-separated selection (`--stages A,B`, `--rules A,B`) into
+/// its tokens; empty tokens are dropped, so a fully empty value yields the
+/// empty list the from_*_names factories reject as "empty selection".
+std::vector<std::string> split_selection(const std::string& text);
 
 }  // namespace genoc::cli

@@ -24,6 +24,10 @@ constexpr const char* kUsage =
     "  verify      discharge the proof obligations — on the classic HERMES\n"
     "              mesh, on one --instance (name or key=value spec), or on\n"
     "              every registered instance (--all matrix report)\n"
+    "  analyze     static model analyzer: rule-based lints (routing\n"
+    "              totality, node-uniformity audit, turn conformance, dead\n"
+    "              ports, escape coverage, spec sanity) over --instance or\n"
+    "              --all, with stable diagnostic codes\n"
     "  sim         run GeNoC2D on a traffic pattern with the CorrThm /\n"
     "              EvacThm / (C-5) audits on (--instance selects a network)\n"
     "  bench       timed micro-benchmarks; --json writes BENCH_*.json\n"
@@ -60,6 +64,25 @@ int finish_args(const Args& args, const char* usage) {
   return 0;
 }
 
+std::vector<std::string> split_selection(const std::string& text) {
+  std::vector<std::string> names;
+  std::string current;
+  for (const char c : text) {
+    if (c == ',') {
+      if (!current.empty()) {
+        names.push_back(current);
+        current.clear();
+      }
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) {
+    names.push_back(current);
+  }
+  return names;
+}
+
 }  // namespace genoc::cli
 
 int main(int argc, char** argv) {
@@ -83,6 +106,9 @@ int main(int argc, char** argv) {
 
   if (command == "verify") {
     return cmd_verify(args);
+  }
+  if (command == "analyze") {
+    return cmd_analyze(args);
   }
   if (command == "sim") {
     return cmd_sim(args);

@@ -79,6 +79,11 @@ std::string cache_stats_json(const genoc::ArtifactCacheStats& stats) {
 }
 
 std::string report_json(const genoc::VerifyReport& report) {
+  return report_json(report, std::string());
+}
+
+std::string report_json(const genoc::VerifyReport& report,
+                        const std::string& analysis_raw) {
   std::vector<std::string> stages;
   stages.reserve(report.stages.size());
   for (const genoc::StageStats& stats : report.stages) {
@@ -96,6 +101,9 @@ std::string report_json(const genoc::VerifyReport& report) {
   obj.add_raw("stages", json_array(stages))
       .add_raw("diagnostics", json_array(diagnostics))
       .add_raw("cache", cache_stats_json(report.cache));
+  if (!analysis_raw.empty()) {
+    obj.add_raw("analysis", analysis_raw);
+  }
   return obj.to_string();
 }
 

@@ -23,6 +23,13 @@ namespace genoc::cli {
 /// compatibility), plus the typed "stages" and "diagnostics" arrays.
 std::string report_json(const genoc::VerifyReport& report);
 
+/// Same row with the static analyzer's pre-screen attached as an
+/// "analysis" sub-object (an analyze_report_json row). \p analysis_raw is
+/// pre-serialized JSON; empty attaches nothing, so `--no-analyze` rows are
+/// byte-identical to the overload above (no schema bump: an added field).
+std::string report_json(const genoc::VerifyReport& report,
+                        const std::string& analysis_raw);
+
 std::string diagnostic_json(const genoc::Diagnostic& diagnostic);
 std::string stage_stats_json(const genoc::StageStats& stats);
 std::string cache_stats_json(const genoc::ArtifactCacheStats& stats);

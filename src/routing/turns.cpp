@@ -1,0 +1,75 @@
+#include "routing/turns.hpp"
+
+namespace genoc {
+
+namespace {
+
+bool vertical(PortName name) {
+  return name == PortName::kNorth || name == PortName::kSouth;
+}
+
+bool horizontal(PortName name) {
+  return name == PortName::kEast || name == PortName::kWest;
+}
+
+/// The negative directions under the paper's coordinate convention
+/// (East increases x, North DECREASES y): West and North.
+bool negative_direction(PortName name) {
+  return name == PortName::kWest || name == PortName::kNorth;
+}
+
+}  // namespace
+
+bool has_turn_discipline(const std::string& routing) {
+  return routing == "xy" || routing == "yx" || routing == "torus_xy" ||
+         routing == "west_first" || routing == "north_last" ||
+         routing == "negative_first" || routing == "odd_even";
+}
+
+bool turn_prohibited(const std::string& routing, std::int32_t x,
+                     PortName travel, PortName out) {
+  if (travel == out) {
+    return false;  // continuing straight is not a turn
+  }
+  if (out == opposite(travel)) {
+    return true;  // 180-degree reversal: no minimal discipline emits one
+  }
+  if (routing == "xy" || routing == "torus_xy") {
+    // Dimension order, x first: once travelling vertically, every
+    // horizontal turn is forbidden (the paper's Rxy and its shortest-way
+    // torus variant share the discipline; wrap links only change which
+    // neighbour a hop reaches, not the turn it takes).
+    return vertical(travel) && horizontal(out);
+  }
+  if (routing == "yx") {
+    return horizontal(travel) && vertical(out);
+  }
+  if (routing == "west_first") {
+    // All west hops come first, so no later leg may turn (back) to West.
+    return out == PortName::kWest;
+  }
+  if (routing == "north_last") {
+    // North is taken last: once travelling North nothing else follows.
+    return travel == PortName::kNorth;
+  }
+  if (routing == "negative_first") {
+    // Negative hops (West, North) come first: a positive-travelling
+    // message (East, South) may never turn into a negative direction.
+    return !negative_direction(travel) && negative_direction(out);
+  }
+  if (routing == "odd_even") {
+    // Chiu: EN/ES turns are legal only in odd columns, NW/SW turns only
+    // in even columns (see routing/odd_even.cpp).
+    const bool odd_column = (x % 2) != 0;
+    if (travel == PortName::kEast && vertical(out)) {
+      return !odd_column;
+    }
+    if (vertical(travel) && out == PortName::kWest) {
+      return odd_column;
+    }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace genoc

@@ -1,0 +1,42 @@
+/// \file turns.hpp
+/// \brief The static prohibited-turn sets of the grid routing disciplines.
+///
+/// A turn is the pair (travel, out): the cardinal direction a message is
+/// travelling when it occupies an in-port (the opposite of the in-port's
+/// name — a message sitting in a West in-port arrived over the West link,
+/// so it travels East) and the cardinal out-port it selects next. Each
+/// turn-model discipline (Glass-Ni west-first / north-last /
+/// negative-first, Chiu's odd-even) and each dimension-order discipline
+/// (XY, YX, shortest-way torus-XY) is DEFINED by the turns it forbids;
+/// the implementations in this directory encode the sets operationally,
+/// and this header states them declaratively so the static analyzer's
+/// turn-conformance rule can lint emitted turns against the model instead
+/// of rediscovering violations inside the verify pipeline.
+///
+/// Coordinate convention matches port.hpp: North DECREASES y, so the
+/// "negative" directions of negative-first are West (x) and North (y).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/port.hpp"
+
+namespace genoc {
+
+/// True iff \p routing (canonical spec name, e.g. "west_first") has a
+/// static turn discipline this header can state: the four turn models plus
+/// the dimension-order families. Adaptive functions without a turn
+/// discipline ("fully_adaptive") and the non-grid families are not listed.
+bool has_turn_discipline(const std::string& routing);
+
+/// True iff discipline \p routing forbids the (\p travel -> \p out) turn at
+/// a node in column \p x. Requires cardinal names. Only odd-even consults
+/// the column (its EN/ES turns need an odd column, its NW/SW turns an even
+/// one); every discipline forbids the 180-degree reversal turns, which no
+/// minimal function may emit. Continuing straight (travel == out) is never
+/// a turn.
+bool turn_prohibited(const std::string& routing, std::int32_t x,
+                     PortName travel, PortName out);
+
+}  // namespace genoc

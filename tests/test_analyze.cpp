@@ -1,0 +1,519 @@
+// Static-analyzer suite: every rule has a positive run (a clean preset-shaped
+// spec analyzes clean) and a seeded-mutant negative (a deliberately broken
+// model trips exactly that rule, with its stable diagnostic code). The
+// mutants inject through Analyzer::run(spec, topology, routing, escape) — the
+// documented injection point — so no fake instances are registered. Also
+// covers the --rules selection contract (from_rule_names) and the registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/rule.hpp"
+#include "cli/analyze_json.hpp"
+#include "instance/spec.hpp"
+#include "routing/torus_xy.hpp"
+#include "routing/xy.hpp"
+#include "routing/yx.hpp"
+#include "topology/mesh.hpp"
+#include "topology/port.hpp"
+#include "topology/topology.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace genoc {
+namespace {
+
+using cli::analyze_report_json;
+
+InstanceSpec spec_or_die(const std::string& text) {
+  std::string error;
+  const std::optional<InstanceSpec> spec = parse_instance_spec(text, &error);
+  EXPECT_TRUE(spec.has_value()) << text << ": " << error;
+  return spec.value_or(InstanceSpec{});
+}
+
+bool has_code(const AnalyzeReport& report, const std::string& code) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+/// True iff every warning/error finding came from \p stage — the "trips
+/// exactly its rule" property of a seeded mutant.
+bool findings_only_from(const AnalyzeReport& report, const std::string& stage) {
+  return std::all_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return d.severity == Severity::kInfo || d.stage == stage;
+                     });
+}
+
+const StageStats& stats_of(const AnalyzeReport& report,
+                           const std::string& rule) {
+  for (const StageStats& stats : report.rules) {
+    if (stats.stage == rule) {
+      return stats;
+    }
+  }
+  ADD_FAILURE() << "no stats for rule " << rule;
+  static const StageStats kEmpty;
+  return kEmpty;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutants. Each breaks exactly one modelled property; the spec's
+// routing key is chosen so the unrelated rules skip or stay clean.
+// ---------------------------------------------------------------------------
+
+/// Grid mutant base: cardinal OUT ports forward along their link, Local OUT
+/// terminates — only the IN-port decision differs per mutant.
+class GridMutant : public RoutingFunction {
+ public:
+  explicit GridMutant(const Mesh2D& mesh) : RoutingFunction(mesh) {}
+  bool is_deterministic() const override { return true; }
+
+ protected:
+  bool forward_out(const Port& p, std::vector<Port>& out) const {
+    if (p.dir != Direction::kOut) {
+      return false;
+    }
+    if (p.name != PortName::kLocal) {
+      // The topology-aware next_in: wrap links exist on tori.
+      out.push_back(mesh().next_in(p));
+    }
+    return true;
+  }
+};
+
+/// Totality mutant: messages entering node (2,1) toward any other node are
+/// simply dropped — the reachable state yields no next hop.
+class DropAtNode final : public GridMutant {
+ public:
+  using GridMutant::GridMutant;
+  std::string name() const override { return "drop-at-node"; }
+  void append_next_hops(const Port& p, const Port& d,
+                        std::vector<Port>& out) const override {
+    if (forward_out(p, out)) {
+      return;
+    }
+    if (p.x == 2 && p.y == 1 && !(d.x == 2 && d.y == 1)) {
+      return;  // the seeded hole
+    }
+    XYRouting xy(mesh());
+    xy.append_next_hops(p, d, out);
+  }
+};
+
+/// Minimality mutant: injections at (0,0) toward the same column overshoot
+/// East first (distance grows), then XY recovers. is_minimal() stays true —
+/// the lie the totality rule must catch.
+class OvershootInjection final : public GridMutant {
+ public:
+  using GridMutant::GridMutant;
+  std::string name() const override { return "overshoot-injection"; }
+  void append_next_hops(const Port& p, const Port& d,
+                        std::vector<Port>& out) const override {
+    if (forward_out(p, out)) {
+      return;
+    }
+    if (p.name == PortName::kLocal && p.x == 0 && p.y == 0 && d.x == 0 &&
+        d.y > 0) {
+      out.push_back(trans(p, PortName::kEast, Direction::kOut));
+      return;
+    }
+    XYRouting xy(mesh());
+    xy.append_next_hops(p, d, out);
+  }
+};
+
+/// Uniformity mutant: routes exactly like XY but the published node mask of
+/// node (0,0) claims an extra East hop — the mask/hop-set divergence that
+/// would silently corrupt the zero-storage closure tier.
+class LyingMask final : public GridMutant {
+ public:
+  explicit LyingMask(const Mesh2D& mesh) : GridMutant(mesh), inner_(mesh) {}
+  std::string name() const override { return "lying-mask"; }
+  bool node_uniform() const override { return true; }
+  void append_next_hops(const Port& p, const Port& d,
+                        std::vector<Port>& out) const override {
+    inner_.append_next_hops(p, d, out);
+  }
+  std::uint8_t node_out_mask(std::int32_t x, std::int32_t y,
+                             const Port& dest) const override {
+    std::uint8_t mask = inner_.node_out_mask(x, y, dest);
+    if (x == 0 && y == 0) {
+      mask |= port_name_bit(PortName::kEast);
+    }
+    return mask;
+  }
+
+ private:
+  XYRouting inner_;
+};
+
+/// Escape mutant 1: an escape lane that only ever moves East. On a torus
+/// that is a ring of dependencies — the cyclic sub-network the Duato
+/// precondition forbids.
+class AlwaysEast final : public GridMutant {
+ public:
+  using GridMutant::GridMutant;
+  std::string name() const override { return "always-east"; }
+  void append_next_hops(const Port& p, const Port& d,
+                        std::vector<Port>& out) const override {
+    if (forward_out(p, out)) {
+      return;
+    }
+    if (p.x == d.x && p.y == d.y) {
+      out.push_back(trans(p, PortName::kLocal, Direction::kOut));
+    } else {
+      out.push_back(trans(p, PortName::kEast, Direction::kOut));
+    }
+  }
+};
+
+/// Escape mutant 2: an XY escape lane whose published mask selects nothing
+/// at node (1,1) — a coverage hole in the claimed sub-network.
+class HoleyEscape final : public GridMutant {
+ public:
+  explicit HoleyEscape(const Mesh2D& mesh) : GridMutant(mesh), inner_(mesh) {}
+  std::string name() const override { return "holey-escape"; }
+  bool node_uniform() const override { return true; }
+  void append_next_hops(const Port& p, const Port& d,
+                        std::vector<Port>& out) const override {
+    inner_.append_next_hops(p, d, out);
+  }
+  std::uint8_t node_out_mask(std::int32_t x, std::int32_t y,
+                             const Port& dest) const override {
+    if (x == 1 && y == 1) {
+      return 0;
+    }
+    return inner_.node_out_mask(x, y, dest);
+  }
+
+ private:
+  XYRouting inner_;
+};
+
+/// A routing that is never consulted (for topology-only rule tests).
+class NullRouting final : public RoutingFunction {
+ public:
+  using RoutingFunction::RoutingFunction;
+  std::string name() const override { return "null"; }
+  bool is_deterministic() const override { return true; }
+  bool id_native() const override { return true; }
+  void append_next_hop_ids(PortId, std::size_t,
+                           std::vector<PortId>&) const override {}
+};
+
+/// A hand-built port graph with one unreachable ejection port and one
+/// sink-less branch: node 0 injects, node 1 has an in-port but no way out,
+/// node 2 has an ejection port nothing drives.
+class BrokenTopology final : public Topology {
+ public:
+  BrokenTopology() {
+    begin_topology(3, {"E", "W", "L"}, /*terminal_mask=*/0b100);
+    const PortId e_out0 = add_port(0, 0, Direction::kOut);
+    add_port(0, 2, Direction::kIn);                         // L-IN(0): source
+    add_port(0, 2, Direction::kOut);                        // L-OUT(0): dest
+    const PortId w_in1 = add_port(1, 1, Direction::kIn);    // the dead end
+    add_port(2, 2, Direction::kOut);                        // orphan dest
+    set_link(e_out0, w_in1);
+    finish_topology();
+  }
+  std::string family() const override { return "broken"; }
+  std::string node_label(std::size_t node) const override {
+    return std::to_string(node);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Registry and selection contract.
+// ---------------------------------------------------------------------------
+
+TEST(RuleRegistry, RegistersTheSixRulesInOrder) {
+  const std::vector<std::string> expected = {
+      "spec_sanity", "dead_ports", "turns", "uniformity", "totality", "escape"};
+  EXPECT_EQ(RuleRegistry::global().names(), expected);
+  EXPECT_EQ(Analyzer::default_rule_names(), expected);
+  for (const AnalysisRule* rule : RuleRegistry::global().rules()) {
+    EXPECT_NE(rule->description()[0], '\0') << rule->name();
+    EXPECT_EQ(RuleRegistry::global().find(rule->name()), rule);
+  }
+  EXPECT_EQ(RuleRegistry::global().find("nope"), nullptr);
+}
+
+TEST(RuleRegistry, CheapSubsetSkipsTheClosureHeavySweeps) {
+  const std::vector<std::string> expected = {"spec_sanity", "dead_ports",
+                                             "turns", "uniformity"};
+  EXPECT_EQ(Analyzer::cheap_rule_names(), expected);
+  EXPECT_EQ(Analyzer::cheap().rule_names(), expected);
+}
+
+TEST(AnalyzerSelection, UnknownRuleIsRejected) {
+  std::string error;
+  EXPECT_FALSE(Analyzer::from_rule_names({"turns", "nope"}, &error));
+  EXPECT_NE(error.find("unknown analysis rule 'nope'"), std::string::npos)
+      << error;
+}
+
+TEST(AnalyzerSelection, DuplicateRuleIsRejected) {
+  std::string error;
+  EXPECT_FALSE(Analyzer::from_rule_names({"turns", "turns"}, &error));
+  EXPECT_NE(error.find("duplicate analysis rule 'turns'"), std::string::npos)
+      << error;
+}
+
+TEST(AnalyzerSelection, EmptySelectionIsRejected) {
+  std::string error;
+  EXPECT_FALSE(Analyzer::from_rule_names({}, &error));
+  EXPECT_NE(error.find("empty rule selection"), std::string::npos) << error;
+}
+
+TEST(AnalyzerSelection, SelectionPreservesTheGivenOrder) {
+  std::string error;
+  const std::optional<Analyzer> analyzer =
+      Analyzer::from_rule_names({"uniformity", "spec_sanity"}, &error);
+  ASSERT_TRUE(analyzer.has_value()) << error;
+  const std::vector<std::string> expected = {"uniformity", "spec_sanity"};
+  EXPECT_EQ(analyzer->rule_names(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Positive runs: clean preset-shaped specs analyze clean.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzerPositive, MeshXyIsCleanUnderEveryRule) {
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec_or_die("topology=mesh size=8x8 routing=xy"));
+  EXPECT_TRUE(report.clean()) << analyze_report_json(report);
+  ASSERT_EQ(report.rules.size(), 6u);
+  EXPECT_GT(report.checks, 0u);
+  EXPECT_TRUE(has_code(report, "sanity-ok"));
+  EXPECT_TRUE(has_code(report, "ports-live"));
+  EXPECT_TRUE(has_code(report, "turns-conform"));
+  EXPECT_TRUE(has_code(report, "uniformity-audited"));
+  EXPECT_TRUE(has_code(report, "totality-holds"));
+  EXPECT_FALSE(stats_of(report, "escape").ran);  // no escape lane declared
+}
+
+TEST(AnalyzerPositive, TorusEscapeLaneIsCoveredAndAcyclic) {
+  const AnalyzeReport report = Analyzer::standard().run(
+      spec_or_die("topology=torus size=4x4 routing=torus_xy escape=xy"));
+  EXPECT_TRUE(report.clean()) << analyze_report_json(report);
+  EXPECT_TRUE(stats_of(report, "escape").ran);
+  EXPECT_TRUE(stats_of(report, "escape").passed);
+  EXPECT_TRUE(has_code(report, "escape-covered"));
+}
+
+TEST(AnalyzerPositive, CheapSubsetIsCleanOnAdaptiveTurnModel) {
+  const AnalyzeReport report = Analyzer::cheap().run(
+      spec_or_die("topology=mesh size=6x6 routing=west_first"));
+  EXPECT_TRUE(report.clean()) << analyze_report_json(report);
+  ASSERT_EQ(report.rules.size(), 4u);
+  EXPECT_TRUE(stats_of(report, "turns").ran);
+  EXPECT_TRUE(has_code(report, "turns-conform"));
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutants: each trips exactly its rule, with its stable code.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzerMutant, InvalidSpecTripsSpecSanity) {
+  InstanceSpec spec = spec_or_die("topology=mesh size=4x4 routing=xy");
+  spec.routing = "bogus";  // programmatic specs bypass the parser
+  const Mesh2D mesh(4, 4);
+  const XYRouting routing(mesh);
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec, mesh, routing, nullptr);
+  EXPECT_EQ(report.findings(), 1u) << analyze_report_json(report);
+  EXPECT_TRUE(has_code(report, "sanity-invalid-spec"));
+  EXPECT_TRUE(findings_only_from(report, "spec_sanity"));
+}
+
+TEST(AnalyzerMutant, RedundantEscapeTripsSpecSanity) {
+  InstanceSpec spec = spec_or_die("topology=mesh size=4x4 routing=xy");
+  spec.escape = "xy";
+  const Mesh2D mesh(4, 4);
+  const XYRouting routing(mesh);
+  const XYRouting escape(mesh);
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec, mesh, routing, &escape);
+  EXPECT_EQ(report.findings(), 1u) << analyze_report_json(report);
+  EXPECT_TRUE(has_code(report, "sanity-escape-redundant"));
+  EXPECT_TRUE(findings_only_from(report, "spec_sanity"));
+}
+
+TEST(AnalyzerMutant, EmptyWorkloadTripsSpecSanity) {
+  InstanceSpec spec = spec_or_die("topology=mesh size=4x4 routing=xy");
+  spec.messages = 0;
+  const Mesh2D mesh(4, 4);
+  const XYRouting routing(mesh);
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec, mesh, routing, nullptr);
+  EXPECT_EQ(report.findings(), 1u) << analyze_report_json(report);
+  EXPECT_TRUE(has_code(report, "sanity-empty-workload"));
+}
+
+TEST(AnalyzerMutant, EscapeOnNegativeFixtureTripsSpecSanity) {
+  InstanceSpec spec =
+      spec_or_die("topology=mesh size=4x4 routing=fully_adaptive escape=xy");
+  spec.expect_deadlock_free = false;
+  const Mesh2D mesh(4, 4);
+  const XYRouting routing(mesh);
+  const XYRouting escape(mesh);
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec, mesh, routing, &escape);
+  EXPECT_EQ(report.findings(), 1u) << analyze_report_json(report);
+  EXPECT_TRUE(has_code(report, "sanity-escape-expects-deadlock"));
+  EXPECT_TRUE(has_code(report, "sanity-negative-fixture"));
+}
+
+TEST(AnalyzerMutant, BrokenPortGraphTripsDeadPorts) {
+  const BrokenTopology topo;
+  const NullRouting routing(topo);
+  InstanceSpec spec = spec_or_die("topology=mesh size=4x4 routing=xy");
+  std::string error;
+  const std::optional<Analyzer> analyzer =
+      Analyzer::from_rule_names({"dead_ports"}, &error);
+  ASSERT_TRUE(analyzer.has_value()) << error;
+  const AnalyzeReport report = analyzer->run(spec, topo, routing, nullptr);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_code(report, "port-unreachable"));  // the orphan ejection
+  EXPECT_TRUE(has_code(report, "port-dead-end"));     // the sink-less branch
+  EXPECT_TRUE(has_code(report, "dead-ports-found"));
+}
+
+TEST(AnalyzerMutant, ProhibitedTurnTripsTurnConformance) {
+  // YX routing audited against the west_first discipline: the vertical
+  // phase runs first, so the later turn into West is exactly the turn
+  // west-first forbids — and it is closure-reachable.
+  const InstanceSpec spec =
+      spec_or_die("topology=mesh size=4x4 routing=west_first");
+  const Mesh2D mesh(4, 4);
+  const YXRouting routing(mesh);
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec, mesh, routing, nullptr);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_code(report, "turn-prohibited"));
+  EXPECT_TRUE(has_code(report, "turns-violated"));
+  EXPECT_TRUE(findings_only_from(report, "turns"))
+      << analyze_report_json(report);
+}
+
+TEST(AnalyzerMutant, LyingNodeMaskTripsUniformity) {
+  const InstanceSpec spec =
+      spec_or_die("topology=mesh size=4x4 routing=fully_adaptive");
+  const Mesh2D mesh(4, 4);
+  const LyingMask routing(mesh);
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec, mesh, routing, nullptr);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_code(report, "uniformity-violated"));
+  EXPECT_TRUE(has_code(report, "uniformity-refuted"));
+  EXPECT_TRUE(findings_only_from(report, "uniformity"))
+      << analyze_report_json(report);
+}
+
+TEST(AnalyzerMutant, DroppedMessagesTripTotality) {
+  const InstanceSpec spec =
+      spec_or_die("topology=mesh size=4x4 routing=fully_adaptive");
+  const Mesh2D mesh(4, 4);
+  const DropAtNode routing(mesh);
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec, mesh, routing, nullptr);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_code(report, "route-dead-end"));
+  EXPECT_TRUE(has_code(report, "totality-violated"));
+  EXPECT_TRUE(findings_only_from(report, "totality"))
+      << analyze_report_json(report);
+}
+
+TEST(AnalyzerMutant, OvershootingHopTripsMinimality) {
+  const InstanceSpec spec =
+      spec_or_die("topology=mesh size=4x4 routing=fully_adaptive");
+  const Mesh2D mesh(4, 4);
+  const OvershootInjection routing(mesh);
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec, mesh, routing, nullptr);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_code(report, "route-nonminimal"));
+  EXPECT_TRUE(findings_only_from(report, "totality"))
+      << analyze_report_json(report);
+}
+
+TEST(AnalyzerMutant, CyclicEscapeLaneTripsEscapeCoverage) {
+  const InstanceSpec spec =
+      spec_or_die("topology=torus size=4x4 routing=torus_xy escape=xy");
+  const Mesh2D mesh(4, 4, /*wrap_x=*/true, /*wrap_y=*/true);
+  const TorusXYRouting routing(mesh);
+  const AlwaysEast escape(mesh);
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec, mesh, routing, &escape);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_code(report, "escape-cyclic"));
+  EXPECT_TRUE(findings_only_from(report, "escape"))
+      << analyze_report_json(report);
+}
+
+TEST(AnalyzerMutant, EscapeCoverageHoleTripsEscapeCoverage) {
+  const InstanceSpec spec =
+      spec_or_die("topology=mesh size=4x4 routing=fully_adaptive escape=xy");
+  const Mesh2D mesh(4, 4);
+  const XYRouting routing(mesh);
+  const HoleyEscape escape(mesh);
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec, mesh, routing, &escape);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_code(report, "escape-partial"));
+  EXPECT_TRUE(has_code(report, "escape-uncovered"));
+  EXPECT_TRUE(findings_only_from(report, "escape"))
+      << analyze_report_json(report);
+}
+
+// ---------------------------------------------------------------------------
+// Report plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeReportTest, FindingsCountIgnoresInfoRecords) {
+  AnalyzeReport report;
+  report.diagnostics.push_back({"spec_sanity", Severity::kInfo, "sanity-ok",
+                                "fine", {}});
+  EXPECT_TRUE(report.clean());
+  report.diagnostics.push_back({"totality", Severity::kError,
+                                "route-dead-end", "stuck", {}});
+  EXPECT_EQ(report.findings(), 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(AnalyzeReportTest, CapAndBudgetOptionsBoundTheFindings) {
+  // A drop-everything mutant on a bigger mesh floods route-dead-end; the
+  // per-code cap keeps the report bounded while the summary keeps totals.
+  const InstanceSpec spec =
+      spec_or_die("topology=mesh size=4x4 routing=fully_adaptive");
+  const Mesh2D mesh(4, 4);
+  const DropAtNode routing(mesh);
+  AnalyzeOptions options;
+  options.max_findings_per_code = 2;
+  const AnalyzeReport report =
+      Analyzer::standard().run(spec, mesh, routing, nullptr, options);
+  std::size_t dead_end_records = 0;
+  for (const Diagnostic& diagnostic : report.diagnostics) {
+    dead_end_records += diagnostic.code == "route-dead-end" ? 1 : 0;
+  }
+  EXPECT_EQ(dead_end_records, 2u);
+  EXPECT_TRUE(has_code(report, "totality-violated"));
+}
+
+TEST(AnalyzeReportTest, JsonRowCarriesRulesAndDiagnostics) {
+  const AnalyzeReport report =
+      Analyzer::cheap().run(spec_or_die("topology=mesh size=4x4 routing=xy"));
+  const std::string json = analyze_report_json(report);
+  EXPECT_NE(json.find("\"instance\":"), std::string::npos);
+  EXPECT_NE(json.find("\"rules\":"), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"clean\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("sanity-ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace genoc

@@ -28,6 +28,7 @@ TOP_LEVEL = {
     "constraints": bool,
     "instances_total": int,
     "all_deadlock_free": bool,
+    "analysis_prescreen": bool,
     "cache": dict,
     "metrics": dict,
     "instances": list,
@@ -73,6 +74,21 @@ DIAGNOSTIC_ROW = {
     "code": str,
     "message": str,
     "witness": dict,
+}
+
+# The analyzer pre-screen row attached per instance when the cheap-rule
+# subset ran before the verify (absent under --no-analyze). Same shape as
+# an `analyze --json` instance row; the full validation lives in
+# check_analyze_schema.py — here only the envelope the verify report
+# embeds is checked.
+ANALYSIS_ROW = {
+    "instance": str,
+    "spec": str,
+    "clean": bool,
+    "findings": int,
+    "checks": int,
+    "rules": list,
+    "diagnostics": list,
 }
 
 CACHE_KINDS = ("contexts", "primed", "dep_graph", "acyclicity", "escape",
@@ -201,6 +217,13 @@ def main() -> int:
                 if not isinstance(value, str):
                     fail(f"{context}.diagnostics[{j}]",
                          f"witness '{key}' is not a string")
+        # The analyzer pre-screen attaches per row iff the top-level flag
+        # says it ran — a mismatch means the attach wiring regressed.
+        if doc["analysis_prescreen"] != ("analysis" in row):
+            fail(context, "analysis row presence contradicts the top-level "
+                          "analysis_prescreen flag")
+        if "analysis" in row:
+            check_fields(row["analysis"], ANALYSIS_ROW, f"{context}.analysis")
 
     if args.expect_baseline:
         if "baseline" not in doc:
