@@ -658,17 +658,324 @@ class EscapeCoverageRule final : public AnalysisRule {
   }
 };
 
+/// Rule 7: fault-set sanity. A spec's failed= set is the unit the fault
+/// campaign enumerates over, so malformed sets deserve stable codes the
+/// campaign can screen on instead of contract violations mid-sweep:
+/// duplicate faults (the same physical link listed twice — the variant
+/// would silently equal a smaller one), non-canonical tokens (the spec
+/// names the link by its other directed endpoint, splitting the artifact
+/// cache key space), and fault counts large enough that the variant is a
+/// different network, not a degraded one.
+class FaultSanityRule final : public AnalysisRule {
+ public:
+  const char* name() const override { return "fault_sanity"; }
+  const char* description() const override {
+    return "lint a failed= fault set: duplicate faults naming the same "
+           "physical link, non-canonical link tokens, and fault counts "
+           "past half the topology's links";
+  }
+
+  StageStats run(AnalyzeContext& ctx) const override {
+    StageStats stats;
+    stats.stage = name();
+    const InstanceSpec& spec = ctx.spec;
+    if (spec.failed_links.empty()) {
+      stats.ran = false;
+      stats.passed = true;
+      stats.skip_reason = "spec declares no failed links";
+      return stats;
+    }
+    if (!spec.is_grid()) {
+      stats.ran = false;
+      stats.passed = true;
+      stats.skip_reason =
+          "failed= is grid-only; spec_sanity carries the validation error";
+      return stats;
+    }
+    stats.ran = true;
+    std::size_t findings = 0;
+    const auto emit = [&](Severity severity, std::string code,
+                          std::string message,
+                          std::vector<std::pair<std::string, std::string>>
+                              witness) {
+      if (severity != Severity::kInfo) {
+        ++findings;
+      }
+      ctx.report.diagnostics.push_back(
+          make_diagnostic(name(), severity, std::move(code),
+                          std::move(message), std::move(witness)));
+    };
+
+    const bool wrap_x = spec.wrap_x();
+    const bool wrap_y = spec.wrap_y();
+    std::vector<std::string> canonical;
+    canonical.reserve(spec.failed_links.size());
+    for (const std::string& token : spec.failed_links) {
+      ++stats.checks;
+      std::string error;
+      const std::optional<LinkFault> fault = parse_link_fault(token, &error);
+      if (!fault.has_value() ||
+          !link_fault_exists(*fault, spec.width, spec.height, wrap_x,
+                             wrap_y)) {
+        emit(Severity::kError, "sanity-fault-invalid",
+             "failed link '" + token + "' " +
+                 (fault.has_value() ? "does not exist in a " +
+                                          std::to_string(spec.width) + "x" +
+                                          std::to_string(spec.height) +
+                                          " topology"
+                                    : error),
+             {{"token", token}});
+        continue;
+      }
+      const LinkFault canon = canonical_link_fault(
+          *fault, spec.width, spec.height, wrap_x, wrap_y);
+      const std::string canon_token = link_fault_token(canon);
+      if (canon_token != token) {
+        emit(Severity::kWarning, "sanity-fault-noncanonical",
+             "failed link '" + token + "' names its link by the "
+             "non-canonical directed endpoint (canonical: '" +
+                 canon_token + "') — canonicalize so equal fault sets "
+                 "share one artifact key",
+             {{"token", token}, {"canonical", canon_token}});
+      }
+      canonical.push_back(canon_token);
+    }
+
+    std::sort(canonical.begin(), canonical.end());
+    std::uint64_t duplicates = 0;
+    for (std::size_t i = 1; i < canonical.size(); ++i) {
+      ++stats.checks;
+      if (canonical[i] == canonical[i - 1]) {
+        ++duplicates;
+        if (duplicates <= ctx.options.max_findings_per_code) {
+          emit(Severity::kError, "sanity-fault-duplicate",
+               "failed link '" + canonical[i] +
+                   "' is listed more than once — the variant silently "
+                   "equals the deduplicated fault set",
+               {{"token", canonical[i]}});
+        }
+      }
+    }
+
+    // Fault budget: past half the links the variant is a different network,
+    // not a degraded one, and campaign statistics over it mislead.
+    const std::int64_t width = spec.width;
+    const std::int64_t height = spec.height;
+    const std::int64_t total_links = (wrap_x ? width : width - 1) * height +
+                                     (wrap_y ? height : height - 1) * width;
+    ++stats.checks;
+    const std::size_t distinct =
+        static_cast<std::size_t>(std::unique(canonical.begin(),
+                                             canonical.end()) -
+                                 canonical.begin());
+    if (total_links > 0 &&
+        distinct > static_cast<std::size_t>(total_links) / 2) {
+      emit(Severity::kWarning, "sanity-fault-count",
+           std::to_string(distinct) + " distinct failed links exceed half "
+           "of the topology's " + std::to_string(total_links) +
+               " links — the variant is a different network, not a "
+               "degraded one",
+           {{"faults", std::to_string(distinct)},
+            {"links", std::to_string(total_links)}});
+    }
+
+    stats.passed = findings == 0;
+    if (stats.passed) {
+      emit(Severity::kInfo, "sanity-fault-ok",
+           "fault set is canonical and duplicate-free (" +
+               std::to_string(distinct) + " distinct links)",
+           {{"faults", std::to_string(distinct)}});
+    }
+    return stats;
+  }
+};
+
+/// Rule 8: connectivity under faults. dead_ports runs its BFS from ALL
+/// injection ports jointly, so a network SPLIT by failed links — each half
+/// with its own sources and sinks — still shows every port live. This rule
+/// asks the campaign's question instead: are all terminal nodes in one
+/// component of the surviving link graph (`net-disconnected` screens the
+/// variant — the deadlock question is ill-posed on a shattered network),
+/// and does the routing still select an existing out-port toward every
+/// destination (`route-disconnected`, a WARNING: a minimal routing
+/// strands traffic at a fault but the deadlock verdict on what it does
+/// route stays well-posed).
+class ConnectivityRule final : public AnalysisRule {
+ public:
+  const char* name() const override { return "connectivity"; }
+  const char* description() const override {
+    return "failed links must leave all terminal nodes in one connected "
+           "component (net-disconnected screens the variant); flags nodes "
+           "whose routing selects no surviving out-port toward some "
+           "destination (route-disconnected)";
+  }
+
+  StageStats run(AnalyzeContext& ctx) const override {
+    StageStats stats;
+    stats.stage = name();
+    stats.ran = true;
+    const Topology& topo = ctx.topology;
+    const std::size_t nodes = topo.node_count();
+    const std::size_t names = topo.name_count();
+
+    // Node-level BFS over surviving links. Links are removed in pairs
+    // (both directions of a channel), so the node graph is symmetric and
+    // one BFS from any terminal node decides mutual connectivity.
+    std::vector<char> terminal(nodes, 0);
+    for (const PortId source : topo.source_ids()) {
+      terminal[topo.node_of(source)] = 1;
+    }
+    for (const PortId dest : topo.destination_ids()) {
+      terminal[topo.node_of(dest)] = 1;
+    }
+    std::vector<char> seen(nodes, 0);
+    std::vector<std::size_t> queue;
+    queue.reserve(nodes);
+    for (std::size_t node = 0; node < nodes; ++node) {
+      if (terminal[node]) {
+        seen[node] = 1;
+        queue.push_back(node);
+        break;
+      }
+    }
+    while (!queue.empty()) {
+      const std::size_t node = queue.back();
+      queue.pop_back();
+      const PortId* slots = topo.node_slots(node);
+      for (std::size_t n = 0; n < names; ++n) {
+        const PortId out =
+            slots[n * 2 + static_cast<std::size_t>(Direction::kOut)];
+        if (out == kInvalidPort) {
+          continue;
+        }
+        ++stats.checks;
+        const PortId target = topo.link_target(out);
+        if (target == kInvalidPort) {
+          continue;  // terminal out-port: ejection, not a link
+        }
+        const std::size_t next = topo.node_of(target);
+        if (!seen[next]) {
+          seen[next] = 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    std::uint64_t disconnected = 0;
+    for (std::size_t node = 0; node < nodes; ++node) {
+      if (!terminal[node] || seen[node]) {
+        continue;
+      }
+      ++disconnected;
+      if (disconnected <= ctx.options.max_findings_per_code) {
+        ctx.report.diagnostics.push_back(make_diagnostic(
+            name(), Severity::kError, "net-disconnected",
+            "terminal node " + topo.node_label(node) +
+                " is cut off from the rest of the network by the failed "
+                "links",
+            {{"node", topo.node_label(node)}}));
+      }
+    }
+
+    // Routing-level coverage: node-uniform routings expose the exact local
+    // test "does node n select any surviving out-port toward d". With
+    // faults present only the fault-endpoint nodes can have lost coverage
+    // (masks are position-based), so those are checked exhaustively over
+    // every destination; fault-free models sample destinations instead.
+    std::uint64_t uncovered = 0;
+    if (ctx.routing.node_uniform()) {
+      const std::size_t dests = topo.destination_count();
+      const Mesh2D* mesh = ctx.routing.grid();
+      std::vector<std::size_t> check_nodes;
+      std::size_t stride = 1;
+      if (mesh != nullptr && mesh->has_faults()) {
+        for (const LinkFault& fault : mesh->failed_links()) {
+          const LinkFault peer =
+              link_fault_peer(fault, mesh->width(), mesh->height(),
+                              mesh->wraps_x(), mesh->wraps_y());
+          check_nodes.push_back(static_cast<std::size_t>(fault.node));
+          check_nodes.push_back(static_cast<std::size_t>(peer.node));
+        }
+        std::sort(check_nodes.begin(), check_nodes.end());
+        check_nodes.erase(
+            std::unique(check_nodes.begin(), check_nodes.end()),
+            check_nodes.end());
+      } else {
+        check_nodes.resize(nodes);
+        for (std::size_t node = 0; node < nodes; ++node) {
+          check_nodes[node] = node;
+        }
+        stride = stride_for(dests, nodes, ctx.options.state_budget);
+      }
+      for (std::size_t d = 0; d < dests; d += stride) {
+        const PortId dest_id = topo.destination_id(d);
+        const std::size_t dest_node = topo.node_of(dest_id);
+        for (const std::size_t node : check_nodes) {
+          if (node == dest_node) {
+            continue;
+          }
+          ++stats.checks;
+          const std::uint64_t mask =
+              ctx.routing.out_mask_id(node, d) & topo.out_exists_mask(node);
+          if (mask != 0) {
+            continue;
+          }
+          ++uncovered;
+          if (uncovered <= ctx.options.max_findings_per_code) {
+            ctx.report.diagnostics.push_back(make_diagnostic(
+                name(), Severity::kWarning, "route-disconnected",
+                "routing selects no surviving out-port at node " +
+                    topo.node_label(node) + " toward " +
+                    topo.port_label(dest_id) +
+                    " — traffic strands at the fault (deadlock verdict "
+                    "on routed traffic stays well-posed)",
+                {{"node", topo.node_label(node)},
+                 {"destination", topo.port_label(dest_id)}}));
+          }
+        }
+      }
+    }
+
+    stats.passed = disconnected == 0 && uncovered == 0;
+    if (stats.passed) {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kInfo, "net-connected",
+          "all terminal nodes are mutually connected and the routing "
+          "covers every checked (node, destination) pair",
+          {{"checks", std::to_string(stats.checks)}}));
+    } else if (disconnected != 0) {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kError, "connectivity-broken",
+          std::to_string(disconnected) +
+              " terminal nodes cut off and " + std::to_string(uncovered) +
+              " uncovered (node, destination) pairs",
+          {{"disconnected", std::to_string(disconnected)},
+           {"uncovered", std::to_string(uncovered)}}));
+    } else {
+      ctx.report.diagnostics.push_back(make_diagnostic(
+          name(), Severity::kWarning, "route-uncovered",
+          std::to_string(uncovered) +
+              " (node, destination) pairs lack a surviving out-port",
+          {{"uncovered", std::to_string(uncovered)}}));
+    }
+    return stats;
+  }
+};
+
 }  // namespace
 
 RuleRegistry::RuleRegistry() {
   // Registry order is run order for Analyzer::standard(): cheap structural
-  // lints first, the closure-walking sweeps last.
+  // lints first, the closure-walking sweeps last; the fault-campaign rules
+  // append after the original six so existing --rules selections and
+  // reports keep their order.
   owned_.push_back(std::make_unique<SpecSanityRule>());
   owned_.push_back(std::make_unique<DeadPortsRule>());
   owned_.push_back(std::make_unique<TurnConformanceRule>());
   owned_.push_back(std::make_unique<UniformityRule>());
   owned_.push_back(std::make_unique<TotalityRule>());
   owned_.push_back(std::make_unique<EscapeCoverageRule>());
+  owned_.push_back(std::make_unique<FaultSanityRule>());
+  owned_.push_back(std::make_unique<ConnectivityRule>());
   views_.reserve(owned_.size());
   for (const auto& rule : owned_) {
     views_.push_back(rule.get());

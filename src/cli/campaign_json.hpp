@@ -1,0 +1,20 @@
+/// \file campaign_json.hpp
+/// \brief JSON rendering of the fault-campaign report (`genoc campaign
+///        --json`), schema-versioned for tools/check_campaign_schema.py.
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace genoc::cli {
+
+/// Serializes a CampaignReport as the schema-versioned envelope. With
+/// \p include_timing false, the thread count, wall times and the metrics
+/// snapshot are omitted, so the output is BYTE-IDENTICAL at any --threads
+/// value — the determinism contract the campaign tests diff on. Cache
+/// counters are always included (they are deterministic).
+std::string campaign_report_json(const genoc::CampaignReport& report,
+                                 bool include_timing);
+
+}  // namespace genoc::cli

@@ -6,6 +6,7 @@
 /// Self-contained on purpose: the Google-Benchmark reproductions under
 /// bench/ stay available as separate binaries, but this subcommand must run
 /// (and emit JSON) on machines without libbenchmark.
+#include <algorithm>
 #include <atomic>
 #include <ctime>
 #include <filesystem>
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "cli/commands.hpp"
 #include "cli/json_writer.hpp"
 #include "core/obligations.hpp"
@@ -368,6 +370,80 @@ std::vector<MicroBench> build_suite(std::size_t threads) {
                run_hermes_obligations(*hermes, options);
            keep(suite_run.all_satisfied() ? 1 : 0);
          }});
+  }
+
+  {
+    // Fault-campaign perf: the delta builder derives each single-link
+    // variant's dependency graph from the base mesh16 graph by filtering
+    // out edges incident to the removed ports; CI guards its >= 5x
+    // advantage over rebuilding every variant's graph from scratch with
+    // the fast builder (same 16-variant sample, every 30th link).
+    struct FaultVariant {
+      std::shared_ptr<Mesh2D> mesh;
+      std::shared_ptr<XYRouting> routing;
+      std::vector<PortId> removed;
+    };
+    auto base_mesh = std::make_shared<Mesh2D>(16, 16);
+    auto base_routing = std::make_shared<XYRouting>(*base_mesh);
+    auto base_dep =
+        std::make_shared<PortDepGraph>(build_dep_graph_fast(*base_routing));
+    auto variants = std::make_shared<std::vector<FaultVariant>>();
+    std::vector<LinkFault> links;
+    for (std::int32_t node = 0; node < 16 * 16; ++node) {
+      for (const PortName name : {PortName::kEast, PortName::kNorth}) {
+        const LinkFault fault{node, name};
+        if (link_fault_exists(fault, 16, 16, false, false)) {
+          links.push_back(canonical_link_fault(fault, 16, 16, false, false));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < links.size(); i += 30) {
+      const LinkFault fault = links[i];
+      const LinkFault peer = link_fault_peer(fault, 16, 16, false, false);
+      FaultVariant variant;
+      variant.mesh = std::make_shared<Mesh2D>(16, 16, false, false,
+                                              std::vector<LinkFault>{fault});
+      variant.routing = std::make_shared<XYRouting>(*variant.mesh);
+      for (const LinkFault& end : {fault, peer}) {
+        for (const Direction dir : {Direction::kIn, Direction::kOut}) {
+          variant.removed.push_back(base_mesh->id(
+              Port{end.node % 16, end.node / 16, end.name, dir}));
+        }
+      }
+      std::sort(variant.removed.begin(), variant.removed.end());
+      variants->push_back(std::move(variant));
+    }
+    suite.push_back({"campaign_delta_mesh16_single",
+                     "delta dep-graph build of 16 single-link mesh16 variants",
+                     [base_dep, variants] {
+                       for (const FaultVariant& v : *variants) {
+                         const PortDepGraph dep = build_dep_graph_delta(
+                             *base_dep, *v.routing, v.removed);
+                         keep(dep.graph.edge_count());
+                       }
+                     }});
+    suite.push_back({"campaign_rebuild_mesh16_single",
+                     "full build_dep_graph_fast of the same 16 variants",
+                     [variants] {
+                       for (const FaultVariant& v : *variants) {
+                         const PortDepGraph dep =
+                             build_dep_graph_fast(*v.routing);
+                         keep(dep.graph.edge_count());
+                       }
+                     }});
+    // End-to-end campaign anchor: all 480 single-link variants of
+    // mesh16-xy — screen, verify, shared artifacts — in one op.
+    const InstanceSpec spec16 = *InstanceRegistry::global().find("mesh16-xy");
+    suite.push_back({"campaign_mesh16_single",
+                     "end-to-end single-link fault campaign on mesh16-xy",
+                     [spec16, threads] {
+                       CampaignOptions options;
+                       options.plan.kind = FaultPlan::Kind::kSingle;
+                       options.threads = threads;
+                       const CampaignReport report =
+                           run_campaign(spec16, options);
+                       keep(report.verified);
+                     }});
   }
 
   {

@@ -20,6 +20,7 @@ namespace genoc::cli {
 
 int cmd_verify(const Args& args);
 int cmd_analyze(const Args& args);
+int cmd_campaign(const Args& args);
 int cmd_sim(const Args& args);
 int cmd_bench(const Args& args);
 int cmd_export_dot(const Args& args);

@@ -28,6 +28,10 @@ constexpr const char* kUsage =
     "              totality, node-uniformity audit, turn conformance, dead\n"
     "              ports, escape coverage, spec sanity) over --instance or\n"
     "              --all, with stable diagnostic codes\n"
+    "  campaign    fault-injection campaign: enumerate link-failure\n"
+    "              variants of a base instance (--faults single|double|\n"
+    "              random:k,seed), screen each through the cheap analyzer\n"
+    "              rules, verify survivors against shared artifacts\n"
     "  sim         run GeNoC2D on a traffic pattern with the CorrThm /\n"
     "              EvacThm / (C-5) audits on (--instance selects a network)\n"
     "  bench       timed micro-benchmarks; --json writes BENCH_*.json\n"
@@ -109,6 +113,9 @@ int main(int argc, char** argv) {
   }
   if (command == "analyze") {
     return cmd_analyze(args);
+  }
+  if (command == "campaign") {
+    return cmd_campaign(args);
   }
   if (command == "sim") {
     return cmd_sim(args);

@@ -197,6 +197,59 @@ PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
   return result;
 }
 
+PortDepGraph build_dep_graph_delta(
+    const PortDepGraph& base, const RoutingFunction& routing,
+    const std::vector<PortId>& removed_base_ports) {
+  obs::TraceSpan span("build_dep_graph_delta");
+  const Topology& topo = routing.topology();
+  GENOC_REQUIRE(routing.node_uniform(),
+                "delta dependency-graph build requires a node-uniform "
+                "routing; " + routing.name() + " must rebuild from scratch");
+  const std::size_t base_count = base.graph.vertex_count();
+  GENOC_REQUIRE(
+      topo.port_count() + removed_base_ports.size() == base_count,
+      "removed-port set does not reconcile the variant against its base");
+  // Monotone id translation: variant id = rank of the surviving base id.
+  std::vector<PortId> to_variant(base_count);
+  {
+    std::size_t next_removed = 0;
+    PortId next_id = 0;
+    for (std::size_t v = 0; v < base_count; ++v) {
+      if (next_removed < removed_base_ports.size() &&
+          removed_base_ports[next_removed] == static_cast<PortId>(v)) {
+        to_variant[v] = kInvalidPort;
+        ++next_removed;
+      } else {
+        to_variant[v] = next_id++;
+      }
+    }
+    GENOC_REQUIRE(next_removed == removed_base_ports.size(),
+                  "removed base port id out of range (ids must be sorted "
+                  "and deduplicated)");
+  }
+  PortDepGraph result;
+  bind_topology(result, topo);
+  result.graph = Digraph(topo.port_count());
+  result.graph.reserve_edges(base.graph.edge_count());
+  // The base CSR is sorted by (from, to) and the translation is monotone,
+  // so the surviving edges come out pre-sorted — finalize() skips its sort.
+  for (std::size_t v = 0; v < base_count; ++v) {
+    const PortId from = to_variant[v];
+    if (from == kInvalidPort) {
+      continue;
+    }
+    for (const std::uint32_t w : base.graph.out(v)) {
+      const PortId to = to_variant[w];
+      if (to != kInvalidPort) {
+        result.graph.add_edge(from, to);
+      }
+    }
+  }
+  result.graph.finalize();
+  count_built_edges(result);
+  return result;
+}
+
 std::vector<Port> next_outs_xy(const Mesh2D& mesh, const Port& p) {
   GENOC_REQUIRE(p.dir == Direction::kIn,
                 "next_outs is defined on in-ports, got " + to_string(p));

@@ -95,6 +95,28 @@ PortDepGraph build_dep_graph_analytic(const RoutingFunction& routing);
 PortDepGraph build_dep_graph_parallel(const RoutingFunction& routing,
                                       ThreadPool& pool);
 
+/// The fault-variant DELTA construction: the dependency graph of a faulted
+/// grid built by filtering its unfaulted BASE graph instead of re-sweeping.
+/// \p routing is the VARIANT's routing (over the faulted topology), \p base
+/// the unfaulted base context's graph over the same grid geometry, and
+/// \p removed_base_ports the sorted, deduplicated base-graph ids of the
+/// ports the faults removed (four per failed link: both directed channels'
+/// OUT + IN).
+///
+/// Exact for NODE-UNIFORM routings (enforced): the per-destination sweep
+/// seeds every node's terminal in-ports unconditionally, selects out-ports
+/// by position-based masks intersected with existence, and emits link edges
+/// only from existing cardinal out-ports — so removing a link's four ports
+/// removes exactly the base edges incident to them and perturbs no other
+/// emission. Variant ids are the monotone reindexing of surviving base ids
+/// (the grid enumerates ports in base order, skipping removed slots), so
+/// translating the base CSR in order yields a pre-sorted edge list and the
+/// result is BIT-IDENTICAL to build_dep_graph_fast() on the variant (the
+/// test suite checks every grid preset x every single-link fault).
+PortDepGraph build_dep_graph_delta(const PortDepGraph& base,
+                                   const RoutingFunction& routing,
+                                   const std::vector<PortId>& removed_base_ports);
+
 /// The paper's function next_outs(p): the set of out-ports an in-port p
 /// depends on under XY routing (Sec. V.6), filtered to existing ports.
 std::vector<Port> next_outs_xy(const Mesh2D& mesh, const Port& p);

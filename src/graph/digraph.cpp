@@ -29,7 +29,12 @@ void Digraph::finalize() {
   if (finalized_) {
     return;
   }
-  std::sort(build_edges_.begin(), build_edges_.end());
+  // Bulk builders that translate an already-finalized graph (the fault-delta
+  // dependency-graph path) emit edges in CSR order; the linear is_sorted
+  // check spares them the O(E log E) re-sort.
+  if (!std::is_sorted(build_edges_.begin(), build_edges_.end())) {
+    std::sort(build_edges_.begin(), build_edges_.end());
+  }
   build_edges_.erase(std::unique(build_edges_.begin(), build_edges_.end()),
                      build_edges_.end());
 

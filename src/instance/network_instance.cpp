@@ -45,8 +45,16 @@ std::unique_ptr<Topology> make_topology(const InstanceSpec& spec) {
   }
   GENOC_REQUIRE(spec.is_grid(),
                 "unknown topology family '" + spec.topology + "'");
+  std::vector<LinkFault> faults;
+  faults.reserve(spec.failed_links.size());
+  for (const std::string& token : spec.failed_links) {
+    std::string error;
+    const std::optional<LinkFault> fault = parse_link_fault(token, &error);
+    GENOC_REQUIRE(fault.has_value(), error);
+    faults.push_back(*fault);
+  }
   return std::make_unique<Mesh2D>(spec.width, spec.height, spec.wrap_x(),
-                                  spec.wrap_y());
+                                  spec.wrap_y(), faults);
 }
 
 std::unique_ptr<RoutingFunction> make_routing(const std::string& name,

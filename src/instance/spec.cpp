@@ -4,7 +4,9 @@
 #include <cctype>
 #include <charconv>
 #include <sstream>
+#include <tuple>
 
+#include "topology/mesh.hpp"
 #include "topology/topology.hpp"
 #include "workload/traffic.hpp"
 
@@ -64,6 +66,24 @@ bool parse_size(const std::string& value, InstanceSpec* spec,
   spec->width = static_cast<std::int32_t>(w);
   spec->height = static_cast<std::int32_t>(h);
   return true;
+}
+
+/// Splits the comma-separated value of a `failed=` token. Empty segments
+/// (trailing or doubled commas) surface as empty tokens the per-token
+/// parser rejects with a precise message.
+std::vector<std::string> split_failed_links(const std::string& value) {
+  std::vector<std::string> tokens;
+  std::size_t begin = 0;
+  while (begin <= value.size()) {
+    const std::size_t comma = value.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    tokens.push_back(value.substr(begin, end - begin));
+    if (comma == std::string::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  return tokens;
 }
 
 /// The registered topology family names, comma-joined for error messages.
@@ -214,6 +234,19 @@ std::optional<InstanceSpec> parse_instance_spec(const std::string& text,
         *err = "unknown escape routing '" + raw + "'";
         return std::nullopt;
       }
+    } else if (key == "failed") {
+      // Later tokens override earlier ones, like every other key; tokens
+      // are syntax-checked here and canonicalized after the loop (the
+      // geometry keys they canonicalize against may come later).
+      spec.failed_links.clear();
+      if (normalize(raw) != "none") {
+        for (const std::string& fault_token : split_failed_links(raw)) {
+          if (!parse_link_fault(fault_token, err)) {
+            return std::nullopt;
+          }
+          spec.failed_links.push_back(fault_token);
+        }
+      }
     } else if (key == "pattern") {
       const auto pattern = parse_traffic_pattern(normalize(raw));
       if (!pattern) {
@@ -240,13 +273,19 @@ std::optional<InstanceSpec> parse_instance_spec(const std::string& text,
       *err = "unknown key '" + key +
              "' (known: topology size width height concentration routers "
              "globals terminals groups routing switching buffers escape "
-             "expect pattern messages flits seed)";
+             "failed expect pattern messages flits seed)";
       return std::nullopt;
     }
   }
   if (!any) {
     *err = "empty instance spec";
     return std::nullopt;
+  }
+  // Canonicalize the fault set against the FINAL geometry so equal fault
+  // sets parse to equal specs (and equal artifact-store keys) regardless
+  // of token order or which channel endpoint named each link.
+  if (!spec.failed_links.empty()) {
+    spec = spec.with_failed_links(spec.failed_links);
   }
   const std::string invalid = validate_spec(spec);
   if (!invalid.empty()) {
@@ -276,12 +315,55 @@ std::string to_spec_string(const InstanceSpec& spec) {
   if (!spec.escape.empty()) {
     os << " escape=" << spec.escape;
   }
+  if (!spec.failed_links.empty()) {
+    os << " failed=" << join_failed_links(spec.failed_links);
+  }
   if (!spec.expect_deadlock_free) {
     os << " expect=deadlock";
   }
   os << " pattern=" << spec.pattern << " messages=" << spec.messages
      << " flits=" << spec.flits << " seed=" << spec.seed;
   return os.str();
+}
+
+std::string join_failed_links(const std::vector<std::string>& links) {
+  std::string joined;
+  for (const std::string& token : links) {
+    if (!joined.empty()) {
+      joined += ",";
+    }
+    joined += token;
+  }
+  return joined;
+}
+
+InstanceSpec InstanceSpec::with_failed_links(
+    const std::vector<std::string>& links) const {
+  InstanceSpec result = *this;
+  result.failed_links.clear();
+  result.failed_links.reserve(links.size());
+  // Sort key: parsed tokens by their canonical (node, name) pair, with the
+  // rendered token as tiebreaker; unparsable tokens sort after every valid
+  // one (lexicographically) and survive verbatim for validate_spec to
+  // reject with a real message.
+  std::vector<std::tuple<int, std::int32_t, int, std::string>> keyed;
+  keyed.reserve(links.size());
+  for (const std::string& token : links) {
+    const std::optional<LinkFault> fault = parse_link_fault(token, nullptr);
+    if (!fault) {
+      keyed.emplace_back(1, 0, 0, token);
+      continue;
+    }
+    const LinkFault canonical = canonical_link_fault(
+        *fault, width, height, wrap_x(), wrap_y());
+    keyed.emplace_back(0, canonical.node, static_cast<int>(canonical.name),
+                       link_fault_token(canonical));
+  }
+  std::sort(keyed.begin(), keyed.end());
+  for (const auto& [unparsable, node, name, token] : keyed) {
+    result.failed_links.push_back(token);
+  }
+  return result;
 }
 
 std::string validate_spec(const InstanceSpec& spec) {
@@ -343,6 +425,29 @@ std::string validate_spec(const InstanceSpec& spec) {
         spec.df_groups_resolved() > max_groups) {
       return "groups must be within 2.." + std::to_string(max_groups) +
              " (routers*globals+1)";
+    }
+  }
+  if (!spec.failed_links.empty()) {
+    if (!spec.is_grid()) {
+      return "failed links are grid-only (faults name mesh/torus/ring "
+             "channels)";
+    }
+    if (spec.failed_links.size() > 4096) {
+      return "at most 4096 failed links per instance";
+    }
+    for (const std::string& token : spec.failed_links) {
+      std::string fault_error;
+      const std::optional<LinkFault> fault =
+          parse_link_fault(token, &fault_error);
+      if (!fault) {
+        return fault_error;
+      }
+      if (!link_fault_exists(*fault, spec.width, spec.height, spec.wrap_x(),
+                             spec.wrap_y())) {
+        return "failed link '" + token + "' does not exist in a " +
+               std::to_string(spec.width) + "x" + std::to_string(spec.height) +
+               " " + spec.topology + " (node out of range or boundary port)";
+      }
     }
   }
   if (!spec.escape.empty() && !spec.is_grid()) {

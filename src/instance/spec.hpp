@@ -36,6 +36,19 @@ struct InstanceSpec {
   /// adaptive); empty = no escape lane.
   std::string escape;
 
+  /// Failed bidirectional links (fault campaigns): each token names one
+  /// directed channel "node:NAME" (row-major node index, cardinal name
+  /// E/W/N/S) and removes BOTH channels of that link — all four ports —
+  /// from the topology. Terminal (L) links never fail: fault campaigns
+  /// honor the injection/ejection-port exclusions. Grid families only.
+  /// Canonical form (what parse_instance_spec and with_failed_links
+  /// store): each token is anchored at the endpoint with the smaller
+  /// (node, name) pair and the list is sorted, so two fault sets naming
+  /// the same physical links render the same spec string and share one
+  /// AnalysisArtifacts::key(). Duplicates are preserved (the fault_sanity
+  /// analyzer rule flags them).
+  std::vector<std::string> failed_links;
+
   // ---- family parameters (non-grid topologies) ---------------------------
   std::uint32_t concentration = 2;  ///< cmesh: terminals per router
   std::uint32_t df_routers = 4;     ///< dragonfly: routers per group (a)
@@ -78,8 +91,21 @@ struct InstanceSpec {
   bool wrap_x() const { return topology == "torus" || topology == "ring"; }
   bool wrap_y() const { return topology == "torus"; }
 
+  /// Returns a copy of this spec whose failed_links are the canonical form
+  /// of \p links: every "node:NAME" token re-anchored to the directed
+  /// endpoint with the smaller (node, name) pair under THIS spec's
+  /// geometry, then sorted. Tokens that do not parse are kept verbatim
+  /// (validate_spec rejects them later), so the function is total.
+  InstanceSpec with_failed_links(const std::vector<std::string>& links) const;
+
   friend bool operator==(const InstanceSpec&, const InstanceSpec&) = default;
 };
+
+/// The canonical comma-joined rendering of a failed-link list (the value of
+/// the `failed=` spec key). Shared by to_spec_string(),
+/// AnalysisArtifacts::key() and the campaign report so the three can never
+/// drift apart.
+std::string join_failed_links(const std::vector<std::string>& links);
 
 /// The accepted values of the enumerated keys, for validation and usage
 /// text. Routing names are the canonical underscore forms.
@@ -92,8 +118,9 @@ const std::vector<std::string>& turn_model_routings();
 
 /// Parses a booksim2-style spec: whitespace-separated `key=value` tokens.
 /// Keys: topology, size (N or WxH), width, height, routing, switching,
-/// buffers, escape (routing name or "none"), pattern, messages, flits,
-/// seed. Later tokens override earlier ones. Values are normalized
+/// buffers, escape (routing name or "none"), failed (comma-separated
+/// failed-link tokens or "none"), pattern, messages, flits, seed. Later
+/// tokens override earlier ones. Values are normalized
 /// ('-' == '_' for routing/switching, pattern aliases resolved) and
 /// validated, including cross-field consistency via validate_spec().
 /// On failure returns nullopt and stores a human-readable message naming

@@ -76,6 +76,13 @@ std::uint64_t XYRouting::in_port_union(std::size_t node,
 }
 
 bool XYRouting::reachable(const Port& s, const Port& d) const {
+  // The closed form assumes every route of the full grid exists; with
+  // failed links routes dead-end at the fault, so ports past it are
+  // claimed that no route visits. Fall back to the semantic closure
+  // (storage-free node-granular tier — still no prime needed).
+  if (mesh().has_faults()) {
+    return closure_reachable(s, d);
+  }
   if (!valid_endpoints(s, d)) {
     return false;
   }

@@ -72,6 +72,11 @@ std::uint64_t YXRouting::in_port_union(std::size_t node,
 }
 
 bool YXRouting::reachable(const Port& s, const Port& d) const {
+  // Mirror of XYRouting::reachable: the closed form is a full-grid claim,
+  // so faulted meshes fall back to the semantic closure.
+  if (mesh().has_faults()) {
+    return closure_reachable(s, d);
+  }
   if (!valid_endpoints(s, d)) {
     return false;
   }

@@ -36,7 +36,7 @@ class YXRouting final : public RoutingFunction {
   /// over-all-dests union of out-names per in-name. Pure meshes only, for
   /// the same wrap-port reason as XYRouting.
   bool has_in_port_unions() const override {
-    return topology().family() == "mesh";
+    return topology().family() == "mesh" && !mesh().has_faults();
   }
   std::uint64_t in_port_union(std::size_t node,
                               std::size_t in_name) const override;

@@ -1,5 +1,8 @@
 #include "topology/mesh.hpp"
 
+#include <cctype>
+#include <charconv>
+
 #include "util/require.hpp"
 
 namespace genoc {
@@ -29,9 +32,97 @@ bool port_physically_exists(const Port& p, std::int32_t width,
 
 }  // namespace
 
+std::optional<LinkFault> parse_link_fault(const std::string& token,
+                                          std::string* error) {
+  const auto complain = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "bad failed-link token '" + token + "': " + why +
+               " (expected <node>:<E|W|N|S>)";
+    }
+    return std::nullopt;
+  };
+  const std::size_t colon = token.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 2 != token.size()) {
+    return complain("expected one ':' followed by a single port letter");
+  }
+  std::uint32_t node = 0;
+  const char* begin = token.data();
+  const auto [ptr, ec] = std::from_chars(begin, begin + colon, node);
+  if (ec != std::errc{} || ptr != begin + colon) {
+    return complain("the node index is not a number");
+  }
+  LinkFault fault;
+  fault.node = static_cast<std::int32_t>(node);
+  switch (std::toupper(static_cast<unsigned char>(token[colon + 1]))) {
+    case 'E': fault.name = PortName::kEast; break;
+    case 'W': fault.name = PortName::kWest; break;
+    case 'N': fault.name = PortName::kNorth; break;
+    case 'S': fault.name = PortName::kSouth; break;
+    case 'L':
+      return complain("terminal (L) links cannot fail — fault campaigns "
+                      "honor the injection/ejection exclusions");
+    default:
+      return complain("unknown port letter");
+  }
+  return fault;
+}
+
+std::string link_fault_token(const LinkFault& fault) {
+  return std::to_string(fault.node) + ":" + port_name_letter(fault.name);
+}
+
+bool link_fault_exists(const LinkFault& fault, std::int32_t width,
+                       std::int32_t height, bool wrap_x, bool wrap_y) {
+  if (fault.node < 0 ||
+      static_cast<std::int64_t>(fault.node) >=
+          static_cast<std::int64_t>(width) * height ||
+      fault.name == PortName::kLocal) {
+    return false;
+  }
+  const Port out{fault.node % width, fault.node / width, fault.name,
+                 Direction::kOut};
+  return port_physically_exists(out, width, height, wrap_x, wrap_y);
+}
+
+LinkFault link_fault_peer(const LinkFault& fault, std::int32_t width,
+                          std::int32_t height, bool wrap_x, bool wrap_y) {
+  GENOC_REQUIRE(link_fault_exists(fault, width, height, wrap_x, wrap_y),
+                "peer of a non-existent link fault: " +
+                    link_fault_token(fault));
+  const Port out{fault.node % width, fault.node / width, fault.name,
+                 Direction::kOut};
+  Port in = next_in(out);
+  if (wrap_x) {
+    in.x = (in.x + width) % width;
+  }
+  if (wrap_y) {
+    in.y = (in.y + height) % height;
+  }
+  return LinkFault{in.y * width + in.x, opposite(fault.name)};
+}
+
+LinkFault canonical_link_fault(const LinkFault& fault, std::int32_t width,
+                               std::int32_t height, bool wrap_x,
+                               bool wrap_y) {
+  if (!link_fault_exists(fault, width, height, wrap_x, wrap_y)) {
+    return fault;
+  }
+  const LinkFault peer =
+      link_fault_peer(fault, width, height, wrap_x, wrap_y);
+  return peer < fault ? peer : fault;
+}
+
 Mesh2D::Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x,
                bool wrap_y)
-    : width_(width), height_(height), wrap_x_(wrap_x), wrap_y_(wrap_y) {
+    : Mesh2D(width, height, wrap_x, wrap_y, {}) {}
+
+Mesh2D::Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x,
+               bool wrap_y, const std::vector<LinkFault>& failed_links)
+    : width_(width),
+      height_(height),
+      wrap_x_(wrap_x),
+      wrap_y_(wrap_y),
+      failed_links_(failed_links) {
   GENOC_REQUIRE(width >= 1 && height >= 1, "mesh dimensions must be positive");
   GENOC_REQUIRE(static_cast<std::int64_t>(width) * height >= 2,
                 "a mesh needs at least two nodes");
@@ -43,6 +134,30 @@ Mesh2D::Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x,
                  std::uint64_t{1} << static_cast<std::size_t>(PortName::kLocal));
   id_table_.assign(nodes * kPortSlotsPerNode, -1);
 
+  // Failed links remove their four channel ports (both directed channels'
+  // OUT + IN) before enumeration, so fault handling is literally the same
+  // machinery as boundary nodes: the ports never get ids, and removal is
+  // closed under the link pairing (a surviving cardinal OUT port always
+  // keeps its surviving target).
+  std::vector<char> removed;
+  if (!failed_links_.empty()) {
+    removed.assign(nodes * kPortSlotsPerNode, 0);
+    for (const LinkFault& fault : failed_links_) {
+      GENOC_REQUIRE(
+          link_fault_exists(fault, width_, height_, wrap_x_, wrap_y_),
+          "failed link does not exist in this mesh: " +
+              link_fault_token(fault));
+      const LinkFault peer =
+          link_fault_peer(fault, width_, height_, wrap_x_, wrap_y_);
+      for (const LinkFault& end : {fault, peer}) {
+        const Port base{end.node % width_, end.node / width_, end.name,
+                        Direction::kIn};
+        removed[slot(base)] = 1;
+        removed[slot(Port{base.x, base.y, base.name, Direction::kOut})] = 1;
+      }
+    }
+  }
+
   // Enumerate ports node-major so ids are stable and human-predictable.
   // add_port mirrors every port into the generalized Topology tables with
   // the same dense id (the slot layouts coincide: 5 names x 2 directions).
@@ -53,6 +168,9 @@ Mesh2D::Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x,
         for (Direction direction : {Direction::kIn, Direction::kOut}) {
           const Port p{x, y, name, direction};
           if (!port_physically_exists(p, width_, height_, wrap_x_, wrap_y_)) {
+            continue;
+          }
+          if (!removed.empty() && removed[slot(p)] != 0) {
             continue;
           }
           id_table_[slot(p)] = static_cast<std::int32_t>(ports_.size());

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,48 @@ struct NodeCoord {
   friend auto operator<=>(const NodeCoord&, const NodeCoord&) = default;
 };
 
+/// One failed bidirectional link of a grid, named by a directed channel
+/// endpoint: the cardinal OUT port (node, name). Removing the link removes
+/// all four ports of the channel pair — (node, name, OUT/IN) and the
+/// neighbour's opposite-name OUT/IN — so the link relation stays closed
+/// (every surviving cardinal OUT port still has a surviving target).
+/// Terminal (Local) links cannot fail.
+struct LinkFault {
+  std::int32_t node = 0;  ///< row-major node index
+  PortName name = PortName::kEast;
+
+  friend auto operator<=>(const LinkFault&, const LinkFault&) = default;
+};
+
+/// Parses a failed-link token "node:NAME" (NAME one of E/W/N/S, case
+/// insensitive). On failure returns nullopt and stores a complaint naming
+/// the token in *error (which may be null).
+std::optional<LinkFault> parse_link_fault(const std::string& token,
+                                          std::string* error);
+
+/// The canonical token of \p fault: "<node>:<NAME>".
+std::string link_fault_token(const LinkFault& fault);
+
+/// True iff the fault names a link that physically exists in a
+/// width x height grid with the given wraps: the node is in range and the
+/// named side has a neighbour (or the dimension wraps).
+bool link_fault_exists(const LinkFault& fault, std::int32_t width,
+                       std::int32_t height, bool wrap_x, bool wrap_y);
+
+/// The OTHER directed endpoint of the fault's bidirectional link — the
+/// neighbour node and the opposite port name, wraps applied. Requires
+/// link_fault_exists().
+LinkFault link_fault_peer(const LinkFault& fault, std::int32_t width,
+                          std::int32_t height, bool wrap_x, bool wrap_y);
+
+/// The canonical representative of the fault's bidirectional link: of the
+/// two directed endpoints, the one with the smaller (node, name) pair.
+/// Faults that do not exist in the geometry are returned unchanged (their
+/// rejection is a validation concern). Canonicalization is what lets two
+/// fault sets naming the same physical links share one artifact-store key.
+LinkFault canonical_link_fault(const LinkFault& fault, std::int32_t width,
+                               std::int32_t height, bool wrap_x, bool wrap_y);
+
 /// A W x H HERMES mesh, optionally wrapped into a torus in either
 /// dimension. Immutable after construction.
 ///
@@ -56,6 +99,15 @@ class Mesh2D : public Topology {
   Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x = false,
          bool wrap_y = false);
 
+  /// Builds a mesh with the given \p failed_links removed: every fault's
+  /// four channel ports are skipped during port enumeration, exactly like
+  /// the off-mesh boundary ports — surviving ids stay dense and every
+  /// downstream consumer (masks, sweeps, closures) sees the faults through
+  /// the ordinary existence filter. Requires every fault to name an
+  /// existing non-terminal link; duplicate faults are idempotent.
+  Mesh2D(std::int32_t width, std::int32_t height, bool wrap_x, bool wrap_y,
+         const std::vector<LinkFault>& failed_links);
+
   /// "torus" when y wraps, "ring" when only x wraps, else "mesh".
   std::string family() const override;
 
@@ -70,6 +122,15 @@ class Mesh2D : public Topology {
   std::int32_t height() const { return height_; }
   bool wraps_x() const { return wrap_x_; }
   bool wraps_y() const { return wrap_y_; }
+
+  /// True iff the mesh was built with failed links removed. Routings with
+  /// full-grid closed forms (XY/YX reachability, the analytic in-port
+  /// unions) gate on this and fall back to the semantic closure/sweeps.
+  bool has_faults() const { return !failed_links_.empty(); }
+
+  /// The failed links this mesh was built with, as given (not
+  /// canonicalized, duplicates preserved).
+  const std::vector<LinkFault>& failed_links() const { return failed_links_; }
 
   /// Topology-aware counterpart of the free next_in(): follows the link an
   /// OUT port drives, wrapping around torus dimensions. Requires
@@ -133,6 +194,7 @@ class Mesh2D : public Topology {
   std::int32_t height_;
   bool wrap_x_;
   bool wrap_y_;
+  std::vector<LinkFault> failed_links_;
   std::vector<Port> ports_;           // id -> port
   std::vector<std::int32_t> id_table_;  // slot -> id, or -1 if non-existent
 };

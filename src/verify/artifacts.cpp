@@ -50,6 +50,49 @@ AnalysisArtifacts::AnalysisArtifacts(const InstanceSpec& spec) {
   escape_ = owned_escape_.get();
 }
 
+AnalysisArtifacts::AnalysisArtifacts(const InstanceSpec& spec,
+                                     std::shared_ptr<AnalysisArtifacts> base)
+    : AnalysisArtifacts(spec) {
+  if (base == nullptr || spec.failed_links.empty() ||
+      !routing_->node_uniform()) {
+    return;  // nothing to delta from — full builds as usual
+  }
+  const auto* variant_mesh = dynamic_cast<const Mesh2D*>(topo_);
+  const auto* base_mesh = dynamic_cast<const Mesh2D*>(&base->topology());
+  if (variant_mesh == nullptr || base_mesh == nullptr) {
+    return;  // faults are grid-only; defensive for borrowed bases
+  }
+  GENOC_REQUIRE(base_mesh->width() == variant_mesh->width() &&
+                    base_mesh->height() == variant_mesh->height() &&
+                    base_mesh->wraps_x() == variant_mesh->wraps_x() &&
+                    base_mesh->wraps_y() == variant_mesh->wraps_y() &&
+                    !base_mesh->has_faults(),
+                "delta base context does not match the variant's grid");
+  // The base-graph ids of the variant's removed ports: four per distinct
+  // failed link (both directed channels' OUT + IN). Duplicate faults are
+  // idempotent, hence the dedup.
+  for (const std::string& token : spec.failed_links) {
+    std::string error;
+    const std::optional<LinkFault> fault = parse_link_fault(token, &error);
+    GENOC_REQUIRE(fault.has_value(), error);
+    const LinkFault peer =
+        link_fault_peer(*fault, base_mesh->width(), base_mesh->height(),
+                        base_mesh->wraps_x(), base_mesh->wraps_y());
+    for (const LinkFault& end : {*fault, peer}) {
+      const Port in{end.node % base_mesh->width(),
+                    end.node / base_mesh->width(), end.name, Direction::kIn};
+      removed_base_ports_.push_back(base_mesh->id(in));
+      removed_base_ports_.push_back(
+          base_mesh->id(Port{in.x, in.y, in.name, Direction::kOut}));
+    }
+  }
+  std::sort(removed_base_ports_.begin(), removed_base_ports_.end());
+  removed_base_ports_.erase(
+      std::unique(removed_base_ports_.begin(), removed_base_ports_.end()),
+      removed_base_ports_.end());
+  base_ = std::move(base);
+}
+
 std::string AnalysisArtifacts::key(const InstanceSpec& spec) {
   std::string prefix = "topology=" + spec.topology;
   if (spec.topology == "dragonfly") {
@@ -64,8 +107,14 @@ std::string AnalysisArtifacts::key(const InstanceSpec& spec) {
       prefix += " concentration=" + std::to_string(spec.concentration);
     }
   }
-  return prefix + " routing=" + spec.routing +
-         " escape=" + (spec.escape.empty() ? "none" : spec.escape);
+  prefix += " routing=" + spec.routing +
+            " escape=" + (spec.escape.empty() ? "none" : spec.escape);
+  // Fault variants are distinct analysis contexts; the canonical token
+  // order (with_failed_links) makes equal fault sets share one key.
+  if (!spec.failed_links.empty()) {
+    prefix += " failed=" + join_failed_links(spec.failed_links);
+  }
+  return prefix;
 }
 
 void AnalysisArtifacts::ensure_primed_locked(ThreadPool* pool) {
@@ -111,6 +160,16 @@ const PortDepGraph& AnalysisArtifacts::dep_graph_locked(bool generic_builder,
     // closure build is not racing a shared batch sibling.
     ensure_primed_locked(pool);
     dep_ = build_dep_graph(*routing_);
+  } else if (base_ != nullptr) {
+    // Fault-variant delta: filter the base graph instead of re-sweeping.
+    // Lock order is variant -> base only (a base never acquires a
+    // variant), so the nested dep_graph() cannot deadlock; concurrent
+    // variants serialize on the base's first build and hit thereafter.
+    static obs::Counter& delta_builds =
+        obs::MetricsRegistry::global().counter("artifacts.dep_graph.delta_builds");
+    const PortDepGraph& base_graph = base_->dep_graph(false, pool);
+    dep_ = build_dep_graph_delta(base_graph, *routing_, removed_base_ports_);
+    delta_builds.increment();
   } else if (pool != nullptr) {
     dep_ = build_dep_graph_parallel(*routing_, *pool);
   } else {
@@ -200,21 +259,44 @@ ArtifactCacheStats AnalysisArtifacts::stats() const {
 
 std::shared_ptr<AnalysisArtifacts> ArtifactStore::acquire(
     const InstanceSpec& spec) {
-  const std::string key = AnalysisArtifacts::key(spec);
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = std::find_if(
-      entries_.begin(), entries_.end(),
-      [&key](const auto& entry) { return entry.first == key; });
   static KindCounters counters = kind_counters("contexts");
-  if (it != entries_.end()) {
+  const std::string key = AnalysisArtifacts::key(spec);
+  const auto find = [this, &key] {
+    return std::find_if(
+        entries_.begin(), entries_.end(),
+        [&key](const auto& entry) { return entry.first == key; });
+  };
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = find(); it != entries_.end()) {
+      ++contexts_.hits;
+      counters.hits.increment();
+      return it->second;
+    }
+  }
+  // Build outside the lock: a fault variant first acquires its unfaulted
+  // BASE context (recursively, so campaigns share one base graph across
+  // every variant), and context construction itself is the expensive part.
+  std::shared_ptr<AnalysisArtifacts> base;
+  if (!spec.failed_links.empty() && spec.is_grid()) {
+    InstanceSpec base_spec = spec;
+    base_spec.failed_links.clear();
+    base = acquire(base_spec);
+  }
+  obs::TraceSpan span("artifact:context_build");
+  auto artifacts = base != nullptr
+                       ? std::make_shared<AnalysisArtifacts>(spec, base)
+                       : std::make_shared<AnalysisArtifacts>(spec);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = find(); it != entries_.end()) {
+    // Lost a build race; the first-published context wins so every caller
+    // shares one cache.
     ++contexts_.hits;
     counters.hits.increment();
     return it->second;
   }
   ++contexts_.misses;
   counters.misses.increment();
-  obs::TraceSpan span("artifact:context_build");
-  auto artifacts = std::make_shared<AnalysisArtifacts>(spec);
   entries_.emplace_back(key, artifacts);
   return artifacts;
 }

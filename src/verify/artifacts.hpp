@@ -112,6 +112,17 @@ class AnalysisArtifacts {
   /// Requires a valid spec; throws ContractViolation otherwise.
   explicit AnalysisArtifacts(const InstanceSpec& spec);
 
+  /// Owning constructor for a FAULT VARIANT sharing its unfaulted base
+  /// context: when \p spec has failed links, a grid topology and a
+  /// node-uniform routing, the dependency graph is built by DELTA from the
+  /// base context's graph (build_dep_graph_delta) instead of a full
+  /// rebuild — the campaign hot path. \p base must be the context of this
+  /// spec with failed_links cleared (same grid, same routing/escape);
+  /// passing nullptr, or a spec where the delta does not apply, degrades
+  /// to the plain owning constructor.
+  AnalysisArtifacts(const InstanceSpec& spec,
+                    std::shared_ptr<AnalysisArtifacts> base);
+
   AnalysisArtifacts(const AnalysisArtifacts&) = delete;
   AnalysisArtifacts& operator=(const AnalysisArtifacts&) = delete;
 
@@ -166,6 +177,12 @@ class AnalysisArtifacts {
   const Topology* topo_ = nullptr;
   const RoutingFunction* routing_ = nullptr;
   const RoutingFunction* escape_ = nullptr;
+
+  // Fault-variant delta state: the unfaulted base context (keeps the base
+  // graph alive and shares its compute across every variant of a campaign)
+  // and the base-graph ids of the ports this variant's faults removed.
+  std::shared_ptr<AnalysisArtifacts> base_;
+  std::vector<PortId> removed_base_ports_;
 
   mutable std::mutex mutex_;
   bool primed_ = false;

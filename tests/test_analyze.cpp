@@ -230,9 +230,10 @@ class BrokenTopology final : public Topology {
 // Registry and selection contract.
 // ---------------------------------------------------------------------------
 
-TEST(RuleRegistry, RegistersTheSixRulesInOrder) {
+TEST(RuleRegistry, RegistersTheEightRulesInOrder) {
   const std::vector<std::string> expected = {
-      "spec_sanity", "dead_ports", "turns", "uniformity", "totality", "escape"};
+      "spec_sanity", "dead_ports", "turns",         "uniformity",
+      "totality",    "escape",     "fault_sanity",  "connectivity"};
   EXPECT_EQ(RuleRegistry::global().names(), expected);
   EXPECT_EQ(Analyzer::default_rule_names(), expected);
   for (const AnalysisRule* rule : RuleRegistry::global().rules()) {
@@ -286,14 +287,16 @@ TEST(AnalyzerPositive, MeshXyIsCleanUnderEveryRule) {
   const AnalyzeReport report =
       Analyzer::standard().run(spec_or_die("topology=mesh size=8x8 routing=xy"));
   EXPECT_TRUE(report.clean()) << analyze_report_json(report);
-  ASSERT_EQ(report.rules.size(), 6u);
+  ASSERT_EQ(report.rules.size(), 8u);
   EXPECT_GT(report.checks, 0u);
   EXPECT_TRUE(has_code(report, "sanity-ok"));
   EXPECT_TRUE(has_code(report, "ports-live"));
   EXPECT_TRUE(has_code(report, "turns-conform"));
   EXPECT_TRUE(has_code(report, "uniformity-audited"));
   EXPECT_TRUE(has_code(report, "totality-holds"));
-  EXPECT_FALSE(stats_of(report, "escape").ran);  // no escape lane declared
+  EXPECT_TRUE(has_code(report, "net-connected"));
+  EXPECT_FALSE(stats_of(report, "escape").ran);        // no escape lane declared
+  EXPECT_FALSE(stats_of(report, "fault_sanity").ran);  // no failed= links
 }
 
 TEST(AnalyzerPositive, TorusEscapeLaneIsCoveredAndAcyclic) {

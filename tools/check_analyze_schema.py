@@ -22,6 +22,7 @@ SEVERITIES = {"info", "warning", "error"}
 # The registered rule names, in registry order. A report may select a
 # subset via --rules, but may never contain an unknown name.
 KNOWN_RULES = ("spec_sanity", "dead_ports", "turns", "uniformity",
+               "fault_sanity", "connectivity",
                "totality", "escape")
 
 TOP_LEVEL = {

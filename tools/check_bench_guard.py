@@ -14,17 +14,22 @@ fails (exit 1) when a guarded ratio regresses:
      on the 8x8 c=4 concentrated mesh. The measured ratio is ~7.7x; the
      looser bound reflects the smaller gap id-native closures leave over
      a 960-port/256-destination product.
-  3. With --escape-speedup X (multicore CI only): escape_parallel_64x64
+  3. Always: campaign_delta_mesh16_single must finish within 20% of
+     campaign_rebuild_mesh16_single — the fault-campaign delta builder
+     (base-graph edge filtering) keeps a >= 5x advantage over rebuilding
+     every variant's dependency graph from scratch. Measured ~35x; the
+     loose bound absorbs runner noise on the small 16-variant sample.
+  4. With --escape-speedup X (multicore CI only): escape_parallel_64x64
      must be at least X times faster than escape_sequential_64x64 from the
      same run — the destination-sharded escape sweep actually beats the
      sequential lane walk. Skipped by default because the ratio is
      meaningless on single-core runners, where the sharded sweep can only
      tie the sequential one.
-  4. With --max-ns NAME=NS (repeatable): the named benchmark's ns_per_op
+  5. With --max-ns NAME=NS (repeatable): the named benchmark's ns_per_op
      must not exceed the absolute ceiling — e.g.
      --max-ns verify_mesh128_xy=2000000000 pins the headline "mesh128
      verifies in under 2 s at 4 threads".
-  5. With --max-rss-kb NAME=KB (repeatable): the named benchmark's
+  6. With --max-rss-kb NAME=KB (repeatable): the named benchmark's
      max_rss_kb (peak process RSS when its artifact was written) must not
      exceed the ceiling — the memory gate for the mesh256-xy verify.
 
@@ -48,6 +53,12 @@ GENERIC_CMESH = "depgraph_generic_cmesh"
 # Measured ~7.7x on the 8x8 c=4 cmesh (fast <= 0.13 * generic); 0.25
 # keeps the guard meaningful without flaking on noisy runners.
 CMESH_LIMIT_FRACTION = 0.25
+
+DELTA_CAMPAIGN = "campaign_delta_mesh16_single"
+REBUILD_CAMPAIGN = "campaign_rebuild_mesh16_single"
+# Measured ~35x on the 16-variant single-link mesh16 sample (delta <=
+# 0.03 * rebuild); 0.20 pins the >= 5x acceptance bound without flaking.
+CAMPAIGN_LIMIT_FRACTION = 0.20
 
 ESCAPE_PARALLEL = "escape_parallel_64x64"
 ESCAPE_SEQUENTIAL = "escape_sequential_64x64"
@@ -119,6 +130,13 @@ def check_cmesh(directory: pathlib.Path) -> bool:
                        "the id-native sweep lost its edge on the cmesh")
 
 
+def check_campaign(directory: pathlib.Path) -> bool:
+    return check_ratio(directory, DELTA_CAMPAIGN, REBUILD_CAMPAIGN,
+                       CAMPAIGN_LIMIT_FRACTION,
+                       "the fault-delta builder lost its edge over full "
+                       "rebuilds")
+
+
 def check_escape(directory: pathlib.Path, min_speedup: float) -> bool:
     parallel = ns_per_op(directory, ESCAPE_PARALLEL)
     sequential = ns_per_op(directory, ESCAPE_SEQUENTIAL)
@@ -162,6 +180,7 @@ def main() -> int:
     if not args.skip_ratios:
         ok = check_depgraph(args.directory)
         ok = check_cmesh(args.directory) and ok
+        ok = check_campaign(args.directory) and ok
         if args.escape_speedup is not None:
             ok = check_escape(args.directory, args.escape_speedup) and ok
     for spec in args.max_ns:
